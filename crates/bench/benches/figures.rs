@@ -1,0 +1,68 @@
+//! Figure-harness benchmarks: time the building blocks the exhibit
+//! binaries are made of — memoized comparison sweeps over a
+//! representative workload subset and the static table renderers — so
+//! `cargo bench` exercises the same code paths `reproduce` uses without
+//! its full-suite runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mcm_bench::figures;
+use mcm_bench::harness::{geomean_speedup, Memo};
+use mcm_gpu::SystemConfig;
+use mcm_workloads::{suite, WorkloadSpec};
+
+/// One representative workload per behaviour class.
+fn mini_suite() -> Vec<WorkloadSpec> {
+    ["Stream", "Kmeans", "SSSP", "DWT"]
+        .iter()
+        .map(|n| {
+            let mut w = suite::by_name(n).expect("suite workload");
+            w.ctas = w.ctas.min(128);
+            w
+        })
+        .collect()
+}
+
+fn bench_harness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("harness");
+    group.sample_size(10);
+    group.bench_function("comparison_sweep_mini", |b| {
+        let mini = mini_suite();
+        b.iter(|| {
+            let mut memo = Memo::new(0.02);
+            let baseline = SystemConfig::baseline_mcm();
+            let optimized = SystemConfig::optimized_mcm();
+            black_box(geomean_speedup(
+                &mut memo, &mini, &optimized, &baseline, None,
+            ))
+        });
+    });
+    group.bench_function("memoized_rerun", |b| {
+        // With a warm memo the sweep is pure cache lookups.
+        let mini = mini_suite();
+        let mut memo = Memo::new(0.02);
+        let baseline = SystemConfig::baseline_mcm();
+        let optimized = SystemConfig::optimized_mcm();
+        geomean_speedup(&mut memo, &mini, &optimized, &baseline, None);
+        b.iter(|| {
+            black_box(geomean_speedup(
+                &mut memo, &mini, &optimized, &baseline, None,
+            ))
+        });
+    });
+    group.bench_function("static_tables", |b| {
+        b.iter(|| {
+            black_box((
+                figures::table1(),
+                figures::table2(),
+                figures::table3(),
+                figures::table4(),
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_harness);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Extension ablation: how many GPMs to split 256 SMs into (§3.2's
+//! design space). Honors `MCM_SCALE`.
+fn main() {
+    let mut memo = mcm_bench::harness::Memo::from_env();
+    println!("{}", mcm_bench::figures::ablation_gpm_count(&mut memo));
+}

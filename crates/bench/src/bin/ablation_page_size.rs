@@ -1,0 +1,6 @@
+//! Extension ablation: first-touch placement granularity. Honors
+//! `MCM_SCALE`.
+fn main() {
+    let mut memo = mcm_bench::harness::Memo::from_env();
+    println!("{}", mcm_bench::figures::ablation_page_size(&mut memo));
+}

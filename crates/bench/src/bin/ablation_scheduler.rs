@@ -1,0 +1,6 @@
+//! Extension ablation: CTA scheduler granularity + dynamic stealing
+//! (§5.4 future work). Honors `MCM_SCALE`.
+fn main() {
+    let mut memo = mcm_bench::harness::Memo::from_env();
+    println!("{}", mcm_bench::figures::ablation_scheduler(&mut memo));
+}

@@ -1,0 +1,6 @@
+//! The §6.2 efficiency argument quantified: data-movement energy per
+//! machine organization. Honors `MCM_SCALE`.
+fn main() {
+    let mut memo = mcm_bench::harness::Memo::from_env();
+    println!("{}", mcm_bench::figures::efficiency(&mut memo));
+}

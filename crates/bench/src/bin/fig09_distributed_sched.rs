@@ -1,0 +1,5 @@
+//! Regenerates Fig. 9 (distributed CTA scheduling) of the paper. Honors `MCM_SCALE` (default 0.5).
+fn main() {
+    let mut memo = mcm_bench::harness::Memo::from_env();
+    println!("{}", mcm_bench::figures::fig09(&mut memo));
+}

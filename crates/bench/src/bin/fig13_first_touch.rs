@@ -1,0 +1,5 @@
+//! Regenerates Fig. 13 (first-touch page placement) of the paper. Honors `MCM_SCALE` (default 0.5).
+fn main() {
+    let mut memo = mcm_bench::harness::Memo::from_env();
+    println!("{}", mcm_bench::figures::fig13(&mut memo));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 14 (inter-GPM bandwidth with FT) of the paper. Honors `MCM_SCALE` (default 0.5).
+fn main() {
+    let mut memo = mcm_bench::harness::Memo::from_env();
+    println!("{}", mcm_bench::figures::fig14(&mut memo));
+}

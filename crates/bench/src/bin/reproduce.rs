@@ -1,0 +1,84 @@
+//! Regenerates every table and figure of the paper's evaluation in one
+//! pass (sharing a memoized run cache), printing each and writing it
+//! under `results/`.
+//!
+//! ```text
+//! MCM_SCALE=0.5 cargo run --release -p mcm-bench --bin reproduce
+//! ```
+
+use std::fs;
+use std::path::Path;
+use std::time::Instant;
+
+use mcm_bench::figures;
+use mcm_bench::harness::Memo;
+
+fn main() {
+    let out_dir = Path::new("results");
+    fs::create_dir_all(out_dir).expect("create results/");
+    let mut memo = Memo::from_env();
+    println!(
+        "reproducing all exhibits at MCM_SCALE={} (shapes are stable across scales)\n",
+        memo.scale()
+    );
+    let t0 = Instant::now();
+
+    let static_tables = [
+        ("table1", figures::table1()),
+        ("table2", figures::table2()),
+        ("table3", figures::table3()),
+        ("table4", figures::table4()),
+    ];
+    for (name, text) in static_tables {
+        emit(out_dir, name, &text);
+    }
+
+    // Simulation-backed exhibits, cheapest shared-config ones first so
+    // the memo warms up.
+    let figs: Vec<(&str, Box<dyn Fn(&mut Memo) -> String>)> = vec![
+        ("fig04_link_sensitivity", Box::new(figures::fig04)),
+        ("fig06_l15_cache", Box::new(figures::fig06)),
+        ("fig07_l15_bandwidth", Box::new(figures::fig07)),
+        ("fig09_distributed_sched", Box::new(figures::fig09)),
+        ("fig10_ds_bandwidth", Box::new(figures::fig10)),
+        ("fig13_first_touch", Box::new(figures::fig13)),
+        ("fig14_ft_bandwidth", Box::new(figures::fig14)),
+        ("fig15_scurve", Box::new(figures::fig15)),
+        ("fig16_breakdown", Box::new(figures::fig16)),
+        ("fig17_multi_gpu", Box::new(figures::fig17)),
+        ("efficiency", Box::new(figures::efficiency)),
+        ("ablation_scheduler", Box::new(figures::ablation_scheduler)),
+        ("ablation_topology", Box::new(figures::ablation_topology)),
+        ("ablation_gpm_count", Box::new(figures::ablation_gpm_count)),
+        ("ablation_page_size", Box::new(figures::ablation_page_size)),
+        ("ablation_alloc_policy", Box::new(figures::ablation_alloc_policy)),
+        ("fig02_scaling", Box::new(figures::fig02)),
+    ];
+    for (name, f) in figs {
+        let start = Instant::now();
+        let text = f(&mut memo);
+        emit(out_dir, name, &text);
+        eprintln!("[{name} took {:.0}s]", start.elapsed().as_secs_f64());
+    }
+
+    // Raw per-run data for downstream analysis.
+    let mut csv = String::from(mcm_gpu::RunReport::csv_header());
+    csv.push('\n');
+    for report in memo.reports() {
+        csv.push_str(&report.to_csv_row());
+        csv.push('\n');
+    }
+    fs::write(out_dir.join("runs.csv"), csv).expect("writing runs.csv");
+
+    eprintln!(
+        "\nall exhibits regenerated in {:.0}s; outputs in {}/ (plus runs.csv)",
+        t0.elapsed().as_secs_f64(),
+        out_dir.display()
+    );
+}
+
+fn emit(dir: &Path, name: &str, text: &str) {
+    println!("{text}\n{}\n", "=".repeat(72));
+    fs::write(dir.join(format!("{name}.txt")), text)
+        .unwrap_or_else(|e| panic!("writing {name}: {e}"));
+}

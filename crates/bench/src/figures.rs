@@ -1,0 +1,882 @@
+//! One function per paper exhibit: each regenerates the corresponding
+//! table or figure's data and returns it as a rendered text block.
+//!
+//! The functions take a [`Memo`] so exhibits sharing configurations
+//! (nearly all share the baseline) reuse each other's runs within one
+//! process — `reproduce` exploits this to regenerate everything in a
+//! single pass.
+
+use mcm_engine::stats::geomean;
+use mcm_gpu::reference::{GPU_GENERATIONS, MAX_BUILDABLE_SMS};
+use mcm_gpu::{RunReport, SystemConfig};
+use mcm_interconnect::energy::Tier;
+use mcm_mem::cache::AllocFilter;
+use mcm_workloads::{suite, Category, WorkloadSpec};
+
+use crate::harness::{f2, geomean_speedup, pct, Memo, TextTable};
+
+fn m_intensive() -> Vec<WorkloadSpec> {
+    suite::m_intensive_suite()
+}
+
+fn full_suite() -> Vec<WorkloadSpec> {
+    suite::suite()
+}
+
+/// Table 1: key characteristics of recent NVIDIA GPUs.
+pub fn table1() -> String {
+    let mut t = TextTable::new(vec![
+        "", "Fermi", "Kepler", "Maxwell", "Pascal",
+    ]);
+    let g = GPU_GENERATIONS;
+    t.row(vec![
+        "SMs".to_string(),
+        g[0].sms.to_string(),
+        g[1].sms.to_string(),
+        g[2].sms.to_string(),
+        g[3].sms.to_string(),
+    ]);
+    t.row(vec![
+        "BW (GB/s)".to_string(),
+        g[0].bandwidth_gbps.to_string(),
+        g[1].bandwidth_gbps.to_string(),
+        g[2].bandwidth_gbps.to_string(),
+        g[3].bandwidth_gbps.to_string(),
+    ]);
+    t.row(vec![
+        "L2 (KB)".to_string(),
+        g[0].l2_kb.to_string(),
+        g[1].l2_kb.to_string(),
+        g[2].l2_kb.to_string(),
+        g[3].l2_kb.to_string(),
+    ]);
+    t.row(vec![
+        "Transistors (B)".to_string(),
+        g[0].transistors_b.to_string(),
+        g[1].transistors_b.to_string(),
+        g[2].transistors_b.to_string(),
+        g[3].transistors_b.to_string(),
+    ]);
+    t.row(vec![
+        "Tech. node (nm)".to_string(),
+        g[0].tech_node_nm.to_string(),
+        g[1].tech_node_nm.to_string(),
+        g[2].tech_node_nm.to_string(),
+        g[3].tech_node_nm.to_string(),
+    ]);
+    t.row(vec![
+        "Chip size (mm2)".to_string(),
+        g[0].chip_size_mm2.to_string(),
+        g[1].chip_size_mm2.to_string(),
+        g[2].chip_size_mm2.to_string(),
+        g[3].chip_size_mm2.to_string(),
+    ]);
+    format!("Table 1: key characteristics of recent NVIDIA GPUs\n\n{}", t.render())
+}
+
+/// Table 2: bandwidth and energy parameters per integration domain.
+pub fn table2() -> String {
+    let mut t = TextTable::new(vec!["", "Chip", "Package", "Board", "System"]);
+    let bw = |tier: Tier| -> String {
+        let gbps = tier.bandwidth_gbps();
+        if gbps >= 1000.0 {
+            format!("{:.1} TB/s", gbps / 1000.0)
+        } else {
+            format!("{gbps} GB/s")
+        }
+    };
+    t.row(vec![
+        "BW".to_string(),
+        bw(Tier::Chip),
+        bw(Tier::Package),
+        bw(Tier::Board),
+        bw(Tier::System),
+    ]);
+    let e = |tier: Tier| format!("{} pJ/bit", tier.pj_per_bit());
+    t.row(vec![
+        "Energy".to_string(),
+        e(Tier::Chip),
+        e(Tier::Package),
+        e(Tier::Board),
+        e(Tier::System),
+    ]);
+    t.row(vec![
+        "Overhead".to_string(),
+        Tier::Chip.overhead().to_string(),
+        Tier::Package.overhead().to_string(),
+        Tier::Board.overhead().to_string(),
+        Tier::System.overhead().to_string(),
+    ]);
+    format!(
+        "Table 2: approximate bandwidth and energy parameters for \
+         different integration domains\n\n{}",
+        t.render()
+    )
+}
+
+/// Table 3: the baseline MCM-GPU configuration.
+pub fn table3() -> String {
+    let cfg = SystemConfig::baseline_mcm();
+    let mut t = TextTable::new(vec!["parameter", "value"]);
+    t.row(vec!["Number of GPMs".to_string(), cfg.topology.modules.to_string()]);
+    t.row(vec![
+        "Total number of SMs".to_string(),
+        cfg.topology.total_sms().to_string(),
+    ]);
+    t.row(vec!["GPU frequency".to_string(), "1 GHz".to_string()]);
+    t.row(vec![
+        "Max warps per SM".to_string(),
+        cfg.sm.max_warps.to_string(),
+    ]);
+    t.row(vec![
+        "L1 data cache".to_string(),
+        format!("{} KB per SM, 128B lines", cfg.caches.l1_bytes_per_sm >> 10),
+    ]);
+    t.row(vec![
+        "Total L2 cache".to_string(),
+        format!("{} MB, 128B lines, 16 ways", cfg.caches.l2_bytes_total >> 20),
+    ]);
+    t.row(vec![
+        "Inter-GPM interconnect".to_string(),
+        format!(
+            "{:.0} GB/s per link, ring, {} cycles/hop",
+            cfg.topology.link_gbps, cfg.topology.hop_cycles
+        ),
+    ]);
+    t.row(vec![
+        "Total DRAM bandwidth".to_string(),
+        format!("{:.0} GB/s", cfg.dram_total_gbps),
+    ]);
+    t.row(vec![
+        "DRAM latency".to_string(),
+        format!("{} ns", cfg.dram_latency_ns),
+    ]);
+    format!("Table 3: baseline MCM-GPU configuration\n\n{}", t.render())
+}
+
+/// Table 4: the memory-intensive workloads and their footprints.
+pub fn table4() -> String {
+    let mut t = TextTable::new(vec!["benchmark", "abbr.", "memory footprint (MB)"]);
+    let long_names = [
+        ("AMG", "Algebraic multigrid solver"),
+        ("NN-Conv", "Neural network convolution"),
+        ("BFS", "Breadth-first search"),
+        ("CFD", "CFD Euler3D"),
+        ("CoMD", "Classic molecular dynamics"),
+        ("Kmeans", "K-means clustering"),
+        ("Lulesh1", "Lulesh (size 150)"),
+        ("Lulesh2", "Lulesh (size 190)"),
+        ("Lulesh3", "Lulesh unstructured"),
+        ("MiniAMR", "Adaptive mesh refinement"),
+        ("MnCtct", "Mini contact solid mechanics"),
+        ("MST", "Minimum spanning tree"),
+        ("Nekbone1", "Nekbone solver (size 18)"),
+        ("Nekbone2", "Nekbone solver (size 12)"),
+        ("Srad-v2", "SRAD (v2)"),
+        ("SSSP", "Shortest path"),
+        ("Stream", "Stream triad"),
+    ];
+    for (abbr, long) in long_names {
+        let w = suite::by_name(abbr).expect("Table 4 workload");
+        t.row(vec![
+            long.to_string(),
+            abbr.to_string(),
+            (w.footprint_bytes >> 20).to_string(),
+        ]);
+    }
+    format!(
+        "Table 4: the high-parallelism, memory-intensive workloads and \
+         their memory footprints\n\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 2: hypothetical monolithic-GPU performance scaling with SM
+/// count (L2 and DRAM bandwidth scaled along), normalized to 32 SMs.
+pub fn fig02(memo: &mut Memo) -> String {
+    let sm_counts = [32u32, 64, 96, 128, 160, 192, 224, 256, 288];
+    let all = full_suite();
+    let base_cfg = SystemConfig::monolithic(32);
+    let mut t = TextTable::new(vec![
+        "SM count",
+        "linear",
+        "high-parallelism apps",
+        "limited-parallelism apps",
+    ]);
+    for &sms in &sm_counts {
+        let cfg = SystemConfig::monolithic(sms);
+        let mut high = Vec::new();
+        let mut limited = Vec::new();
+        for w in &all {
+            let s = memo.run(&cfg, w).speedup_over(&memo.run(&base_cfg, w));
+            if w.category == Category::LimitedParallelism {
+                limited.push(s);
+            } else {
+                high.push(s);
+            }
+        }
+        t.row(vec![
+            sms.to_string(),
+            f2(f64::from(sms) / 32.0),
+            f2(geomean(&high)),
+            f2(geomean(&limited)),
+        ]);
+    }
+    let high_at_256 = {
+        let cfg = SystemConfig::monolithic(256);
+        let speedups: Vec<f64> = all
+            .iter()
+            .filter(|w| w.category != Category::LimitedParallelism)
+            .map(|w| memo.run(&cfg, w).speedup_over(&memo.run(&base_cfg, w)))
+            .collect();
+        geomean(&speedups)
+    };
+    format!(
+        "Fig. 2: hypothetical GPU performance scaling with SM count \
+         (speedup over 32 SMs; GPUs beyond {MAX_BUILDABLE_SMS} SMs are \
+         unbuildable)\n\n{}\nhigh-parallelism apps at 256 SMs reach \
+         {:.1}% of linear scaling (paper: 87.8%)\n",
+        t.render(),
+        high_at_256 / 8.0 * 100.0
+    )
+}
+
+/// Fig. 4: performance sensitivity to inter-GPM link bandwidth,
+/// relative to an abundant 6 TB/s, by category.
+pub fn fig04(memo: &mut Memo) -> String {
+    let links = [6144.0, 3072.0, 1536.0, 768.0, 384.0];
+    let reference = SystemConfig::mcm_with_link(6144.0);
+    let all = full_suite();
+    let mut t = TextTable::new(vec![
+        "link BW",
+        "M-Intensive",
+        "C-Intensive",
+        "Lim. Parallel",
+    ]);
+    for &gbps in &links {
+        let cfg = SystemConfig::mcm_with_link(gbps);
+        let mut cells = vec![format!("{:.0} GB/s", gbps)];
+        for cat in Category::ALL {
+            let s = geomean_speedup(memo, &all, &cfg, &reference, Some(cat));
+            cells.push(f2(s));
+        }
+        t.row(cells);
+    }
+    format!(
+        "Fig. 4: relative performance vs inter-GPM link bandwidth \
+         (1.00 = 6 TB/s links; 4-GPM, 256-SM MCM-GPU)\n\n{}",
+        t.render()
+    )
+}
+
+/// The six Fig. 6 cache design points.
+fn fig06_configs() -> Vec<SystemConfig> {
+    vec![
+        SystemConfig::mcm_with_l15(8, AllocFilter::All),
+        SystemConfig::mcm_with_l15(8, AllocFilter::RemoteOnly),
+        SystemConfig::mcm_with_l15(16, AllocFilter::All),
+        SystemConfig::mcm_with_l15(16, AllocFilter::RemoteOnly),
+        SystemConfig::mcm_with_l15_32mb(AllocFilter::All),
+        SystemConfig::mcm_with_l15_32mb(AllocFilter::RemoteOnly),
+    ]
+}
+
+/// Fig. 6: L1.5 capacity and allocation-policy design space, speedup
+/// over the baseline MCM-GPU. M-intensive workloads are listed in the
+/// paper's bandwidth-sensitivity order.
+pub fn fig06(memo: &mut Memo) -> String {
+    let baseline = SystemConfig::baseline_mcm();
+    let configs = fig06_configs();
+    let mut t = TextTable::new(vec![
+        "workload", "8MB", "8MB RO", "16MB", "16MB RO", "32MB", "32MB RO",
+    ]);
+    for w in m_intensive() {
+        let base = memo.run(&baseline, &w);
+        let mut cells = vec![w.name.to_string()];
+        for cfg in &configs {
+            cells.push(f2(memo.run(cfg, &w).speedup_over(&base)));
+        }
+        t.row(cells);
+    }
+    let all = full_suite();
+    for cat in Category::ALL {
+        let mut cells = vec![format!("GeoMean {}", cat.label())];
+        for cfg in &configs {
+            cells.push(f2(geomean_speedup(memo, &all, cfg, &baseline, Some(cat))));
+        }
+        t.row(cells);
+    }
+    format!(
+        "Fig. 6: MCM-GPU performance with L1.5 caches (speedup over \
+         baseline; iso-transistor except 32MB; RO = remote-only \
+         allocation)\n\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 7: total inter-GPM bandwidth, baseline vs 16 MB remote-only
+/// L1.5.
+pub fn fig07(memo: &mut Memo) -> String {
+    let baseline = SystemConfig::baseline_mcm();
+    let l15 = SystemConfig::mcm_with_l15(16, AllocFilter::RemoteOnly);
+    bandwidth_figure(
+        memo,
+        "Fig. 7: total inter-GPM bandwidth (TB/s), baseline vs 16 MB \
+         remote-only L1.5",
+        vec![("baseline", baseline), ("16MB RO L1.5", l15)],
+    )
+}
+
+/// Fig. 9: performance with the distributed CTA scheduler on top of the
+/// 16 MB remote-only L1.5.
+pub fn fig09(memo: &mut Memo) -> String {
+    let baseline = SystemConfig::baseline_mcm();
+    let cfg = SystemConfig::mcm_l15_ds();
+    let mut t = TextTable::new(vec!["workload", "speedup"]);
+    for w in m_intensive() {
+        let s = memo.run(&cfg, &w).speedup_over(&memo.run(&baseline, &w));
+        t.row(vec![w.name.to_string(), f2(s)]);
+    }
+    let all = full_suite();
+    for cat in Category::ALL {
+        t.row(vec![
+            format!("GeoMean {}", cat.label()),
+            f2(geomean_speedup(memo, &all, &cfg, &baseline, Some(cat))),
+        ]);
+    }
+    format!(
+        "Fig. 9: performance with distributed CTA scheduling + 16 MB \
+         remote-only L1.5 (speedup over baseline MCM-GPU)\n\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 10: inter-GPM bandwidth with the distributed scheduler.
+pub fn fig10(memo: &mut Memo) -> String {
+    bandwidth_figure(
+        memo,
+        "Fig. 10: total inter-GPM bandwidth (TB/s) with distributed \
+         scheduling",
+        vec![
+            ("baseline", SystemConfig::baseline_mcm()),
+            ("16MB RO L1.5 + DS", SystemConfig::mcm_l15_ds()),
+        ],
+    )
+}
+
+/// Fig. 13: performance with first-touch page placement on top of DS
+/// and the L1.5 — the 16 MB vs 8 MB (rebalanced) variants.
+pub fn fig13(memo: &mut Memo) -> String {
+    let baseline = SystemConfig::baseline_mcm();
+    let ft16 = SystemConfig::optimized_mcm_16mb_l15();
+    let ft8 = SystemConfig::optimized_mcm();
+    let mut t = TextTable::new(vec!["workload", "16MB L1.5+DS+FT", "8MB L1.5+DS+FT"]);
+    for w in m_intensive() {
+        let base = memo.run(&baseline, &w);
+        t.row(vec![
+            w.name.to_string(),
+            f2(memo.run(&ft16, &w).speedup_over(&base)),
+            f2(memo.run(&ft8, &w).speedup_over(&base)),
+        ]);
+    }
+    let all = full_suite();
+    for cat in Category::ALL {
+        t.row(vec![
+            format!("GeoMean {}", cat.label()),
+            f2(geomean_speedup(memo, &all, &ft16, &baseline, Some(cat))),
+            f2(geomean_speedup(memo, &all, &ft8, &baseline, Some(cat))),
+        ]);
+    }
+    format!(
+        "Fig. 13: performance with first-touch page placement (speedup \
+         over baseline; 16 MB L1.5 leaves a vestigial L2, 8 MB keeps an \
+         8 MB L2)\n\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 14: inter-GPM bandwidth with first-touch page placement.
+pub fn fig14(memo: &mut Memo) -> String {
+    bandwidth_figure(
+        memo,
+        "Fig. 14: total inter-GPM bandwidth (TB/s) with first-touch \
+         page placement",
+        vec![
+            ("baseline", SystemConfig::baseline_mcm()),
+            ("16MB L1.5+DS+FT", SystemConfig::optimized_mcm_16mb_l15()),
+            ("8MB L1.5+DS+FT", SystemConfig::optimized_mcm()),
+        ],
+    )
+}
+
+/// Shared shape of Figs. 7/10/14: per-workload inter-GPM TB/s under a
+/// set of configurations, with category averages.
+fn bandwidth_figure(
+    memo: &mut Memo,
+    title: &str,
+    configs: Vec<(&'static str, SystemConfig)>,
+) -> String {
+    let mut header = vec!["workload".to_string()];
+    header.extend(configs.iter().map(|(label, _)| label.to_string()));
+    let mut t = TextTable::new(header);
+    for w in m_intensive() {
+        let mut cells = vec![w.name.to_string()];
+        for (_, cfg) in &configs {
+            cells.push(f2(memo.run(cfg, &w).inter_module_tbps()));
+        }
+        t.row(cells);
+    }
+    let all = full_suite();
+    for cat in Category::ALL {
+        let mut cells = vec![format!("Average {}", cat.label())];
+        for (_, cfg) in &configs {
+            let reports: Vec<RunReport> = all
+                .iter()
+                .filter(|w| w.category == cat)
+                .map(|w| memo.run(cfg, w))
+                .collect();
+            let mean =
+                reports.iter().map(RunReport::inter_module_tbps).sum::<f64>() / reports.len() as f64;
+            cells.push(f2(mean));
+        }
+        t.row(cells);
+    }
+    // Overall byte-level reduction vs the first configuration.
+    let base_bytes: u64 = all
+        .iter()
+        .map(|w| memo.run(&configs[0].1, w).inter_module_bytes)
+        .sum();
+    let mut extra = String::new();
+    for (label, cfg) in configs.iter().skip(1) {
+        let bytes: u64 = all.iter().map(|w| memo.run(cfg, w).inter_module_bytes).sum();
+        extra.push_str(&format!(
+            "{label}: {:.2}x total inter-GPM traffic reduction vs baseline\n",
+            base_bytes as f64 / bytes.max(1) as f64
+        ));
+    }
+    format!("{title}\n\n{}\n{extra}", t.render())
+}
+
+/// Fig. 15: s-curve of optimized-MCM speedups over the baseline for all
+/// 48 workloads, sorted ascending.
+pub fn fig15(memo: &mut Memo) -> String {
+    let baseline = SystemConfig::baseline_mcm();
+    let optimized = SystemConfig::optimized_mcm();
+    let mut curve: Vec<(String, f64)> = full_suite()
+        .iter()
+        .map(|w| {
+            let s = memo
+                .run(&optimized, w)
+                .speedup_over(&memo.run(&baseline, w));
+            (w.name.to_string(), s)
+        })
+        .collect();
+    curve.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite speedups"));
+    let max = curve.last().map(|(_, s)| *s).unwrap_or(1.0);
+    let mut t = TextTable::new(vec!["rank", "workload", "speedup", ""]);
+    for (i, (name, s)) in curve.iter().enumerate() {
+        t.row(vec![
+            (i + 1).to_string(),
+            name.clone(),
+            f2(*s),
+            crate::harness::bar(*s, max, 32),
+        ]);
+    }
+    let gains = curve.iter().filter(|(_, s)| *s > 1.01).count();
+    let losses = curve.iter().filter(|(_, s)| *s < 0.99).count();
+    format!(
+        "Fig. 15: s-curve of optimized MCM-GPU speedups over baseline, \
+         all 48 workloads\n\n{}\n{gains} workloads gain, {losses} lose \
+         (paper: 31 gain, 9 lose)\n",
+        t.render()
+    )
+}
+
+/// Fig. 16: each optimization applied alone vs all together, plus the
+/// unbuildable references.
+pub fn fig16(memo: &mut Memo) -> String {
+    use mcm_mem::page::PlacementPolicy;
+    use mcm_sm::SchedulerPolicy;
+
+    let baseline = SystemConfig::baseline_mcm();
+    let l15_alone = SystemConfig::mcm_with_l15(16, AllocFilter::RemoteOnly);
+    let mut ds_alone = SystemConfig::baseline_mcm();
+    ds_alone.name = "MCM-GPU + DS only".into();
+    ds_alone.scheduler = SchedulerPolicy::Distributed;
+    let mut ft_alone = SystemConfig::baseline_mcm();
+    ft_alone.name = "MCM-GPU + FT only".into();
+    ft_alone.placement = PlacementPolicy::FirstTouch;
+    let combined = SystemConfig::optimized_mcm();
+    let six_tb = SystemConfig::mcm_with_link(6144.0);
+    let mono = SystemConfig::hypothetical_monolithic_256();
+
+    let all = full_suite();
+    let mut t = TextTable::new(vec!["configuration", "speedup over baseline"]);
+    for (label, cfg) in [
+        ("Remote-only L1.5 alone (16MB)", &l15_alone),
+        ("Distributed scheduling alone", &ds_alone),
+        ("First-touch placement alone", &ft_alone),
+        ("Proposed MCM-GPU (all three)", &combined),
+        ("MCM-GPU with 6 TB/s links", &six_tb),
+        ("Monolithic 256-SM (unbuildable)", &mono),
+    ] {
+        t.row(vec![
+            label.to_string(),
+            pct(geomean_speedup(memo, &all, cfg, &baseline, None)),
+        ]);
+    }
+    let opt = geomean_speedup(memo, &all, &combined, &baseline, None);
+    let mono_s = geomean_speedup(memo, &all, &mono, &baseline, None);
+    let mono128 = geomean_speedup(
+        memo,
+        &all,
+        &SystemConfig::largest_buildable_monolithic(),
+        &baseline,
+        None,
+    );
+    format!(
+        "Fig. 16: sources of improvement, applied alone and together \
+         (geomean over all 48 workloads)\n\n{}\n\
+         optimized vs largest buildable (128-SM) monolithic: {}\n\
+         optimized vs unbuildable 256-SM monolithic: within {:.1}%\n",
+        t.render(),
+        pct(opt / mono128),
+        (mono_s / opt - 1.0) * 100.0
+    )
+}
+
+/// Fig. 17: the MCM-GPU vs multi-GPU comparison, normalized to the
+/// baseline multi-GPU.
+pub fn fig17(memo: &mut Memo) -> String {
+    let mgpu_base = SystemConfig::multi_gpu_baseline();
+    let mgpu_opt = SystemConfig::multi_gpu_optimized();
+    let mcm = SystemConfig::optimized_mcm();
+    let mut mcm_6tb = SystemConfig::optimized_mcm();
+    mcm_6tb.name = "MCM-GPU optimized (6 TB/s links)".into();
+    mcm_6tb.topology.link_gbps = 6144.0;
+    let mono = SystemConfig::hypothetical_monolithic_256();
+
+    let all = full_suite();
+    let mut t = TextTable::new(vec!["configuration", "speedup over baseline multi-GPU"]);
+    for (label, cfg) in [
+        ("Optimized multi-GPU", &mgpu_opt),
+        ("MCM-GPU (768 GB/s)", &mcm),
+        ("MCM-GPU (6 TB/s)", &mcm_6tb),
+        ("Monolithic GPU (unbuildable)", &mono),
+    ] {
+        t.row(vec![
+            label.to_string(),
+            f2(geomean_speedup(memo, &all, cfg, &mgpu_base, None)),
+        ]);
+    }
+    format!(
+        "Fig. 17: MCM-GPU vs multi-GPU (geomean speedup over the \
+         baseline 2x128-SM multi-GPU; both buildable and unbuildable \
+         machines shown)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_tables_render() {
+        for text in [table1(), table2(), table3(), table4()] {
+            assert!(text.lines().count() > 5, "table too short:\n{text}");
+        }
+        assert!(table1().contains("Pascal"));
+        assert!(table2().contains("pJ/bit"));
+        assert!(table3().contains("768"));
+        assert!(table4().contains("5430"));
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow without optimizations; run with --release"
+    )]
+    fn fig04_runs_at_tiny_scale() {
+        let mut memo = Memo::new(0.01);
+        let text = fig04(&mut memo);
+        assert!(text.contains("384 GB/s"));
+        assert!(text.lines().count() >= 7);
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow without optimizations; run with --release"
+    )]
+    fn fig16_runs_at_tiny_scale() {
+        let mut memo = Memo::new(0.01);
+        let text = fig16(&mut memo);
+        assert!(text.contains("Proposed MCM-GPU"));
+        assert!(text.contains("Monolithic"));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Extensions beyond the paper's exhibits: the ablations DESIGN.md calls
+// out (the §5.4 future-work schedulers, the §3.2 topology question) and
+// the §6.2 efficiency argument quantified.
+// ---------------------------------------------------------------------
+
+/// Ablation: CTA scheduling granularity on the optimized MCM-GPU —
+/// equal chunks (§5.2) vs finer contiguous groups vs the dynamic
+/// stealing scheduler the paper leaves to future work (§5.4), on both a
+/// balanced and a deliberately imbalanced workload.
+pub fn ablation_scheduler(memo: &mut Memo) -> String {
+    let baseline = SystemConfig::baseline_mcm();
+    let configs = [
+        ("distributed (paper)", SystemConfig::optimized_mcm()),
+        ("chunked, group 8", SystemConfig::optimized_mcm_chunked(8)),
+        ("chunked, group 32", SystemConfig::optimized_mcm_chunked(32)),
+        ("dynamic, group 8", SystemConfig::optimized_mcm_dynamic(8)),
+        ("dynamic, group 32", SystemConfig::optimized_mcm_dynamic(32)),
+    ];
+    let mut workloads = vec![
+        suite::by_name("Srad-v2").expect("suite workload"),
+        suite::by_name("CoMD").expect("suite workload"),
+    ];
+    // The imbalance case §5.4 observes: "workloads ... where different
+    // CTAs perform unequal amounts of work ... leads to workload
+    // imbalance due to the coarse-grained distributed scheduling."
+    let mut imbalanced = suite::by_name("Lulesh1").expect("suite workload");
+    imbalanced.name = "Lulesh1-imbalanced";
+    imbalanced.imbalance = 0.8;
+    workloads.push(imbalanced);
+
+    let mut header = vec!["workload".to_string()];
+    header.extend(configs.iter().map(|(l, _)| l.to_string()));
+    let mut t = TextTable::new(header);
+    for w in &workloads {
+        let base = memo.run(&baseline, w);
+        let mut cells = vec![w.name.to_string()];
+        for (_, cfg) in &configs {
+            cells.push(f2(memo.run(cfg, w).speedup_over(&base)));
+        }
+        t.row(cells);
+    }
+    format!(
+        "Ablation: CTA scheduler granularity and dynamic stealing \
+         (speedup over baseline MCM-GPU; extension of §5.4's future \
+         work)\n\n{}",
+        t.render()
+    )
+}
+
+/// Ablation: inter-GPM network topology at an equal wiring budget —
+/// the paper's ring vs a fully connected fabric (§3.2 leaves this
+/// exploration out of scope).
+pub fn ablation_topology(memo: &mut Memo) -> String {
+    let baseline = SystemConfig::baseline_mcm();
+    let ring = SystemConfig::optimized_mcm();
+    let mesh = SystemConfig::optimized_mcm_fully_connected();
+    let mut baseline_mesh = SystemConfig::baseline_mcm();
+    baseline_mesh.name = "MCM-GPU baseline (fully connected)".into();
+    baseline_mesh.topology.network = mcm_interconnect::mesh::NetworkKind::FullyConnected;
+
+    let all = full_suite();
+    let mut t = TextTable::new(vec![
+        "configuration",
+        "M-Intensive",
+        "C-Intensive",
+        "Lim. Parallel",
+        "ALL",
+    ]);
+    for (label, cfg) in [
+        ("baseline ring", &baseline),
+        ("baseline fully connected", &baseline_mesh),
+        ("optimized ring", &ring),
+        ("optimized fully connected", &mesh),
+    ] {
+        let mut cells = vec![label.to_string()];
+        for cat in Category::ALL {
+            cells.push(f2(geomean_speedup(memo, &all, cfg, &baseline, Some(cat))));
+        }
+        cells.push(f2(geomean_speedup(memo, &all, cfg, &baseline, None)));
+        t.row(cells);
+    }
+    format!(
+        "Ablation: ring vs fully connected inter-GPM fabric at an equal \
+         package wiring budget (speedup over the ring baseline; \
+         extension of §3.2)\n\n{}",
+        t.render()
+    )
+}
+
+/// The §6.2 efficiency argument quantified: data-movement energy per
+/// machine organization for the same work.
+pub fn efficiency(memo: &mut Memo) -> String {
+    let configs = [
+        ("MCM-GPU baseline", SystemConfig::baseline_mcm()),
+        ("MCM-GPU optimized", SystemConfig::optimized_mcm()),
+        ("Multi-GPU baseline", SystemConfig::multi_gpu_baseline()),
+        ("Multi-GPU optimized", SystemConfig::multi_gpu_optimized()),
+        ("Monolithic 256 (unbuildable)", SystemConfig::hypothetical_monolithic_256()),
+    ];
+    let all = full_suite();
+    let mut t = TextTable::new(vec![
+        "configuration",
+        "interconnect mJ",
+        "DRAM mJ",
+        "total mJ",
+        "vs MCM optimized",
+    ]);
+    let mut totals = Vec::new();
+    for (_, cfg) in &configs {
+        let mut interconnect = 0.0;
+        let mut dram = 0.0;
+        for w in &all {
+            let r = memo.run(cfg, w);
+            dram += r.energy.dram_joules();
+            interconnect += r.energy.total_joules() - r.energy.dram_joules();
+        }
+        totals.push((interconnect, dram));
+    }
+    let reference = totals[1].0 + totals[1].1;
+    for ((label, _), (interconnect, dram)) in configs.iter().zip(&totals) {
+        t.row(vec![
+            label.to_string(),
+            format!("{:.1}", interconnect * 1e3),
+            format!("{:.1}", dram * 1e3),
+            format!("{:.1}", (interconnect + dram) * 1e3),
+            format!("{:.2}x", (interconnect + dram) / reference),
+        ]);
+    }
+    format!(
+        "Efficiency (§6.2 quantified): data-movement energy summed over \
+         the 48-workload suite. On-package signaling at 0.5 pJ/bit vs \
+         on-board at 10 pJ/bit is what separates the MCM-GPU from the \
+         multi-GPU here.\n\n{}",
+        t.render()
+    )
+}
+
+/// Ablation: how many GPMs to split 256 SMs into — the design-space
+/// question §3.2 opens ("moving forward beyond 128 SM counts will
+/// almost certainly require at least two GPMs"), on both the baseline
+/// and the optimized recipe, with ring and fully connected fabrics for
+/// the 8-GPM point where topology starts to matter.
+pub fn ablation_gpm_count(memo: &mut Memo) -> String {
+    use mcm_interconnect::mesh::NetworkKind;
+    let reference = SystemConfig::baseline_mcm(); // 4 GPMs
+    let all = full_suite();
+
+    let optimized_of = |gpms: u8, network: NetworkKind| -> SystemConfig {
+        let mut cfg = SystemConfig::optimized_mcm();
+        cfg.name = format!(
+            "MCM-GPU optimized ({gpms} GPMs, {})",
+            match network {
+                NetworkKind::Ring => "ring",
+                NetworkKind::FullyConnected => "fully connected",
+            }
+        );
+        cfg.topology.modules = gpms;
+        cfg.topology.sms_per_module = 256 / u32::from(gpms);
+        cfg.topology.network = network;
+        cfg
+    };
+
+    let mut t = TextTable::new(vec![
+        "configuration",
+        "M-Intensive",
+        "C-Intensive",
+        "Lim. Parallel",
+        "ALL",
+    ]);
+    let mut rows: Vec<(String, SystemConfig)> = Vec::new();
+    for gpms in [2u8, 4, 8] {
+        rows.push((format!("baseline {gpms} GPMs"), SystemConfig::mcm_n_gpms(gpms)));
+    }
+    for gpms in [2u8, 4, 8] {
+        rows.push((
+            format!("optimized {gpms} GPMs (ring)"),
+            optimized_of(gpms, NetworkKind::Ring),
+        ));
+    }
+    rows.push((
+        "optimized 8 GPMs (fully connected)".to_string(),
+        optimized_of(8, NetworkKind::FullyConnected),
+    ));
+    for (label, cfg) in rows {
+        let mut cells = vec![label];
+        for cat in Category::ALL {
+            cells.push(f2(geomean_speedup(memo, &all, &cfg, &reference, Some(cat))));
+        }
+        cells.push(f2(geomean_speedup(memo, &all, &cfg, &reference, None)));
+        t.row(cells);
+    }
+    format!(
+        "Ablation: GPM count for a 256-SM budget (speedup over the \
+         4-GPM baseline; extension of §3.2)\n\n{}",
+        t.render()
+    )
+}
+
+/// Ablation: first-touch placement granularity. Small pages track
+/// fragmented sharing better; big pages amortize driver work but pin
+/// whole regions to one GPM. The paper's FT operates at the driver's
+/// allocation granularity; this sweeps it.
+pub fn ablation_page_size(memo: &mut Memo) -> String {
+    let baseline = SystemConfig::baseline_mcm();
+    let all = full_suite();
+    let mut t = TextTable::new(vec![
+        "FT page size",
+        "M-Intensive",
+        "C-Intensive",
+        "Lim. Parallel",
+        "ALL",
+    ]);
+    for kib in [4u64, 16, 64, 256, 2048] {
+        let mut cfg = SystemConfig::optimized_mcm();
+        cfg.name = format!("MCM-GPU optimized (FT {kib} KiB pages)");
+        cfg.ft_page_bytes = kib * 1024;
+        let mut cells = vec![format!("{kib} KiB")];
+        for cat in Category::ALL {
+            cells.push(f2(geomean_speedup(memo, &all, &cfg, &baseline, Some(cat))));
+        }
+        cells.push(f2(geomean_speedup(memo, &all, &cfg, &baseline, None)));
+        t.row(cells);
+    }
+    format!(
+        "Ablation: first-touch page granularity on the optimized \
+         MCM-GPU (speedup over baseline)\n\n{}",
+        t.render()
+    )
+}
+
+/// Ablation: L1.5 allocation policies including the adaptive
+/// (set-dueling) filter — extends §5.1.2's static exploration.
+pub fn ablation_alloc_policy(memo: &mut Memo) -> String {
+    let baseline = SystemConfig::baseline_mcm();
+    let all = full_suite();
+    let mut t = TextTable::new(vec![
+        "L1.5 policy (16MB iso-transistor)",
+        "M-Intensive",
+        "C-Intensive",
+        "Lim. Parallel",
+        "ALL",
+    ]);
+    for (label, filter) in [
+        ("cache-all", AllocFilter::All),
+        ("remote-only (paper)", AllocFilter::RemoteOnly),
+        ("adaptive (set dueling)", AllocFilter::Adaptive),
+    ] {
+        let cfg = SystemConfig::mcm_with_l15(16, filter);
+        let mut cells = vec![label.to_string()];
+        for cat in Category::ALL {
+            cells.push(f2(geomean_speedup(memo, &all, &cfg, &baseline, Some(cat))));
+        }
+        cells.push(f2(geomean_speedup(memo, &all, &cfg, &baseline, None)));
+        t.row(cells);
+    }
+    format!(
+        "Ablation: L1.5 allocation policy, including a set-dueling \
+         adaptive filter (speedup over baseline; extension of \
+         §5.1.2)\n\n{}",
+        t.render()
+    )
+}

@@ -1,0 +1,228 @@
+//! Shared machinery for the figure/table harness binaries: scaled,
+//! memoized simulation runs and plain-text table rendering.
+
+use std::collections::HashMap;
+
+use mcm_engine::stats::geomean;
+use mcm_gpu::{RunReport, Simulator, SystemConfig};
+use mcm_workloads::{Category, WorkloadSpec};
+
+/// The workload scale factor used by the harness: multiplies per-warp
+/// instruction counts. Read from `MCM_SCALE` (default 0.5 — bandwidth
+/// shapes are stable down to ~0.1, but cache-warm-up effects need the
+/// longer streams; use 1.0 for full-length runs).
+pub fn scale() -> f64 {
+    std::env::var("MCM_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5)
+}
+
+/// A memoizing runner: each `(configuration, workload)` pair is
+/// simulated once per process, so figures that share configurations
+/// (e.g. every figure needs the baseline) don't re-run it.
+#[derive(Debug)]
+pub struct Memo {
+    scale: f64,
+    cache: HashMap<(String, String), RunReport>,
+}
+
+impl Memo {
+    /// Creates a runner at the given workload scale.
+    pub fn new(scale: f64) -> Self {
+        Memo {
+            scale,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Creates a runner at the environment-selected scale.
+    pub fn from_env() -> Self {
+        Memo::new(scale())
+    }
+
+    /// The workload scale in force.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Runs `spec` (scaled) on `cfg`, memoized.
+    pub fn run(&mut self, cfg: &SystemConfig, spec: &WorkloadSpec) -> RunReport {
+        let key = (cfg.name.clone(), spec.name.to_string());
+        if let Some(r) = self.cache.get(&key) {
+            return r.clone();
+        }
+        let report = Simulator::run(cfg, &spec.scaled(self.scale));
+        self.cache.insert(key, report.clone());
+        report
+    }
+
+    /// Runs every workload in `suite` on `cfg`.
+    pub fn run_suite(&mut self, cfg: &SystemConfig, suite: &[WorkloadSpec]) -> Vec<RunReport> {
+        suite.iter().map(|w| self.run(cfg, w)).collect()
+    }
+
+    /// All reports produced so far, sorted by (configuration, workload)
+    /// for deterministic output.
+    pub fn reports(&self) -> Vec<&RunReport> {
+        let mut all: Vec<&RunReport> = self.cache.values().collect();
+        all.sort_by(|a, b| (&a.config, &a.workload).cmp(&(&b.config, &b.workload)));
+        all
+    }
+}
+
+/// Geometric-mean speedup of `cfg` over `baseline` for the workloads of
+/// one `category` within `suite` (or all categories when `None`).
+pub fn geomean_speedup(
+    memo: &mut Memo,
+    suite: &[WorkloadSpec],
+    cfg: &SystemConfig,
+    baseline: &SystemConfig,
+    category: Option<Category>,
+) -> f64 {
+    let speedups: Vec<f64> = suite
+        .iter()
+        .filter(|w| category.is_none_or(|c| w.category == c))
+        .map(|w| {
+            let r = memo.run(cfg, w);
+            let b = memo.run(baseline, w);
+            r.speedup_over(&b)
+        })
+        .collect();
+    geomean(&speedups)
+}
+
+/// A plain-text table with right-aligned numeric columns, rendered the
+/// way the paper's figure data would appear in a results log.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders with aligned columns: first column left-aligned, the
+    /// rest right-aligned.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for row in std::iter::once(&self.header).chain(self.rows.iter()) {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |row: &[String]| -> String {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate() {
+                if i == 0 {
+                    line.push_str(&format!("{:<width$}", cell, width = widths[0]));
+                } else {
+                    line.push_str(&format!("  {:>width$}", cell, width = widths[i]));
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out
+    }
+}
+
+/// Formats a ratio as the percentage-speedup notation the paper uses
+/// ("+22.8%" / "-4.7%").
+pub fn pct(speedup: f64) -> String {
+    format!("{:+.1}%", (speedup - 1.0) * 100.0)
+}
+
+/// Formats a value with two decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Renders `value` as a proportional bar of at most `width` cells
+/// against `max` (the poor terminal's bar chart).
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || value <= 0.0 || width == 0 {
+        return String::new();
+    }
+    let cells = ((value / max) * width as f64).round() as usize;
+    "#".repeat(cells.clamp(1, width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_workloads::suite;
+
+    #[test]
+    fn memo_caches_runs() {
+        let mut memo = Memo::new(0.01);
+        let cfg = SystemConfig::baseline_mcm();
+        let spec = suite::by_name("CFD").unwrap();
+        let a = memo.run(&cfg, &spec);
+        let b = memo.run(&cfg, &spec);
+        assert_eq!(a, b);
+        assert_eq!(memo.cache.len(), 1);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["a", "1.00"]);
+        t.row(vec!["longer-name", "12.34"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].ends_with("12.34"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn bar_scales_and_clamps() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(100.0, 10.0, 10), "##########");
+        assert_eq!(bar(0.01, 10.0, 10), "#");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+        assert_eq!(bar(-1.0, 10.0, 10), "");
+    }
+
+    #[test]
+    fn pct_formats_like_the_paper() {
+        assert_eq!(pct(1.228), "+22.8%");
+        assert_eq!(pct(0.953), "-4.7%");
+    }
+}

@@ -1,0 +1,16 @@
+//! Benchmark harness for the MCM-GPU reproduction.
+//!
+//! [`figures`] contains one function per table and figure of the
+//! paper's evaluation; [`harness`] provides the memoized runner and
+//! text-table rendering they share. The `src/bin/` binaries are thin
+//! wrappers — `cargo run -p mcm-bench --release --bin fig04_link_sensitivity`
+//! regenerates Fig. 4, and `--bin reproduce` regenerates everything
+//! into `results/`.
+//!
+//! Set `MCM_SCALE` (default 0.5) to trade run length for fidelity;
+//! shapes are stable across scales.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod harness;

@@ -1,0 +1,53 @@
+//! Scratch calibration sweep (internal tool; the real harness is in
+//! `src/bin/`). Prints per-workload speedups across the key
+//! configurations and category geomeans.
+use mcm_engine::stats::geomean;
+use mcm_gpu::{Simulator, SystemConfig};
+use mcm_mem::cache::AllocFilter;
+use mcm_workloads::{suite, Category};
+
+fn main() {
+    let all = suite::suite();
+    let configs = [
+        ("base", SystemConfig::baseline_mcm()),
+        ("L1.5-16RO", SystemConfig::mcm_with_l15(16, AllocFilter::RemoteOnly)),
+        ("+DS", SystemConfig::mcm_l15_ds()),
+        ("opt(8+DS+FT)", SystemConfig::optimized_mcm()),
+        ("6TB/s", SystemConfig::mcm_with_link(6144.0)),
+        ("mono128", SystemConfig::largest_buildable_monolithic()),
+        ("mono256", SystemConfig::hypothetical_monolithic_256()),
+        ("mgpu-base", SystemConfig::multi_gpu_baseline()),
+        ("mgpu-opt", SystemConfig::multi_gpu_optimized()),
+    ];
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+    let mut cats: Vec<Category> = Vec::new();
+    let mut ring_base = 0u64; let mut ring_opt = 0u64;
+    let t0 = std::time::Instant::now();
+    for w in &all {
+        let spec = w.scaled(0.5);
+        let base = Simulator::run(&configs[0].1, &spec);
+        cats.push(w.category);
+        ring_base += base.inter_module_bytes;
+        print!("{:14}", w.name);
+        for (i, (_, cfg)) in configs.iter().enumerate() {
+            let r = if i == 0 { base.clone() } else { Simulator::run(cfg, &spec) };
+            let s = r.speedup_over(&base);
+            if i == 3 { ring_opt += r.inter_module_bytes; }
+            speedups[i].push(s);
+            print!(" {:5.2}", s);
+        }
+        println!("  [{:.0}s]", t0.elapsed().as_secs_f64());
+    }
+    println!("\n{:14} {}", "GEOMEAN", configs.iter().map(|c| format!("{:>9}", c.0)).collect::<String>());
+    for cat in [Category::MemoryIntensive, Category::ComputeIntensive, Category::LimitedParallelism] {
+        print!("{:14}", cat.label());
+        for col in &speedups {
+            let v: Vec<f64> = col.iter().zip(&cats).filter(|(_, c)| **c == cat).map(|(s, _)| *s).collect();
+            print!(" {:8.3}", geomean(&v));
+        }
+        println!();
+    }
+    print!("{:14}", "ALL");
+    for col in &speedups { print!(" {:8.3}", geomean(col)); }
+    println!("\nring reduction base/opt = {:.2}x", ring_base as f64 / ring_opt as f64);
+}

@@ -1,0 +1,207 @@
+//! Experiment helpers: the aggregations the paper's figures report.
+//!
+//! The harness binaries in `mcm-bench` are thin loops over
+//! [`crate::Simulator`]; the aggregation logic they share — per-category
+//! geomeans (Figs. 4, 6, 9, 13), sorted speedup s-curves (Fig. 15),
+//! bandwidth accounting — lives here so it can be unit-tested.
+
+use mcm_engine::stats::geomean;
+use mcm_workloads::{Category, WorkloadSpec};
+
+use crate::report::RunReport;
+use crate::{Simulator, SystemConfig};
+
+/// A workload's result under a configuration and its paired baseline,
+/// from which every figure's speedups derive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Workload category (for category aggregation).
+    pub category: Category,
+    /// Result on the configuration under study.
+    pub report: RunReport,
+    /// Result on the baseline configuration.
+    pub baseline: RunReport,
+}
+
+impl Comparison {
+    /// Speedup of the studied configuration over the baseline.
+    pub fn speedup(&self) -> f64 {
+        self.report.speedup_over(&self.baseline)
+    }
+}
+
+/// Runs every workload in `suite` on both `cfg` and `baseline`.
+///
+/// This is the inner loop of most figures; workloads can be pre-scaled
+/// (see [`WorkloadSpec::scaled`]) to trade fidelity for wall-clock time.
+pub fn compare_suite(
+    suite: &[WorkloadSpec],
+    cfg: &SystemConfig,
+    baseline: &SystemConfig,
+) -> Vec<Comparison> {
+    suite
+        .iter()
+        .map(|spec| Comparison {
+            category: spec.category,
+            report: Simulator::run(cfg, spec),
+            baseline: Simulator::run(baseline, spec),
+        })
+        .collect()
+}
+
+/// Geometric-mean speedup of the comparisons in `category`, or `None`
+/// if the category is empty — the per-category bars of Figs. 6/9/13.
+pub fn category_geomean(comparisons: &[Comparison], category: Category) -> Option<f64> {
+    let speedups: Vec<f64> = comparisons
+        .iter()
+        .filter(|c| c.category == category)
+        .map(Comparison::speedup)
+        .collect();
+    if speedups.is_empty() {
+        None
+    } else {
+        Some(geomean(&speedups))
+    }
+}
+
+/// Geometric-mean speedup across all comparisons.
+///
+/// # Panics
+///
+/// Panics if `comparisons` is empty.
+pub fn overall_geomean(comparisons: &[Comparison]) -> f64 {
+    assert!(!comparisons.is_empty(), "no comparisons to aggregate");
+    let speedups: Vec<f64> = comparisons.iter().map(Comparison::speedup).collect();
+    geomean(&speedups)
+}
+
+/// Speedups sorted ascending — the s-curve of Fig. 15.
+pub fn s_curve(comparisons: &[Comparison]) -> Vec<(String, f64)> {
+    let mut curve: Vec<(String, f64)> = comparisons
+        .iter()
+        .map(|c| (c.report.workload.clone(), c.speedup()))
+        .collect();
+    curve.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("speedups are finite"));
+    curve
+}
+
+/// Mean inter-module bandwidth in TB/s across comparisons' studied
+/// configuration — the bars of Figs. 7/10/14.
+pub fn mean_inter_module_tbps(reports: &[&RunReport]) -> f64 {
+    if reports.is_empty() {
+        return 0.0;
+    }
+    reports.iter().map(|r| r.inter_module_tbps()).sum::<f64>() / reports.len() as f64
+}
+
+/// The factor by which configuration `a` reduces inter-module traffic
+/// relative to `b` (the paper's headline "5× inter-GPM bandwidth
+/// reduction" metric), computed over total bytes.
+pub fn traffic_reduction_factor(baseline: &[&RunReport], optimized: &[&RunReport]) -> f64 {
+    let base: u64 = baseline.iter().map(|r| r.inter_module_bytes).sum();
+    let opt: u64 = optimized.iter().map(|r| r.inter_module_bytes).sum();
+    if opt == 0 {
+        f64::INFINITY
+    } else {
+        base as f64 / opt as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_engine::stats::Ratio;
+    use mcm_engine::Cycle;
+    use mcm_interconnect::energy::EnergyLedger;
+
+    fn fake_report(workload: &str, cycles: u64, ring_bytes: u64) -> RunReport {
+        RunReport {
+            workload: workload.into(),
+            config: "cfg".into(),
+            cycles: Cycle::new(cycles),
+            instructions: 100,
+            mem_ops: 10,
+            reads: 8,
+            writes: 2,
+            local_accesses: 5,
+            remote_accesses: 5,
+            l1: Ratio::new(),
+            l15: Ratio::new(),
+            l2: Ratio::new(),
+            inter_module_bytes: ring_bytes,
+            dram_bytes: 0,
+            energy: EnergyLedger::new(),
+            modules: Vec::new(),
+        }
+    }
+
+    fn fake_cmp(name: &str, category: Category, fast: u64, slow: u64) -> Comparison {
+        Comparison {
+            category,
+            report: fake_report(name, fast, 100),
+            baseline: fake_report(name, slow, 500),
+        }
+    }
+
+    #[test]
+    fn category_geomean_filters() {
+        let cmps = vec![
+            fake_cmp("a", Category::MemoryIntensive, 100, 200), // 2.0
+            fake_cmp("b", Category::MemoryIntensive, 100, 800), // 8.0
+            fake_cmp("c", Category::ComputeIntensive, 100, 100), // 1.0
+        ];
+        let m = category_geomean(&cmps, Category::MemoryIntensive).unwrap();
+        assert!((m - 4.0).abs() < 1e-12);
+        let c = category_geomean(&cmps, Category::ComputeIntensive).unwrap();
+        assert!((c - 1.0).abs() < 1e-12);
+        assert!(category_geomean(&cmps, Category::LimitedParallelism).is_none());
+    }
+
+    #[test]
+    fn s_curve_is_sorted() {
+        let cmps = vec![
+            fake_cmp("fast", Category::MemoryIntensive, 100, 300),
+            fake_cmp("slow", Category::MemoryIntensive, 100, 50),
+            fake_cmp("mid", Category::MemoryIntensive, 100, 150),
+        ];
+        let curve = s_curve(&cmps);
+        assert_eq!(curve[0].0, "slow");
+        assert_eq!(curve[2].0, "fast");
+        assert!(curve.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn traffic_reduction() {
+        let base = [fake_report("a", 1, 1000), fake_report("b", 1, 1000)];
+        let opt = [fake_report("a", 1, 300), fake_report("b", 1, 100)];
+        let base_refs: Vec<&RunReport> = base.iter().collect();
+        let opt_refs: Vec<&RunReport> = opt.iter().collect();
+        assert!((traffic_reduction_factor(&base_refs, &opt_refs) - 5.0).abs() < 1e-12);
+        let zero: Vec<&RunReport> = Vec::new();
+        let _ = zero; // silences unused in non-infinity case
+    }
+
+    #[test]
+    fn traffic_reduction_handles_zero_optimized() {
+        let base = [fake_report("a", 1, 1000)];
+        let opt = [fake_report("a", 1, 0)];
+        let b: Vec<&RunReport> = base.iter().collect();
+        let o: Vec<&RunReport> = opt.iter().collect();
+        assert!(traffic_reduction_factor(&b, &o).is_infinite());
+    }
+
+    #[test]
+    fn mean_bandwidth() {
+        let a = fake_report("a", 1000, 2_000_000); // 2 TB/s
+        let b = fake_report("b", 1000, 4_000_000); // 4 TB/s
+        let refs: Vec<&RunReport> = vec![&a, &b];
+        assert!((mean_inter_module_tbps(&refs) - 3.0).abs() < 1e-12);
+        assert_eq!(mean_inter_module_tbps(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no comparisons")]
+    fn overall_geomean_empty_panics() {
+        overall_geomean(&[]);
+    }
+}

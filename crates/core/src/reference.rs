@@ -1,0 +1,101 @@
+//! Reference data reproduced from the paper's tables.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of paper Table 1: key characteristics of recent NVIDIA GPU
+/// generations, the scaling-trend motivation of §2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuGeneration {
+    /// Architecture name.
+    pub name: &'static str,
+    /// Streaming multiprocessor count.
+    pub sms: u32,
+    /// Memory bandwidth in GB/s.
+    pub bandwidth_gbps: u32,
+    /// L2 capacity in KB.
+    pub l2_kb: u32,
+    /// Transistor count in billions.
+    pub transistors_b: f64,
+    /// Process node in nanometres.
+    pub tech_node_nm: u32,
+    /// Die size in mm².
+    pub chip_size_mm2: u32,
+}
+
+/// Paper Table 1, verbatim.
+pub const GPU_GENERATIONS: [GpuGeneration; 4] = [
+    GpuGeneration {
+        name: "Fermi",
+        sms: 16,
+        bandwidth_gbps: 177,
+        l2_kb: 768,
+        transistors_b: 3.0,
+        tech_node_nm: 40,
+        chip_size_mm2: 529,
+    },
+    GpuGeneration {
+        name: "Kepler",
+        sms: 15,
+        bandwidth_gbps: 288,
+        l2_kb: 1536,
+        transistors_b: 7.1,
+        tech_node_nm: 28,
+        chip_size_mm2: 551,
+    },
+    GpuGeneration {
+        name: "Maxwell",
+        sms: 24,
+        bandwidth_gbps: 288,
+        l2_kb: 3072,
+        transistors_b: 8.0,
+        tech_node_nm: 28,
+        chip_size_mm2: 601,
+    },
+    GpuGeneration {
+        name: "Pascal",
+        sms: 56,
+        bandwidth_gbps: 720,
+        l2_kb: 4096,
+        transistors_b: 15.3,
+        tech_node_nm: 16,
+        chip_size_mm2: 610,
+    },
+];
+
+/// The paper's assumed manufacturability limit: GPUs with more than 128
+/// SMs "are not manufacturable on a monolithic die" (§2.1).
+pub const MAX_BUILDABLE_SMS: u32 = 128;
+
+/// The reticle-limited maximum die size in mm² (§1, §2.1).
+pub const MAX_DIE_SIZE_MM2: u32 = 800;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_match_paper() {
+        assert_eq!(GPU_GENERATIONS.len(), 4);
+        let pascal = GPU_GENERATIONS[3];
+        assert_eq!(pascal.name, "Pascal");
+        assert_eq!(pascal.sms, 56);
+        assert_eq!(pascal.bandwidth_gbps, 720);
+        assert_eq!(pascal.l2_kb, 4096);
+        assert_eq!(pascal.transistors_b, 15.3);
+        assert_eq!(pascal.tech_node_nm, 16);
+        assert_eq!(pascal.chip_size_mm2, 610);
+    }
+
+    #[test]
+    fn transistor_counts_grow_monotonically() {
+        for w in GPU_GENERATIONS.windows(2) {
+            assert!(w[1].transistors_b > w[0].transistors_b);
+        }
+    }
+
+    #[test]
+    fn limits_match_paper() {
+        assert_eq!(MAX_BUILDABLE_SMS, 128);
+        assert_eq!(MAX_DIE_SIZE_MM2, 800);
+    }
+}

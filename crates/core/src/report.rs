@@ -1,0 +1,256 @@
+//! Run reports: everything a single simulation measures.
+
+use std::fmt;
+
+use mcm_engine::stats::Ratio;
+use mcm_engine::Cycle;
+use mcm_interconnect::energy::EnergyLedger;
+use serde::{Deserialize, Serialize};
+
+/// Per-module (GPM/GPU) measurements within a run — the view that
+/// exposes load imbalance (§5.4) and NUMA asymmetries.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModuleStats {
+    /// Warp instructions issued by this module's SMs.
+    pub instructions: u64,
+    /// Bytes moved in or out of this module's DRAM partition.
+    pub dram_bytes: u64,
+    /// This module's L2 slice hit ratio.
+    pub l2: Ratio,
+    /// This module's L1.5 hit ratio (empty when disabled).
+    pub l15: Ratio,
+}
+
+/// The measurements of one workload run on one system configuration.
+///
+/// Reports are plain data (cheap to clone, serializable) so experiment
+/// harnesses can collect thousands of them and aggregate freely.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Workload name.
+    pub workload: String,
+    /// Configuration name.
+    pub config: String,
+    /// End-to-end execution time (all kernel launches).
+    pub cycles: Cycle,
+    /// Total warp instructions executed.
+    pub instructions: u64,
+    /// Memory operations issued.
+    pub mem_ops: u64,
+    /// Loads issued.
+    pub reads: u64,
+    /// Stores issued.
+    pub writes: u64,
+    /// Accesses whose home partition was the requester's own module.
+    pub local_accesses: u64,
+    /// Accesses homed on a remote module.
+    pub remote_accesses: u64,
+    /// L1 hit ratio across all SMs.
+    pub l1: Ratio,
+    /// L1.5 hit ratio across all modules (empty when disabled).
+    pub l15: Ratio,
+    /// L2 hit ratio across all partitions.
+    pub l2: Ratio,
+    /// Bytes that crossed inter-module ring segments (counted once per
+    /// segment, as link hardware would).
+    pub inter_module_bytes: u64,
+    /// Bytes moved in or out of DRAM arrays.
+    pub dram_bytes: u64,
+    /// Data-movement energy ledger.
+    pub energy: EnergyLedger,
+    /// Per-module breakdown.
+    pub modules: Vec<ModuleStats>,
+}
+
+impl RunReport {
+    /// Instructions per cycle over the whole run.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == Cycle::ZERO {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles.as_u64() as f64
+        }
+    }
+
+    /// Average inter-module bandwidth over the run, in TB/s — the
+    /// quantity Figs. 7, 10 and 14 plot.
+    pub fn inter_module_tbps(&self) -> f64 {
+        if self.cycles == Cycle::ZERO {
+            0.0
+        } else {
+            // bytes/cycle = GB/s at 1 GHz; / 1000 → TB/s.
+            self.inter_module_bytes as f64 / self.cycles.as_u64() as f64 / 1000.0
+        }
+    }
+
+    /// Average DRAM bandwidth over the run, in TB/s.
+    pub fn dram_tbps(&self) -> f64 {
+        if self.cycles == Cycle::ZERO {
+            0.0
+        } else {
+            self.dram_bytes as f64 / self.cycles.as_u64() as f64 / 1000.0
+        }
+    }
+
+    /// Fraction of accesses homed on the requester's own module.
+    pub fn locality_rate(&self) -> f64 {
+        let total = self.local_accesses + self.remote_accesses;
+        if total == 0 {
+            0.0
+        } else {
+            self.local_accesses as f64 / total as f64
+        }
+    }
+
+    /// Work-imbalance factor across modules: the busiest module's
+    /// instruction count over the mean (1.0 = perfectly balanced). The
+    /// coarse distributed scheduler's weakness (§5.4) shows up here.
+    pub fn module_imbalance(&self) -> f64 {
+        if self.modules.is_empty() {
+            return 1.0;
+        }
+        let total: u64 = self.modules.iter().map(|m| m.instructions).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.modules.len() as f64;
+        let max = self.modules.iter().map(|m| m.instructions).max().unwrap_or(0);
+        max as f64 / mean
+    }
+
+    /// The header row for [`RunReport::to_csv_row`].
+    pub fn csv_header() -> &'static str {
+        "workload,config,cycles,instructions,mem_ops,reads,writes,\
+         local_accesses,remote_accesses,l1_rate,l15_rate,l2_rate,\
+         inter_module_bytes,dram_bytes,ipc,inter_module_tbps,\
+         locality_rate,total_joules"
+    }
+
+    /// This report as one CSV row matching [`RunReport::csv_header`]
+    /// (workload and configuration names are quoted).
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "\"{}\",\"{}\",{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{},{},{:.4},{:.4},{:.6},{:.9}",
+            self.workload,
+            self.config,
+            self.cycles.as_u64(),
+            self.instructions,
+            self.mem_ops,
+            self.reads,
+            self.writes,
+            self.local_accesses,
+            self.remote_accesses,
+            self.l1.rate(),
+            self.l15.rate(),
+            self.l2.rate(),
+            self.inter_module_bytes,
+            self.dram_bytes,
+            self.ipc(),
+            self.inter_module_tbps(),
+            self.locality_rate(),
+            self.energy.total_joules(),
+        )
+    }
+
+    /// Speedup of this run relative to `baseline` (same workload on
+    /// another configuration): `baseline.cycles / self.cycles`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two reports are for different workloads — comparing
+    /// them would be meaningless.
+    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
+        assert_eq!(
+            self.workload, baseline.workload,
+            "speedup comparisons must use the same workload"
+        );
+        baseline.cycles.as_u64() as f64 / self.cycles.as_u64().max(1) as f64
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {}: {} cycles, IPC {:.1}, L1 {:.0}% L1.5 {:.0}% L2 {:.0}%, \
+             local {:.0}%, inter-module {:.2} TB/s, DRAM {:.2} TB/s",
+            self.workload,
+            self.config,
+            self.cycles,
+            self.ipc(),
+            self.l1.rate() * 100.0,
+            self.l15.rate() * 100.0,
+            self.l2.rate() * 100.0,
+            self.locality_rate() * 100.0,
+            self.inter_module_tbps(),
+            self.dram_tbps(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64) -> RunReport {
+        RunReport {
+            workload: "w".into(),
+            config: "c".into(),
+            cycles: Cycle::new(cycles),
+            instructions: 1000,
+            mem_ops: 300,
+            reads: 200,
+            writes: 100,
+            local_accesses: 75,
+            remote_accesses: 225,
+            l1: Ratio::new(),
+            l15: Ratio::new(),
+            l2: Ratio::new(),
+            inter_module_bytes: 2_000_000,
+            dram_bytes: 1_000_000,
+            energy: EnergyLedger::new(),
+            modules: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = report(1000);
+        assert!((r.ipc() - 1.0).abs() < 1e-12);
+        assert!((r.inter_module_tbps() - 2.0).abs() < 1e-12);
+        assert!((r.dram_tbps() - 1.0).abs() < 1e-12);
+        assert!((r.locality_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_is_not_a_division_crash() {
+        let r = report(0);
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.inter_module_tbps(), 0.0);
+        assert_eq!(r.dram_tbps(), 0.0);
+    }
+
+    #[test]
+    fn speedup_is_relative_cycles() {
+        let fast = report(500);
+        let slow = report(1000);
+        assert!((fast.speedup_over(&slow) - 2.0).abs() < 1e-12);
+        assert!((slow.speedup_over(&fast) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same workload")]
+    fn cross_workload_speedup_panics() {
+        let a = report(100);
+        let mut b = report(100);
+        b.workload = "other".into();
+        let _ = a.speedup_over(&b);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = report(1000).to_string();
+        assert!(s.contains("IPC"));
+        assert!(s.contains("TB/s"));
+    }
+}

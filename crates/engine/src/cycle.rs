@@ -1,0 +1,222 @@
+//! The simulation clock.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, measured in GPU core clock cycles.
+///
+/// The modelled GPU runs at 1 GHz (paper Table 3), so one cycle equals one
+/// nanosecond; [`Cycle::from_ns`] and [`Cycle::as_ns`] make that
+/// conversion explicit at call sites that speak in wall-clock units (for
+/// example the 100 ns DRAM access latency).
+///
+/// `Cycle` is an absolute timestamp. Durations are also represented as
+/// `Cycle` (the type is a plain count); subtraction of two timestamps
+/// yields a duration.
+///
+/// # Example
+///
+/// ```
+/// use mcm_engine::Cycle;
+///
+/// let dram_latency = Cycle::from_ns(100);
+/// let issued = Cycle::new(40);
+/// assert_eq!(issued + dram_latency, Cycle::new(140));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// The zero timestamp (simulation start).
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The largest representable timestamp; used as an "infinitely far in
+    /// the future" sentinel.
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Creates a timestamp at the given absolute cycle count.
+    #[inline]
+    pub const fn new(cycles: u64) -> Self {
+        Cycle(cycles)
+    }
+
+    /// Converts nanoseconds of wall-clock time at the modelled 1 GHz core
+    /// clock into cycles.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Cycle(ns)
+    }
+
+    /// The raw cycle count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// This timestamp expressed in nanoseconds at the 1 GHz core clock.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// This timestamp expressed in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// Saturating subtraction: the duration from `earlier` to `self`, or
+    /// zero if `earlier` is actually later.
+    #[inline]
+    pub const fn saturating_since(self, earlier: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two timestamps.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two timestamps.
+    #[inline]
+    pub fn min(self, other: Cycle) -> Cycle {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+
+    #[inline]
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`Cycle::saturating_since`] when the ordering is not guaranteed.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycle {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycle) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        iter.fold(Cycle::ZERO, Add::add)
+    }
+}
+
+impl From<u64> for Cycle {
+    #[inline]
+    fn from(cycles: u64) -> Self {
+        Cycle(cycles)
+    }
+}
+
+impl From<Cycle> for u64 {
+    #[inline]
+    fn from(cycle: Cycle) -> u64 {
+        cycle.0
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_round_trip_at_one_ghz() {
+        assert_eq!(Cycle::from_ns(100).as_u64(), 100);
+        assert_eq!(Cycle::new(250).as_ns(), 250);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Cycle::new(10);
+        let b = Cycle::new(4);
+        assert_eq!(a + b, Cycle::new(14));
+        assert_eq!(a - b, Cycle::new(6));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Cycle::new(14));
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn saturating_since_clamps_to_zero() {
+        let early = Cycle::new(5);
+        let late = Cycle::new(9);
+        assert_eq!(late.saturating_since(early), Cycle::new(4));
+        assert_eq!(early.saturating_since(late), Cycle::ZERO);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Cycle::new(3);
+        let b = Cycle::new(7);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(a), a);
+    }
+
+    #[test]
+    fn ordering_and_sum() {
+        assert!(Cycle::ZERO < Cycle::new(1));
+        assert!(Cycle::new(1) < Cycle::MAX);
+        let total: Cycle = [1u64, 2, 3].into_iter().map(Cycle::new).sum();
+        assert_eq!(total, Cycle::new(6));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Cycle::new(42).to_string(), "42cy");
+        assert_eq!(Cycle::ZERO.to_string(), "0cy");
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        let one_ms = Cycle::from_ns(1_000_000);
+        assert!((one_ms.as_secs_f64() - 1e-3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,214 @@
+//! A deterministic event calendar.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::Cycle;
+
+/// One pending entry in the calendar: ordered by time, then insertion
+/// sequence (FIFO among simultaneous events).
+struct Entry<E> {
+    at: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (then lowest seq)
+        // comes out first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A time-ordered queue of simulation events.
+///
+/// Events popped from the queue come out in nondecreasing timestamp
+/// order; events scheduled for the *same* cycle come out in the order
+/// they were pushed. That FIFO tie-break is what makes multi-component
+/// simulations reproducible: two runs with the same inputs interleave
+/// their events identically.
+///
+/// # Example
+///
+/// ```
+/// use mcm_engine::{Cycle, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Cycle::new(5), "late");
+/// q.push(Cycle::new(1), "early");
+/// q.push(Cycle::new(5), "late-second");
+/// assert_eq!(q.pop(), Some((Cycle::new(1), "early")));
+/// assert_eq!(q.pop(), Some((Cycle::new(5), "late")));
+/// assert_eq!(q.pop(), Some((Cycle::new(5), "late-second")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    last_popped: Cycle,
+}
+
+impl<E> std::fmt::Debug for Entry<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Entry")
+            .field("at", &self.at)
+            .field("seq", &self.seq)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            last_popped: Cycle::ZERO,
+        }
+    }
+
+    /// Creates an empty queue pre-sized for `capacity` pending events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            last_popped: Cycle::ZERO,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// Scheduling in the past (before the last popped timestamp) is a
+    /// simulation logic error; it is tolerated in release builds (the
+    /// event fires "now") but trips a debug assertion.
+    pub fn push(&mut self, at: Cycle, event: E) {
+        debug_assert!(
+            at >= self.last_popped,
+            "event scheduled at {at} which is before current time {}",
+            self.last_popped
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let entry = self.heap.pop()?;
+        self.last_popped = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// The timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The timestamp of the most recently popped event — the simulation's
+    /// notion of "now".
+    pub fn now(&self) -> Cycle {
+        self.last_popped
+    }
+
+    /// Drops all pending events, keeping the current time.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for &t in &[9u64, 3, 7, 3, 1, 100] {
+            q.push(Cycle::new(t), t);
+        }
+        let mut out = Vec::new();
+        while let Some((at, ev)) = q.pop() {
+            assert_eq!(at.as_u64(), ev);
+            out.push(ev);
+        }
+        assert_eq!(out, vec![1, 3, 3, 7, 9, 100]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Cycle::new(42), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycle::new(42), i)));
+        }
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), Cycle::ZERO);
+        q.push(Cycle::new(10), ());
+        q.pop();
+        assert_eq!(q.now(), Cycle::new(10));
+    }
+
+    #[test]
+    fn peek_len_clear() {
+        let mut q = EventQueue::with_capacity(4);
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Cycle::new(2), 'a');
+        q.push(Cycle::new(1), 'b');
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Cycle::new(1)));
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(1), 1u64);
+        q.push(Cycle::new(5), 5);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.push(Cycle::new(3), 3);
+        q.push(Cycle::new(4), 4);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 4);
+        assert_eq!(q.pop().unwrap().1, 5);
+    }
+}

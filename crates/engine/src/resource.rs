@@ -1,0 +1,265 @@
+//! Bandwidth-limited servers with next-free-time queuing.
+
+use crate::Cycle;
+
+/// A bandwidth server: a shared facility that moves `bytes_per_cycle`
+/// bytes of traffic per cycle, serializing overlapping requests.
+///
+/// `Resource` implements the classic *next-free-time* queuing model. A
+/// request of `n` bytes arriving at time `t` begins service at
+/// `max(t, next_free)`, occupies the server for `n / bytes_per_cycle`
+/// cycles, and completes at the end of that occupancy. Requests that
+/// arrive while the server is busy therefore see queuing delay — which is
+/// exactly the phenomenon the MCM-GPU paper attributes the low-bandwidth
+/// slowdowns to (§3.3.2: "increased queuing delays ... in the low
+/// bandwidth scenarios").
+///
+/// Everything contended-for in the simulator is a `Resource`: inter-GPM
+/// link segments, DRAM channels, cache banks, and SM instruction issue
+/// slots (where "bytes" are issue slots instead).
+///
+/// Internal bookkeeping is in fractional cycles so that sub-cycle
+/// occupancies accumulate correctly; completion times are rounded up to
+/// whole cycles on return.
+///
+/// # Example
+///
+/// ```
+/// use mcm_engine::{Cycle, Resource};
+///
+/// // A DRAM channel moving 32 bytes per cycle.
+/// let mut chan = Resource::new("dram-ch0", 32.0);
+/// assert_eq!(chan.service(Cycle::new(0), 128), Cycle::new(4));
+/// // Arrives at cycle 2, but the channel is busy until 4.
+/// assert_eq!(chan.service(Cycle::new(2), 128), Cycle::new(8));
+/// assert_eq!(chan.total_bytes(), 256);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Resource {
+    name: &'static str,
+    bytes_per_cycle: f64,
+    /// Fractional-cycle time at which the server next becomes idle.
+    next_free: f64,
+    busy_cycles: f64,
+    total_bytes: u64,
+    requests: u64,
+    queued_cycles: f64,
+}
+
+impl Resource {
+    /// Creates a server with the given capacity in bytes per cycle.
+    ///
+    /// Use [`Resource::unlimited`] for a facility whose bandwidth should
+    /// never constrain the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_cycle` is not strictly positive.
+    pub fn new(name: &'static str, bytes_per_cycle: f64) -> Self {
+        assert!(
+            bytes_per_cycle > 0.0,
+            "resource {name:?} must have positive bandwidth"
+        );
+        Resource {
+            name,
+            bytes_per_cycle,
+            next_free: 0.0,
+            busy_cycles: 0.0,
+            total_bytes: 0,
+            requests: 0,
+            queued_cycles: 0.0,
+        }
+    }
+
+    /// Creates a server with effectively infinite bandwidth: requests
+    /// complete instantly and never queue, but traffic is still counted.
+    pub fn unlimited(name: &'static str) -> Self {
+        Resource::new(name, f64::INFINITY)
+    }
+
+    /// Creates a server from a bandwidth expressed in GB/s at the 1 GHz
+    /// core clock (1 GB/s = 1 byte/cycle).
+    pub fn from_gbps(name: &'static str, gigabytes_per_second: f64) -> Self {
+        Resource::new(name, gigabytes_per_second)
+    }
+
+    /// Submits a request of `bytes` arriving at `now`; returns the cycle
+    /// at which the request finishes transiting this server.
+    ///
+    /// A zero-byte request completes immediately at `now` and is not
+    /// counted.
+    pub fn service(&mut self, now: Cycle, bytes: u64) -> Cycle {
+        if bytes == 0 {
+            return now;
+        }
+        let arrival = now.as_u64() as f64;
+        let start = if self.next_free > arrival {
+            self.queued_cycles += self.next_free - arrival;
+            self.next_free
+        } else {
+            arrival
+        };
+        let duration = if self.bytes_per_cycle.is_infinite() {
+            0.0
+        } else {
+            bytes as f64 / self.bytes_per_cycle
+        };
+        let end = start + duration;
+        self.next_free = end;
+        self.busy_cycles += duration;
+        self.total_bytes += bytes;
+        self.requests += 1;
+        Cycle::new(end.ceil() as u64)
+    }
+
+    /// The earliest cycle at which a request arriving now would begin
+    /// service.
+    pub fn next_free(&self) -> Cycle {
+        Cycle::new(self.next_free.ceil() as u64)
+    }
+
+    /// The server's capacity in bytes per cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.bytes_per_cycle
+    }
+
+    /// Total bytes that have transited the server.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Number of (non-empty) requests served.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Cumulative cycles requests spent waiting for the server.
+    pub fn queued_cycles(&self) -> f64 {
+        self.queued_cycles
+    }
+
+    /// Fraction of `elapsed` the server spent busy, in `[0, 1]` for any
+    /// horizon that covers all submitted work.
+    pub fn utilization(&self, elapsed: Cycle) -> f64 {
+        if elapsed == Cycle::ZERO {
+            0.0
+        } else {
+            self.busy_cycles / elapsed.as_u64() as f64
+        }
+    }
+
+    /// Achieved throughput in GB/s over `elapsed` (1 byte/cycle = 1 GB/s
+    /// at the 1 GHz clock).
+    pub fn achieved_gbps(&self, elapsed: Cycle) -> f64 {
+        if elapsed == Cycle::ZERO {
+            0.0
+        } else {
+            self.total_bytes as f64 / elapsed.as_u64() as f64
+        }
+    }
+
+    /// The diagnostic name given at construction.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Resets queue state and statistics, keeping the configured
+    /// bandwidth.
+    pub fn reset(&mut self) {
+        self.next_free = 0.0;
+        self.busy_cycles = 0.0;
+        self.total_bytes = 0;
+        self.requests = 0;
+        self.queued_cycles = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_request_latency_is_bytes_over_bandwidth() {
+        let mut r = Resource::new("r", 16.0);
+        assert_eq!(r.service(Cycle::new(100), 64), Cycle::new(104));
+    }
+
+    #[test]
+    fn back_to_back_requests_queue() {
+        let mut r = Resource::new("r", 8.0);
+        let a = r.service(Cycle::new(0), 64); // 8 cycles
+        let b = r.service(Cycle::new(0), 64); // queues behind a
+        assert_eq!(a, Cycle::new(8));
+        assert_eq!(b, Cycle::new(16));
+        assert!(r.queued_cycles() >= 8.0);
+    }
+
+    #[test]
+    fn idle_gap_resets_queuing() {
+        let mut r = Resource::new("r", 8.0);
+        r.service(Cycle::new(0), 64);
+        // Arrives long after the first finished: no queuing.
+        let done = r.service(Cycle::new(1000), 64);
+        assert_eq!(done, Cycle::new(1008));
+    }
+
+    #[test]
+    fn unlimited_resource_is_instant_but_counts() {
+        let mut r = Resource::unlimited("xbar");
+        assert_eq!(r.service(Cycle::new(7), 1 << 30), Cycle::new(7));
+        assert_eq!(r.service(Cycle::new(7), 128), Cycle::new(7));
+        assert_eq!(r.total_bytes(), (1 << 30) + 128);
+        assert_eq!(r.utilization(Cycle::new(100)), 0.0);
+    }
+
+    #[test]
+    fn zero_byte_request_is_free() {
+        let mut r = Resource::new("r", 1.0);
+        assert_eq!(r.service(Cycle::new(3), 0), Cycle::new(3));
+        assert_eq!(r.requests(), 0);
+        assert_eq!(r.total_bytes(), 0);
+    }
+
+    #[test]
+    fn fractional_occupancy_accumulates() {
+        let mut r = Resource::new("r", 3.0);
+        // Each 1-byte request occupies 1/3 cycle; three of them fill one
+        // cycle exactly.
+        let mut last = Cycle::ZERO;
+        for _ in 0..3 {
+            last = r.service(Cycle::new(0), 1);
+        }
+        assert_eq!(last, Cycle::new(1));
+        assert!((r.utilization(Cycle::new(1)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_and_throughput() {
+        let mut r = Resource::new("r", 10.0);
+        r.service(Cycle::new(0), 50); // busy 5 cycles
+        assert!((r.utilization(Cycle::new(10)) - 0.5).abs() < 1e-9);
+        assert!((r.achieved_gbps(Cycle::new(10)) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_gbps_maps_one_to_one_at_1ghz() {
+        let r = Resource::from_gbps("link", 768.0);
+        assert!((r.bytes_per_cycle() - 768.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut r = Resource::new("r", 4.0);
+        r.service(Cycle::new(0), 400);
+        r.reset();
+        assert_eq!(r.total_bytes(), 0);
+        assert_eq!(r.next_free(), Cycle::ZERO);
+        assert_eq!(r.service(Cycle::new(0), 4), Cycle::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bandwidth")]
+    fn zero_bandwidth_panics() {
+        let _ = Resource::new("bad", 0.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! The integration-tier energy model of paper Table 2.
+//!
+//! The paper's energy argument is analytic: every byte moved across a
+//! tier costs that tier's energy-per-bit, and the tiers get an order of
+//! magnitude worse at each level of disintegration. [`EnergyLedger`]
+//! accumulates traffic per tier and reports joules.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An integration tier from paper Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tier {
+    /// On-chip wires (crossbars, cache banks).
+    Chip,
+    /// On-package GRS links between GPMs.
+    Package,
+    /// On-board links between GPUs (NVLink-class).
+    Board,
+    /// Off-node system interconnect (IB-class).
+    System,
+}
+
+impl Tier {
+    /// All tiers, in increasing energy order.
+    pub const ALL: [Tier; 4] = [Tier::Chip, Tier::Package, Tier::Board, Tier::System];
+
+    /// Signaling energy in picojoules per bit (paper Table 2).
+    pub const fn pj_per_bit(self) -> f64 {
+        match self {
+            Tier::Chip => 0.08,    // 80 fJ/bit
+            Tier::Package => 0.5,  // GRS: 0.54 pJ/bit rounded as in Table 2
+            Tier::Board => 10.0,
+            Tier::System => 250.0,
+        }
+    }
+
+    /// Approximate available bandwidth in GB/s (paper Table 2; "10s
+    /// TB/s" for chip is represented as 20 TB/s).
+    pub const fn bandwidth_gbps(self) -> f64 {
+        match self {
+            Tier::Chip => 20_000.0,
+            Tier::Package => 1_500.0,
+            Tier::Board => 256.0,
+            Tier::System => 12.5,
+        }
+    }
+
+    /// The qualitative overhead column of Table 2.
+    pub const fn overhead(self) -> &'static str {
+        match self {
+            Tier::Chip => "Low",
+            Tier::Package => "Medium",
+            Tier::Board => "High",
+            Tier::System => "Very High",
+        }
+    }
+
+    /// Energy in joules to move `bytes` across this tier.
+    pub fn joules_for_bytes(self, bytes: u64) -> f64 {
+        bytes as f64 * 8.0 * self.pj_per_bit() * 1e-12
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Tier::Chip => "Chip",
+            Tier::Package => "Package",
+            Tier::Board => "Board",
+            Tier::System => "System",
+        };
+        f.write_str(name)
+    }
+}
+
+/// DRAM access energy per bit in picojoules, a standard HBM-class
+/// estimate (≈4 pJ/bit) used so run reports can include memory energy
+/// alongside interconnect energy. Not part of Table 2; documented in
+/// DESIGN.md.
+pub const DRAM_PJ_PER_BIT: f64 = 4.0;
+
+/// Accumulates traffic per tier and converts it to energy.
+///
+/// # Example
+///
+/// ```
+/// use mcm_interconnect::energy::{EnergyLedger, Tier};
+///
+/// let mut ledger = EnergyLedger::new();
+/// ledger.record(Tier::Package, 1 << 30); // 1 GiB over GRS links
+/// let j = ledger.joules(Tier::Package);
+/// assert!(j > 0.004 && j < 0.005); // ~4.3 mJ at 0.5 pJ/bit
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    chip_bytes: u64,
+    package_bytes: u64,
+    board_bytes: u64,
+    system_bytes: u64,
+    dram_bytes: u64,
+}
+
+impl EnergyLedger {
+    /// Creates an empty ledger.
+    pub const fn new() -> Self {
+        EnergyLedger {
+            chip_bytes: 0,
+            package_bytes: 0,
+            board_bytes: 0,
+            system_bytes: 0,
+            dram_bytes: 0,
+        }
+    }
+
+    /// Records `bytes` moved across `tier`.
+    pub fn record(&mut self, tier: Tier, bytes: u64) {
+        let slot = match tier {
+            Tier::Chip => &mut self.chip_bytes,
+            Tier::Package => &mut self.package_bytes,
+            Tier::Board => &mut self.board_bytes,
+            Tier::System => &mut self.system_bytes,
+        };
+        *slot = slot.saturating_add(bytes);
+    }
+
+    /// Records `bytes` of DRAM array access.
+    pub fn record_dram(&mut self, bytes: u64) {
+        self.dram_bytes = self.dram_bytes.saturating_add(bytes);
+    }
+
+    /// Bytes recorded for `tier`.
+    pub fn bytes(&self, tier: Tier) -> u64 {
+        match tier {
+            Tier::Chip => self.chip_bytes,
+            Tier::Package => self.package_bytes,
+            Tier::Board => self.board_bytes,
+            Tier::System => self.system_bytes,
+        }
+    }
+
+    /// Energy spent on `tier`, in joules.
+    pub fn joules(&self, tier: Tier) -> f64 {
+        tier.joules_for_bytes(self.bytes(tier))
+    }
+
+    /// DRAM access energy, in joules.
+    pub fn dram_joules(&self) -> f64 {
+        self.dram_bytes as f64 * 8.0 * DRAM_PJ_PER_BIT * 1e-12
+    }
+
+    /// Total data-movement energy (all tiers + DRAM), in joules.
+    pub fn total_joules(&self) -> f64 {
+        Tier::ALL.iter().map(|&t| self.joules(t)).sum::<f64>() + self.dram_joules()
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        self.chip_bytes += other.chip_bytes;
+        self.package_bytes += other.package_bytes;
+        self.board_bytes += other.board_bytes;
+        self.system_bytes += other.system_bytes;
+        self.dram_bytes += other.dram_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_get_monotonically_worse() {
+        for w in Tier::ALL.windows(2) {
+            assert!(w[0].pj_per_bit() < w[1].pj_per_bit());
+            assert!(w[0].bandwidth_gbps() > w[1].bandwidth_gbps());
+        }
+    }
+
+    #[test]
+    fn table2_values() {
+        assert_eq!(Tier::Package.pj_per_bit(), 0.5);
+        assert_eq!(Tier::Board.pj_per_bit(), 10.0);
+        assert_eq!(Tier::System.pj_per_bit(), 250.0);
+        assert_eq!(Tier::Board.bandwidth_gbps(), 256.0);
+        assert_eq!(Tier::Chip.overhead(), "Low");
+        assert_eq!(Tier::System.overhead(), "Very High");
+    }
+
+    #[test]
+    fn joules_arithmetic() {
+        // 1 byte = 8 bits at 10 pJ/bit = 80 pJ.
+        let j = Tier::Board.joules_for_bytes(1);
+        assert!((j - 80e-12).abs() < 1e-18);
+    }
+
+    #[test]
+    fn ledger_accumulates_and_merges() {
+        let mut a = EnergyLedger::new();
+        a.record(Tier::Package, 100);
+        a.record(Tier::Package, 50);
+        a.record_dram(10);
+        let mut b = EnergyLedger::new();
+        b.record(Tier::Chip, 7);
+        a.merge(&b);
+        assert_eq!(a.bytes(Tier::Package), 150);
+        assert_eq!(a.bytes(Tier::Chip), 7);
+        assert!(a.dram_joules() > 0.0);
+        assert!(a.total_joules() > a.joules(Tier::Package));
+    }
+
+    #[test]
+    fn package_vs_board_ratio_is_20x() {
+        // The paper's §6.2 efficiency argument: 0.5 pJ/b on-package vs
+        // 10 pJ/b on-board.
+        let ratio = Tier::Board.pj_per_bit() / Tier::Package.pj_per_bit();
+        assert_eq!(ratio, 20.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        for t in Tier::ALL {
+            assert!(!t.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Interconnect models for the MCM-GPU system.
+//!
+//! Three fabrics, in decreasing quality (paper Table 2):
+//!
+//! * [`xbar::Crossbar`] — the on-die GPM crossbar (chip tier).
+//! * [`ring::RingNetwork`] — the on-package ring of GRS links between
+//!   GPMs (package tier), with shortest-path routing, per-segment
+//!   serialization, and 32-cycle hops (§3.2).
+//! * [`link::Link`] — generic point-to-point links; also used for the
+//!   on-board GPU-to-GPU links of the multi-GPU comparison (§6, board
+//!   tier).
+//!
+//! [`energy`] carries the Table 2 energy-per-bit constants and the
+//! [`energy::EnergyLedger`] run reports aggregate into.
+//!
+//! # Example
+//!
+//! Remote traffic crossing the package ring costs bandwidth on every
+//! segment it traverses:
+//!
+//! ```
+//! use mcm_engine::Cycle;
+//! use mcm_interconnect::ring::{NodeId, RingNetwork};
+//!
+//! let mut ring = RingNetwork::new(4, 768.0, Cycle::new(32));
+//! ring.transfer(Cycle::ZERO, NodeId(0), NodeId(2), 128);
+//! assert_eq!(ring.total_segment_bytes(), 256); // two hops
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod energy;
+pub mod link;
+pub mod mesh;
+pub mod ring;
+pub mod xbar;

@@ -1,0 +1,140 @@
+//! Point-to-point links: bandwidth, hop latency, and energy tier.
+
+use mcm_engine::{Cycle, Resource};
+
+use crate::energy::Tier;
+
+/// A unidirectional point-to-point link.
+///
+/// A transfer of `bytes` arriving at `now` serializes on the link's
+/// bandwidth (queuing behind earlier transfers) and then pays the hop
+/// latency — the paper's 32-cycle inter-GPM hop (§3.2) covers traversal
+/// to the die edge, SerDes, and the wire.
+///
+/// # Example
+///
+/// ```
+/// use mcm_engine::Cycle;
+/// use mcm_interconnect::energy::Tier;
+/// use mcm_interconnect::link::Link;
+///
+/// // One 768 GB/s GRS link with a 32-cycle hop latency.
+/// let mut link = Link::new("gpm0->gpm1", 768.0, Cycle::new(32), Tier::Package);
+/// let done = link.transfer(Cycle::ZERO, 128);
+/// assert_eq!(done, Cycle::new(33)); // ceil(128/768) + 32
+/// ```
+#[derive(Debug, Clone)]
+pub struct Link {
+    bandwidth: Resource,
+    hop_latency: Cycle,
+    tier: Tier,
+}
+
+impl Link {
+    /// Creates a link with `gbps` bandwidth (GB/s = bytes/cycle at
+    /// 1 GHz), `hop_latency` per traversal, on energy `tier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gbps` is not strictly positive (propagated from
+    /// [`Resource::new`]).
+    pub fn new(name: &'static str, gbps: f64, hop_latency: Cycle, tier: Tier) -> Self {
+        Link {
+            bandwidth: Resource::from_gbps(name, gbps),
+            hop_latency,
+            tier,
+        }
+    }
+
+    /// Sends `bytes` over the link starting at `now`; returns arrival
+    /// time at the far side.
+    pub fn transfer(&mut self, now: Cycle, bytes: u64) -> Cycle {
+        self.bandwidth.service(now, bytes) + self.hop_latency
+    }
+
+    /// Total bytes that have crossed the link.
+    pub fn total_bytes(&self) -> u64 {
+        self.bandwidth.total_bytes()
+    }
+
+    /// Achieved throughput over `elapsed`, in GB/s.
+    pub fn achieved_gbps(&self, elapsed: Cycle) -> f64 {
+        self.bandwidth.achieved_gbps(elapsed)
+    }
+
+    /// Fraction of `elapsed` the link spent busy.
+    pub fn utilization(&self, elapsed: Cycle) -> f64 {
+        self.bandwidth.utilization(elapsed)
+    }
+
+    /// The link's configured bandwidth in GB/s.
+    pub fn bandwidth_gbps(&self) -> f64 {
+        self.bandwidth.bytes_per_cycle()
+    }
+
+    /// Per-traversal latency.
+    pub fn hop_latency(&self) -> Cycle {
+        self.hop_latency
+    }
+
+    /// The energy tier traffic on this link is accounted to.
+    pub fn tier(&self) -> Tier {
+        self.tier
+    }
+
+    /// Energy spent on this link so far, in joules.
+    pub fn joules(&self) -> f64 {
+        self.tier.joules_for_bytes(self.total_bytes())
+    }
+
+    /// The link's diagnostic name.
+    pub fn name(&self) -> &'static str {
+        self.bandwidth.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_pays_serialization_plus_hop() {
+        let mut l = Link::new("t", 128.0, Cycle::new(32), Tier::Package);
+        // 256 B at 128 B/cycle = 2 cycles + 32 = 34.
+        assert_eq!(l.transfer(Cycle::ZERO, 256), Cycle::new(34));
+    }
+
+    #[test]
+    fn overlapping_transfers_queue() {
+        let mut l = Link::new("t", 64.0, Cycle::new(10), Tier::Package);
+        let a = l.transfer(Cycle::ZERO, 640); // serializes 10 cycles
+        let b = l.transfer(Cycle::ZERO, 640); // queues 10 more
+        assert_eq!(a, Cycle::new(20));
+        assert_eq!(b, Cycle::new(30));
+        assert_eq!(l.total_bytes(), 1280);
+    }
+
+    #[test]
+    fn energy_matches_tier() {
+        let mut l = Link::new("t", 1000.0, Cycle::ZERO, Tier::Board);
+        l.transfer(Cycle::ZERO, 1000);
+        let expect = Tier::Board.joules_for_bytes(1000);
+        assert!((l.joules() - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn utilization_reflects_load() {
+        let mut l = Link::new("t", 100.0, Cycle::ZERO, Tier::Package);
+        l.transfer(Cycle::ZERO, 500); // busy 5 cycles
+        assert!((l.utilization(Cycle::new(10)) - 0.5).abs() < 1e-9);
+        assert!((l.achieved_gbps(Cycle::new(10)) - 50.0).abs() < 1e-9);
+    }
+}
+
+impl Link {
+    /// The cycle at which the link next becomes free (diagnostics).
+    #[doc(hidden)]
+    pub fn debug_next_free(&self) -> mcm_engine::Cycle {
+        self.bandwidth.next_free()
+    }
+}

@@ -1,0 +1,261 @@
+//! Address types and geometry constants.
+//!
+//! The modelled machine uses 128-byte cache lines (paper Table 3) and
+//! 64 KiB pages (the page granularity at which the first-touch policy of
+//! §5.3 places data; GPU drivers manage memory at large-page
+//! granularity).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Cache line size in bytes (paper Table 3: "128B lines").
+pub const LINE_BYTES: u64 = 128;
+/// Page size in bytes used by the page-placement policies.
+pub const PAGE_BYTES: u64 = 64 * 1024;
+/// Number of cache lines per page.
+pub const LINES_PER_PAGE: u64 = PAGE_BYTES / LINE_BYTES;
+
+const LINE_SHIFT: u32 = LINE_BYTES.trailing_zeros();
+const PAGE_SHIFT: u32 = PAGE_BYTES.trailing_zeros();
+
+/// A byte address in the GPU's global memory space.
+///
+/// # Example
+///
+/// ```
+/// use mcm_mem::addr::{MemAddr, LINE_BYTES};
+///
+/// let a = MemAddr::new(1000);
+/// assert_eq!(a.line().index(), 1000 / LINE_BYTES);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct MemAddr(u64);
+
+impl MemAddr {
+    /// Creates a byte address.
+    #[inline]
+    pub const fn new(addr: u64) -> Self {
+        MemAddr(addr)
+    }
+
+    /// The raw byte address.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The cache line containing this byte.
+    #[inline]
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_SHIFT)
+    }
+
+    /// The page containing this byte.
+    #[inline]
+    pub const fn page(self) -> PageId {
+        PageId(self.0 >> PAGE_SHIFT)
+    }
+}
+
+/// A cache-line-granular address (byte address divided by
+/// [`LINE_BYTES`]).
+///
+/// # Example
+///
+/// ```
+/// use mcm_mem::addr::LineAddr;
+///
+/// let line = LineAddr::new(512); // first line of the second 64 KiB page
+/// assert_eq!(line.page().index(), 1);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a line index.
+    #[inline]
+    pub const fn new(index: u64) -> Self {
+        LineAddr(index)
+    }
+
+    /// The line index.
+    #[inline]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The byte address of the line's first byte.
+    #[inline]
+    pub const fn base_addr(self) -> MemAddr {
+        MemAddr(self.0 << LINE_SHIFT)
+    }
+
+    /// The page containing this line.
+    #[inline]
+    pub const fn page(self) -> PageId {
+        PageId(self.0 >> (PAGE_SHIFT - LINE_SHIFT))
+    }
+
+    /// The line `n` positions after this one.
+    #[inline]
+    pub const fn offset(self, n: u64) -> LineAddr {
+        LineAddr(self.0 + n)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+/// A page-granular address (byte address divided by [`PAGE_BYTES`]).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PageId(u64);
+
+impl PageId {
+    /// Creates a page id from a page index.
+    #[inline]
+    pub const fn new(index: u64) -> Self {
+        PageId(index)
+    }
+
+    /// The page index.
+    #[inline]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The first line of this page.
+    #[inline]
+    pub const fn first_line(self) -> LineAddr {
+        LineAddr(self.0 << (PAGE_SHIFT - LINE_SHIFT))
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{:#x}", self.0)
+    }
+}
+
+/// Identifies one of the machine's DRAM partitions (one per GPM in the
+/// MCM-GPU organization of Fig. 3; one per GPU in the multi-GPU
+/// comparison of §6).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PartitionId(pub u8);
+
+impl PartitionId {
+    /// The partition index as a `usize` for table lookups.
+    #[inline]
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MP{}", self.0)
+    }
+}
+
+/// Whether a memory access targets the requester's local partition or a
+/// remote one — the distinction the L1.5 allocation filter (§5.1) and
+/// the NUMA statistics are built on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Locality {
+    /// The access targets the requester's own GPM's memory partition.
+    Local,
+    /// The access targets another GPM's memory partition.
+    Remote,
+}
+
+impl Locality {
+    /// `true` for [`Locality::Remote`].
+    #[inline]
+    pub const fn is_remote(self) -> bool {
+        matches!(self, Locality::Remote)
+    }
+}
+
+/// Read or write, as seen by the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load; the requester blocks until data returns.
+    Read,
+    /// A store; fire-and-forget through write-through levels.
+    Write,
+}
+
+impl AccessKind {
+    /// `true` for [`AccessKind::Write`].
+    #[inline]
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_constants_are_consistent() {
+        assert_eq!(LINE_BYTES, 128);
+        assert_eq!(PAGE_BYTES, 65536);
+        assert_eq!(LINES_PER_PAGE, 512);
+    }
+
+    #[test]
+    fn byte_to_line_to_page() {
+        let a = MemAddr::new(PAGE_BYTES + 5 * LINE_BYTES + 17);
+        assert_eq!(a.line(), LineAddr::new(LINES_PER_PAGE + 5));
+        assert_eq!(a.page(), PageId::new(1));
+        assert_eq!(a.line().page(), PageId::new(1));
+    }
+
+    #[test]
+    fn line_base_addr_round_trip() {
+        let line = LineAddr::new(12345);
+        assert_eq!(line.base_addr().line(), line);
+        assert_eq!(line.base_addr().as_u64(), 12345 * LINE_BYTES);
+    }
+
+    #[test]
+    fn page_first_line_round_trip() {
+        let page = PageId::new(7);
+        assert_eq!(page.first_line().page(), page);
+        assert_eq!(page.first_line().index(), 7 * LINES_PER_PAGE);
+        // Last line of the page still maps back.
+        assert_eq!(page.first_line().offset(LINES_PER_PAGE - 1).page(), page);
+        // One past rolls over.
+        assert_eq!(
+            page.first_line().offset(LINES_PER_PAGE).page(),
+            PageId::new(8)
+        );
+    }
+
+    #[test]
+    fn locality_and_kind_predicates() {
+        assert!(Locality::Remote.is_remote());
+        assert!(!Locality::Local.is_remote());
+        assert!(AccessKind::Write.is_write());
+        assert!(!AccessKind::Read.is_write());
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert!(!LineAddr::new(3).to_string().is_empty());
+        assert!(!PageId::new(3).to_string().is_empty());
+        assert_eq!(PartitionId(2).to_string(), "MP2");
+    }
+}

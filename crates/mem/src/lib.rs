@@ -1,0 +1,54 @@
+//! GPU memory-system substrate for the MCM-GPU model.
+//!
+//! This crate provides the stateful memory components the paper's
+//! evaluation depends on:
+//!
+//! * [`addr`] — byte/line/page address algebra, partition ids, and the
+//!   local/remote [`addr::Locality`] distinction at the heart of the
+//!   NUMA analysis.
+//! * [`cache::SetAssocCache`] — real tag arrays with LRU replacement,
+//!   write policies, MSHR-style fill-pending coalescing, and the
+//!   allocation filters that implement the remote-only L1.5 (§5.1).
+//! * [`mshr::Mshr`] — bounded outstanding-miss tracking for the SM
+//!   load/store units.
+//! * [`dram::DramPartition`] — channel-banked DRAM behind a fixed
+//!   100 ns latency.
+//! * [`page::PageMap`] — the baseline interleaved and the optimized
+//!   first-touch page placement policies (§5.3).
+//!
+//! # Example
+//!
+//! A miss walks from cache to DRAM and fills on the way back:
+//!
+//! ```
+//! use mcm_engine::Cycle;
+//! use mcm_mem::addr::{AccessKind, LineAddr, Locality};
+//! use mcm_mem::cache::{CacheConfig, CacheOutcome, SetAssocCache};
+//! use mcm_mem::dram::{DramConfig, DramPartition};
+//!
+//! let mut l2 = SetAssocCache::new(CacheConfig::new("L2", 4 << 20));
+//! let mut dram = DramPartition::new(DramConfig::with_bandwidth(768.0));
+//! let line = LineAddr::new(99);
+//!
+//! let ready = match l2.access(Cycle::ZERO, line, AccessKind::Read, Locality::Local) {
+//!     CacheOutcome::Hit { ready_at } => ready_at,
+//!     CacheOutcome::Miss { allocate, ready_at } => {
+//!         let from_dram = dram.access(ready_at, line, AccessKind::Read);
+//!         if allocate {
+//!             l2.fill(line, from_dram, false);
+//!         }
+//!         from_dram
+//!     }
+//!     CacheOutcome::Bypass => unreachable!("no filter configured"),
+//! };
+//! assert!(ready >= Cycle::from_ns(100));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod addr;
+pub mod cache;
+pub mod dram;
+pub mod mshr;
+pub mod page;

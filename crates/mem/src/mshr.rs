@@ -1,0 +1,202 @@
+//! Miss-status holding registers for split-transaction memory requests.
+//!
+//! Each SM's load/store unit owns an [`Mshr`]. When a load misses the
+//! L1, the MSHR decides whether a fill for that line is already in
+//! flight (the new load *coalesces* onto it and waits for the same
+//! response), whether a new entry can be reserved (the load issues a
+//! fresh request downstream), or whether the table is full (the warp
+//! must stall and replay — the classic bound on a GPU's memory-level
+//! parallelism).
+//!
+//! The table maps lines to caller-chosen request identifiers, so the
+//! simulation loop that owns the in-flight request objects can attach
+//! coalesced waiters to them.
+
+use std::collections::HashMap;
+
+use mcm_engine::stats::Counter;
+
+use crate::addr::LineAddr;
+
+/// The decision for a load miss presented to the MSHR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrLookup {
+    /// A fill for this line is in flight under the returned request id;
+    /// attach to it instead of issuing a duplicate.
+    InFlight(u64),
+    /// A free entry exists; call [`Mshr::reserve`] and issue downstream.
+    CanIssue,
+    /// All entries are busy; the warp must stall until some entry
+    /// releases.
+    Full,
+}
+
+/// A bounded table of in-flight line fills.
+///
+/// # Example
+///
+/// ```
+/// use mcm_mem::addr::LineAddr;
+/// use mcm_mem::mshr::{Mshr, MshrLookup};
+///
+/// let mut mshr = Mshr::new(2);
+/// let line = LineAddr::new(9);
+/// assert_eq!(mshr.lookup(line), MshrLookup::CanIssue);
+/// mshr.reserve(line, 42);
+/// // A second miss on the same line coalesces onto request 42.
+/// assert_eq!(mshr.lookup(line), MshrLookup::InFlight(42));
+/// mshr.release(line);
+/// assert_eq!(mshr.lookup(line), MshrLookup::CanIssue);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mshr {
+    capacity: usize,
+    pending: HashMap<LineAddr, u64>,
+    coalesced: Counter,
+    issued: Counter,
+    stalls: Counter,
+}
+
+impl Mshr {
+    /// Creates an MSHR with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be nonzero");
+        Mshr {
+            capacity,
+            pending: HashMap::with_capacity(capacity),
+            coalesced: Counter::new(),
+            issued: Counter::new(),
+            stalls: Counter::new(),
+        }
+    }
+
+    /// Classifies a miss on `line` and updates statistics.
+    pub fn lookup(&mut self, line: LineAddr) -> MshrLookup {
+        if let Some(&req) = self.pending.get(&line) {
+            self.coalesced.inc();
+            return MshrLookup::InFlight(req);
+        }
+        if self.pending.len() >= self.capacity {
+            self.stalls.inc();
+            return MshrLookup::Full;
+        }
+        self.issued.inc();
+        MshrLookup::CanIssue
+    }
+
+    /// Reserves an entry binding `line` to the caller's request id.
+    /// Call after [`MshrLookup::CanIssue`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is full or the line already has an entry —
+    /// both indicate the caller skipped `lookup`.
+    pub fn reserve(&mut self, line: LineAddr, request: u64) {
+        assert!(self.pending.len() < self.capacity, "MSHR overfilled");
+        let prev = self.pending.insert(line, request);
+        assert!(prev.is_none(), "line {line} already in flight");
+    }
+
+    /// Releases the entry for `line` when its fill completes; returns
+    /// the request id it was bound to, if any.
+    pub fn release(&mut self, line: LineAddr) -> Option<u64> {
+        self.pending.remove(&line)
+    }
+
+    /// Whether at least one entry is free.
+    pub fn has_free_entry(&self) -> bool {
+        self.pending.len() < self.capacity
+    }
+
+    /// Fills currently outstanding.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Misses merged into an in-flight fill.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.get()
+    }
+
+    /// Misses that issued a new downstream request.
+    pub fn issued(&self) -> u64 {
+        self.issued.get()
+    }
+
+    /// Misses that found the table full.
+    pub fn stalls(&self) -> u64 {
+        self.stalls.get()
+    }
+
+    /// Clears all entries (end-of-kernel quiesce).
+    pub fn clear(&mut self) {
+        self.pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesces_same_line() {
+        let mut m = Mshr::new(4);
+        assert_eq!(m.lookup(LineAddr::new(1)), MshrLookup::CanIssue);
+        m.reserve(LineAddr::new(1), 7);
+        for _ in 0..3 {
+            assert_eq!(m.lookup(LineAddr::new(1)), MshrLookup::InFlight(7));
+        }
+        assert_eq!(m.coalesced(), 3);
+        assert_eq!(m.issued(), 1);
+        assert_eq!(m.outstanding(), 1);
+    }
+
+    #[test]
+    fn full_table_stalls_and_release_frees() {
+        let mut m = Mshr::new(2);
+        m.lookup(LineAddr::new(1));
+        m.reserve(LineAddr::new(1), 0);
+        m.lookup(LineAddr::new(2));
+        m.reserve(LineAddr::new(2), 1);
+        assert!(!m.has_free_entry());
+        assert_eq!(m.lookup(LineAddr::new(3)), MshrLookup::Full);
+        assert_eq!(m.stalls(), 1);
+        assert_eq!(m.release(LineAddr::new(1)), Some(0));
+        assert!(m.has_free_entry());
+        assert_eq!(m.lookup(LineAddr::new(3)), MshrLookup::CanIssue);
+    }
+
+    #[test]
+    fn release_unknown_line_is_none() {
+        let mut m = Mshr::new(2);
+        assert_eq!(m.release(LineAddr::new(5)), None);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m = Mshr::new(2);
+        m.lookup(LineAddr::new(1));
+        m.reserve(LineAddr::new(1), 0);
+        m.clear();
+        assert_eq!(m.outstanding(), 0);
+        assert!(m.has_free_entry());
+    }
+
+    #[test]
+    #[should_panic(expected = "already in flight")]
+    fn double_reserve_panics() {
+        let mut m = Mshr::new(2);
+        m.reserve(LineAddr::new(1), 0);
+        m.reserve(LineAddr::new(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be nonzero")]
+    fn zero_capacity_panics() {
+        Mshr::new(0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Stress and law tests for the set-associative cache beyond the
+//! basics: the LRU inclusion property and adaptive-filter sanity under
+//! adversarial access mixes.
+
+use mcm_engine::Cycle;
+use mcm_mem::addr::{AccessKind, LineAddr, Locality};
+use mcm_mem::cache::{AllocFilter, CacheConfig, CacheOutcome, SetAssocCache};
+use proptest::prelude::*;
+
+/// Builds a cache with the given total line capacity and associativity,
+/// fixed set count (so two caches with equal `sets` share their set
+/// mapping and the inclusion property is meaningful).
+fn cache(sets: u64, ways: u32) -> SetAssocCache {
+    let mut cfg = CacheConfig::new("s", sets * u64::from(ways) * 128);
+    cfg.ways = ways;
+    cfg.latency = Cycle::new(1);
+    cfg.tag_latency = Cycle::new(1);
+    SetAssocCache::new(cfg)
+}
+
+fn run_reads(c: &mut SetAssocCache, trace: &[u64]) {
+    for (t, &line) in trace.iter().enumerate() {
+        if let CacheOutcome::Miss { allocate: true, .. } = c.access(
+            Cycle::new(t as u64),
+            LineAddr::new(line),
+            AccessKind::Read,
+            Locality::Local,
+        ) {
+            c.fill(LineAddr::new(line), Cycle::new(t as u64), false);
+        }
+    }
+}
+
+proptest! {
+    /// LRU inclusion: after any read trace, everything resident in a
+    /// w-way cache is also resident in a 2w-way cache with the same set
+    /// count (the stack property that makes LRU miss rates monotone in
+    /// associativity).
+    #[test]
+    fn lru_inclusion_property(
+        trace in proptest::collection::vec(0u64..4096, 1..800),
+        ways in 1u32..6,
+    ) {
+        let mut small = cache(16, ways);
+        let mut big = cache(16, ways * 2);
+        run_reads(&mut small, &trace);
+        run_reads(&mut big, &trace);
+        for &line in &trace {
+            if small.contains(LineAddr::new(line)) {
+                prop_assert!(
+                    big.contains(LineAddr::new(line)),
+                    "line {line} resident at {ways} ways but evicted at {} ways",
+                    ways * 2
+                );
+            }
+        }
+    }
+
+    /// Associativity never increases the miss count on the same trace
+    /// (corollary of the stack property).
+    #[test]
+    fn more_ways_never_more_misses(
+        trace in proptest::collection::vec(0u64..2048, 1..800),
+    ) {
+        let mut last_misses = None;
+        for ways in [1u32, 2, 4, 8] {
+            let mut c = cache(16, ways);
+            run_reads(&mut c, &trace);
+            let misses = c.stats().accesses.misses();
+            if let Some(prev) = last_misses {
+                prop_assert!(
+                    misses <= prev,
+                    "{ways} ways missed {misses} > previous {prev}"
+                );
+            }
+            last_misses = Some(misses);
+        }
+    }
+
+    /// The adaptive filter stays well-formed under arbitrary mixed
+    /// traces: accounting identities hold and fills never exceed
+    /// admitted misses.
+    #[test]
+    fn adaptive_filter_accounting(
+        ops in proptest::collection::vec((0u64..2048, any::<bool>(), any::<bool>()), 1..600),
+    ) {
+        let mut cfg = CacheConfig::new("adp", 64 * 8 * 128);
+        cfg.ways = 8;
+        cfg.alloc_filter = AllocFilter::Adaptive;
+        let mut c = SetAssocCache::new(cfg);
+        let mut admitted_misses = 0u64;
+        for (t, &(line, remote, write)) in ops.iter().enumerate() {
+            let loc = if remote { Locality::Remote } else { Locality::Local };
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            match c.access(Cycle::new(t as u64), LineAddr::new(line), kind, loc) {
+                CacheOutcome::Miss { allocate: true, .. } => {
+                    admitted_misses += 1;
+                    c.fill(LineAddr::new(line), Cycle::new(t as u64), false);
+                }
+                CacheOutcome::Miss { allocate: false, .. }
+                | CacheOutcome::Hit { .. }
+                | CacheOutcome::Bypass => {}
+            }
+        }
+        let s = *c.stats();
+        prop_assert_eq!(s.accesses.total() + s.bypasses.get(), ops.len() as u64);
+        prop_assert!(s.fills.get() <= admitted_misses);
+        prop_assert!(c.resident_lines() as u64 <= 64 * 8);
+    }
+}
+
+#[test]
+fn thrash_pattern_defeats_small_cache_but_not_big() {
+    // A classic cyclic thrash over 1.5x the small cache's capacity.
+    let trace: Vec<u64> = (0..48u64).cycle().take(4800).collect();
+    let mut small = cache(16, 2); // 32 lines
+    let mut big = cache(16, 8); // 128 lines
+    run_reads(&mut small, &trace);
+    run_reads(&mut big, &trace);
+    assert!(
+        small.stats().accesses.rate() < 0.95,
+        "32-line LRU shouldn't fully hold a 48-line cycle: {}",
+        small.stats().accesses
+    );
+    assert!(
+        big.stats().accesses.rate() > 0.97,
+        "128 lines must capture a 48-line cycle: {}",
+        big.stats().accesses
+    );
+}

@@ -1,0 +1,32 @@
+//! Streaming-multiprocessor execution substrate for the MCM-GPU model.
+//!
+//! * [`core::SmCore`] — one SM's warp occupancy and issue-bandwidth
+//!   model; 64 warps and dual issue per the paper's Table 3.
+//! * [`scheduler::CtaPool`] — the centralized (baseline, Fig. 8a) and
+//!   distributed (optimized, Fig. 8b) CTA scheduling policies of §5.2.
+//!
+//! The full warp state machine (walking a workload's instruction stream
+//! through the memory hierarchy) lives in the `mcm-gpu` crate, which
+//! owns the whole-system event loop; this crate holds the SM-local
+//! mechanisms so they can be tested in isolation.
+//!
+//! # Example
+//!
+//! ```
+//! use mcm_sm::scheduler::{CtaPool, SchedulerPolicy};
+//!
+//! // The distributed scheduler sends contiguous CTAs to the same GPM.
+//! let mut pool = CtaPool::new(SchedulerPolicy::Distributed, 1024, 4);
+//! assert_eq!(pool.next_cta(0), Some(0));
+//! assert_eq!(pool.next_cta(0), Some(1));
+//! assert_eq!(pool.next_cta(3), Some(768));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod core;
+pub mod scheduler;
+
+pub use crate::core::{SmConfig, SmCore};
+pub use scheduler::{CtaPool, SchedulerPolicy};

@@ -1,0 +1,424 @@
+//! CTA (thread block) scheduling policies.
+//!
+//! The baseline MCM-GPU uses a **centralized** scheduler that hands
+//! CTAs to SMs globally in launch order as SMs free up — so in steady
+//! state, consecutive CTAs land on *different* GPMs (§3.2, Fig. 8a).
+//! The optimized design uses a **distributed** scheduler that splits the
+//! kernel's CTA space into one contiguous chunk per GPM (§5.2, Fig. 8b),
+//! so CTAs that share data run on the same module.
+//!
+//! The paper notes two refinements it leaves to future work (§5.4):
+//! workloads that "suffer from the coarse granularity of CTA division
+//! and may perform better with a smaller number of contiguous CTAs
+//! assigned to each GPM" — the **chunked** policy here — and "a dynamic
+//! CTA scheduler [that would] obtain further performance gain" — the
+//! **dynamic** policy, which adds whole-chunk work stealing when a
+//! module's own supply runs dry.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+/// Which CTA assignment policy is in force.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulerPolicy {
+    /// Global round-robin in CTA order across all SMs (baseline §3.2).
+    Centralized,
+    /// One contiguous chunk per GPM (optimized §5.2). No work stealing,
+    /// as in the paper.
+    Distributed,
+    /// Contiguous groups of `group` CTAs dealt to GPMs round-robin —
+    /// finer-grained locality batching (§5.4's "smaller number of
+    /// contiguous CTAs ... assigned to each GPM").
+    Chunked {
+        /// CTAs per contiguous group.
+        group: u32,
+    },
+    /// [`SchedulerPolicy::Chunked`] plus whole-group stealing from the
+    /// most-loaded module when a module runs dry — the dynamic
+    /// scheduler the paper expects "to obtain further performance gain"
+    /// (§5.4).
+    Dynamic {
+        /// CTAs per contiguous group.
+        group: u32,
+    },
+}
+
+/// The pool of not-yet-scheduled CTAs of one kernel launch.
+///
+/// # Example
+///
+/// ```
+/// use mcm_sm::scheduler::{CtaPool, SchedulerPolicy};
+///
+/// // 8 CTAs over 4 GPMs, distributed: GPM 1 owns CTAs 2 and 3.
+/// let mut pool = CtaPool::new(SchedulerPolicy::Distributed, 8, 4);
+/// assert_eq!(pool.next_cta(1), Some(2));
+/// assert_eq!(pool.next_cta(1), Some(3));
+/// assert_eq!(pool.next_cta(1), None); // no stealing
+/// ```
+#[derive(Debug, Clone)]
+pub struct CtaPool {
+    policy: SchedulerPolicy,
+    total: u32,
+    /// Centralized cursor.
+    next_global: u32,
+    /// Per-GPM queues of contiguous `[start, end)` CTA ranges.
+    queues: Vec<VecDeque<(u32, u32)>>,
+    assigned_per_gpm: Vec<u32>,
+    steals: u32,
+}
+
+impl CtaPool {
+    /// Creates the pool for a kernel of `total` CTAs on `gpms` modules.
+    ///
+    /// Distributed chunks are split as evenly as possible (the first
+    /// `total % gpms` chunks get one extra CTA). Chunked/dynamic groups
+    /// are dealt to modules round-robin in group order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpms` is zero, or a chunked policy's group size is
+    /// zero.
+    pub fn new(policy: SchedulerPolicy, total: u32, gpms: u32) -> Self {
+        assert!(gpms > 0, "CTA pool needs at least one GPM");
+        let mut queues = vec![VecDeque::new(); gpms as usize];
+        match policy {
+            SchedulerPolicy::Centralized => {}
+            SchedulerPolicy::Distributed => {
+                let base = total / gpms;
+                let extra = total % gpms;
+                let mut start = 0;
+                for (g, queue) in queues.iter_mut().enumerate() {
+                    let len = base + u32::from((g as u32) < extra);
+                    if len > 0 {
+                        queue.push_back((start, start + len));
+                    }
+                    start += len;
+                }
+            }
+            SchedulerPolicy::Chunked { group } | SchedulerPolicy::Dynamic { group } => {
+                assert!(group > 0, "chunk group size must be nonzero");
+                let mut start = 0;
+                let mut g = 0usize;
+                while start < total {
+                    let end = (start + group).min(total);
+                    queues[g].push_back((start, end));
+                    start = end;
+                    g = (g + 1) % gpms as usize;
+                }
+            }
+        }
+        CtaPool {
+            policy,
+            total,
+            next_global: 0,
+            queues,
+            assigned_per_gpm: vec![0; gpms as usize],
+            steals: 0,
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> SchedulerPolicy {
+        self.policy
+    }
+
+    /// Hands out the next CTA for an SM on module `gpm`, or `None` when
+    /// no work is available to that module under the policy.
+    pub fn next_cta(&mut self, gpm: usize) -> Option<u32> {
+        let cta = match self.policy {
+            SchedulerPolicy::Centralized => {
+                if self.next_global >= self.total {
+                    return None;
+                }
+                let c = self.next_global;
+                self.next_global += 1;
+                c
+            }
+            SchedulerPolicy::Distributed | SchedulerPolicy::Chunked { .. } => {
+                self.take_from(gpm)?
+            }
+            SchedulerPolicy::Dynamic { .. } => match self.take_from(gpm) {
+                Some(c) => c,
+                None => {
+                    self.steal_into(gpm)?;
+                    self.steals += 1;
+                    self.take_from(gpm)
+                        .expect("freshly stolen chunk has at least one CTA")
+                }
+            },
+        };
+        self.assigned_per_gpm[gpm] += 1;
+        Some(cta)
+    }
+
+    /// Takes the next CTA from `gpm`'s own queue.
+    fn take_from(&mut self, gpm: usize) -> Option<u32> {
+        let queue = self.queues.get_mut(gpm).expect("GPM index out of range");
+        let (start, end) = queue.front_mut()?;
+        let c = *start;
+        *start += 1;
+        if start == end {
+            queue.pop_front();
+        }
+        Some(c)
+    }
+
+    /// Moves one chunk from the most-loaded module's queue tail into
+    /// `gpm`'s queue; `None` when nothing is left to steal anywhere.
+    fn steal_into(&mut self, gpm: usize) -> Option<()> {
+        let victim = self
+            .queues
+            .iter()
+            .enumerate()
+            .filter(|&(g, _)| g != gpm)
+            .max_by_key(|(_, q)| q.iter().map(|&(s, e)| u64::from(e - s)).sum::<u64>())?
+            .0;
+        let chunk = self.queues[victim].pop_back()?;
+        self.queues[gpm].push_back(chunk);
+        Some(())
+    }
+
+    /// Whether every CTA has been handed out.
+    pub fn is_exhausted(&self) -> bool {
+        match self.policy {
+            SchedulerPolicy::Centralized => self.next_global >= self.total,
+            _ => self.queues.iter().all(VecDeque::is_empty),
+        }
+    }
+
+    /// CTAs assigned so far to each GPM.
+    pub fn assigned_per_gpm(&self) -> &[u32] {
+        &self.assigned_per_gpm
+    }
+
+    /// Chunks stolen so far (dynamic policy only).
+    pub fn steals(&self) -> u32 {
+        self.steals
+    }
+
+    /// The contiguous chunk `[start, end)` owned by `gpm` under the
+    /// distributed policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics for other policies (their ownership is a queue of ranges,
+    /// not a single chunk) or if nothing was assigned to `gpm`.
+    pub fn chunk(&self, gpm: usize) -> (u32, u32) {
+        assert_eq!(
+            self.policy,
+            SchedulerPolicy::Distributed,
+            "chunk() is defined for the distributed policy"
+        );
+        self.queues[gpm]
+            .front()
+            .copied()
+            .unwrap_or_else(|| panic!("GPM {gpm} owns no chunk"))
+    }
+
+    /// Total CTAs in the kernel.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+}
+
+/// Returns the GPM that owns `cta` under the distributed policy, i.e.
+/// the index of the chunk containing it.
+pub fn owning_gpm(cta: u32, total: u32, gpms: u32) -> usize {
+    assert!(gpms > 0);
+    let base = total / gpms;
+    let extra = total % gpms;
+    // The first `extra` chunks have `base + 1` CTAs.
+    let big = u64::from(base + 1) * u64::from(extra);
+    if u64::from(cta) < big {
+        (cta / (base + 1)) as usize
+    } else if base == 0 {
+        // All CTAs live in the `extra` big chunks.
+        (gpms - 1) as usize
+    } else {
+        (extra + (cta - big as u32) / base) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centralized_interleaves_consecutive_ctas_across_gpms() {
+        let mut pool = CtaPool::new(SchedulerPolicy::Centralized, 16, 4);
+        // SMs on four different GPMs pull in turn (the steady-state
+        // situation of Fig. 8a): consecutive CTAs land on different
+        // GPMs.
+        let mut got = Vec::new();
+        for _round in 0..4 {
+            for gpm in 0..4 {
+                got.push((pool.next_cta(gpm).unwrap(), gpm));
+            }
+        }
+        assert_eq!(got[0], (0, 0));
+        assert_eq!(got[1], (1, 1));
+        assert_eq!(got[2], (2, 2));
+        assert_eq!(got[3], (3, 3));
+        assert!(pool.is_exhausted());
+    }
+
+    #[test]
+    fn distributed_hands_out_contiguous_chunks() {
+        let mut pool = CtaPool::new(SchedulerPolicy::Distributed, 16, 4);
+        for gpm in 0..4u32 {
+            for i in 0..4u32 {
+                assert_eq!(pool.next_cta(gpm as usize), Some(gpm * 4 + i));
+            }
+            assert_eq!(pool.next_cta(gpm as usize), None, "no stealing");
+        }
+        assert!(pool.is_exhausted());
+        assert_eq!(pool.assigned_per_gpm(), &[4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn uneven_division_gives_early_chunks_the_remainder() {
+        let mut pool = CtaPool::new(SchedulerPolicy::Distributed, 10, 4);
+        assert_eq!(pool.chunk(0), (0, 3));
+        assert_eq!(pool.chunk(1), (3, 6));
+        assert_eq!(pool.chunk(2), (6, 8));
+        assert_eq!(pool.chunk(3), (8, 10));
+        // Ranges drain in order.
+        assert_eq!(pool.next_cta(2), Some(6));
+        assert_eq!(pool.chunk(2), (7, 8));
+    }
+
+    #[test]
+    fn fewer_ctas_than_gpms_leaves_modules_idle() {
+        let mut pool = CtaPool::new(SchedulerPolicy::Distributed, 2, 4);
+        assert_eq!(pool.next_cta(0), Some(0));
+        assert_eq!(pool.next_cta(1), Some(1));
+        assert_eq!(pool.next_cta(2), None);
+        assert_eq!(pool.next_cta(3), None);
+        assert!(pool.is_exhausted());
+    }
+
+    #[test]
+    fn owning_gpm_matches_chunks() {
+        for (total, gpms) in [(16u32, 4u32), (10, 4), (7, 3), (1024, 4), (5, 8)] {
+            let pool = CtaPool::new(SchedulerPolicy::Distributed, total, gpms);
+            for cta in 0..total {
+                let g = owning_gpm(cta, total, gpms);
+                let covered = (0..gpms as usize).find(|&cand| {
+                    let mut p = pool.clone();
+                    std::iter::from_fn(|| p.next_cta(cand)).any(|c| c == cta)
+                });
+                assert_eq!(covered, Some(g), "cta {cta} of {total} on {gpms} GPMs");
+            }
+        }
+    }
+
+    #[test]
+    fn centralized_is_exhaustive_and_ordered() {
+        let mut pool = CtaPool::new(SchedulerPolicy::Centralized, 7, 4);
+        let mut all = Vec::new();
+        while let Some(c) = pool.next_cta(0) {
+            all.push(c);
+        }
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn chunked_deals_groups_round_robin() {
+        // 12 CTAs in groups of 2 over 4 GPMs: GPM0 gets [0,2) and
+        // [8,10), GPM1 gets [2,4) and [10,12), ...
+        let mut pool = CtaPool::new(SchedulerPolicy::Chunked { group: 2 }, 12, 4);
+        assert_eq!(pool.next_cta(0), Some(0));
+        assert_eq!(pool.next_cta(0), Some(1));
+        assert_eq!(pool.next_cta(0), Some(8));
+        assert_eq!(pool.next_cta(0), Some(9));
+        assert_eq!(pool.next_cta(0), None, "chunked does not steal");
+        assert_eq!(pool.next_cta(1), Some(2));
+        assert_eq!(pool.next_cta(3), Some(6));
+    }
+
+    #[test]
+    fn chunked_group_equal_to_share_matches_distributed_layout() {
+        let mut chunked = CtaPool::new(SchedulerPolicy::Chunked { group: 4 }, 16, 4);
+        let mut dist = CtaPool::new(SchedulerPolicy::Distributed, 16, 4);
+        for gpm in 0..4 {
+            loop {
+                let a = chunked.next_cta(gpm);
+                let b = dist.next_cta(gpm);
+                assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_steals_when_dry() {
+        // GPM 3 owns nothing (8 CTAs in groups of 4 over 4 GPMs fill
+        // only GPMs 0 and 1), but under the dynamic policy it steals.
+        let mut pool = CtaPool::new(SchedulerPolicy::Dynamic { group: 4 }, 8, 4);
+        let c = pool.next_cta(3);
+        assert!(c.is_some(), "dynamic scheduler must steal work");
+        assert_eq!(pool.steals(), 1);
+        // Everything still gets handed out exactly once.
+        let mut seen: Vec<u32> = c.into_iter().collect();
+        loop {
+            let mut any = false;
+            for gpm in 0..4 {
+                if let Some(c) = pool.next_cta(gpm) {
+                    seen.push(c);
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+        assert!(pool.is_exhausted());
+    }
+
+    #[test]
+    fn dynamic_exhausts_without_duplicates_under_contention() {
+        let mut pool = CtaPool::new(SchedulerPolicy::Dynamic { group: 3 }, 100, 4);
+        let mut seen = std::collections::HashSet::new();
+        let mut turn = 0usize;
+        loop {
+            let mut any = false;
+            // Pull in a skewed order so stealing happens.
+            for _ in 0..3 {
+                if let Some(c) = pool.next_cta(turn % 4) {
+                    assert!(seen.insert(c), "duplicate CTA {c}");
+                    any = true;
+                }
+            }
+            turn += 1;
+            if !any && pool.is_exhausted() {
+                break;
+            }
+        }
+        assert_eq!(seen.len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPM")]
+    fn zero_gpms_panics() {
+        CtaPool::new(SchedulerPolicy::Centralized, 4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "group size must be nonzero")]
+    fn zero_group_panics() {
+        CtaPool::new(SchedulerPolicy::Chunked { group: 0 }, 4, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "defined for the distributed policy")]
+    fn chunk_on_centralized_panics() {
+        let pool = CtaPool::new(SchedulerPolicy::Centralized, 4, 2);
+        let _ = pool.chunk(0);
+    }
+}

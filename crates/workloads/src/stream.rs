@@ -1,0 +1,450 @@
+//! Per-warp synthetic instruction/address streams.
+//!
+//! A [`WarpStream`] deterministically generates the alternating
+//! compute-burst / memory-operation sequence one warp executes, with
+//! addresses drawn according to the workload's
+//! [`LocalityProfile`](crate::spec::LocalityProfile):
+//!
+//! * The footprint's first `shared_region_frac` is a **globally shared
+//!   region** all CTAs sample uniformly (graph structure, lookup
+//!   tables).
+//! * The remainder is partitioned into equal **CTA slices**. A warp
+//!   mostly walks its CTA's slice — streaming forward or revisiting a
+//!   recent reuse window — and occasionally reaches into the *adjacent*
+//!   CTA's slice (halo exchange), which is the inter-CTA spatial
+//!   locality distributed CTA scheduling exploits (§5.2, Fig. 8).
+//!
+//! Streams are pure functions of `(spec.seed, kernel, cta, warp)`, so
+//! repeated kernel launches re-walk the same data — the cross-kernel
+//! page locality of §5.3 (Fig. 12).
+
+use mcm_engine::rng::Xoshiro256;
+use mcm_mem::addr::{AccessKind, MemAddr, LINE_BYTES};
+
+use crate::spec::WorkloadSpec;
+
+/// One dynamic warp instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarpOp {
+    /// A burst of `n` non-memory instructions issued back to back.
+    Compute(u32),
+    /// One (already coalesced) memory operation for the whole warp.
+    Access {
+        /// Byte address touched; the memory system fetches its line.
+        addr: MemAddr,
+        /// Load or store.
+        kind: AccessKind,
+    },
+}
+
+/// The deterministic instruction stream of one warp in one kernel
+/// launch.
+///
+/// # Example
+///
+/// ```
+/// use mcm_workloads::spec::WorkloadSpec;
+/// use mcm_workloads::stream::{WarpOp, WarpStream};
+///
+/// let spec = WorkloadSpec::template("demo");
+/// let ops: Vec<WarpOp> = WarpStream::new(&spec, 0, 0, 0).collect();
+/// let again: Vec<WarpOp> = WarpStream::new(&spec, 0, 0, 0).collect();
+/// assert_eq!(ops, again); // bit-reproducible
+/// ```
+#[derive(Debug, Clone)]
+pub struct WarpStream {
+    rng: Xoshiro256,
+    remaining: u32,
+    emit_mem_next: bool,
+    // Geometry, in lines.
+    shared_lines: u64,
+    own_start: u64,
+    own_lines: u64,
+    left_start: u64,
+    right_start: u64,
+    neighbor_lines: u64,
+    cursor: u64,
+    // Knobs.
+    mem_ratio: f64,
+    write_frac: f64,
+    streaming: f64,
+    reuse_window: u64,
+    neighbor_frac: f64,
+    shared_frac: f64,
+    cold_shared_frac: f64,
+    footprint_lines: u64,
+    divergence: Option<crate::spec::Divergence>,
+    /// Remaining transactions of an in-progress divergent gather.
+    pending_gather: u8,
+}
+
+/// Instructions warp `w` of CTA `cta` executes in one kernel launch,
+/// including the spec's deterministic per-CTA imbalance.
+///
+/// Imbalance is a *gradient*: work grows linearly with the CTA index
+/// (up to `1 + imbalance` times the base), the shape of triangular
+/// loops and frontier phases. A gradient — unlike random per-CTA noise,
+/// which averages out inside the distributed scheduler's large chunks —
+/// concentrates extra work in one GPM's chunk, reproducing the §5.4
+/// load-imbalance pathology.
+pub fn cta_insts(spec: &WorkloadSpec, cta: u32) -> u32 {
+    if spec.imbalance == 0.0 {
+        return spec.insts_per_warp;
+    }
+    let frac = if spec.ctas <= 1 {
+        0.0
+    } else {
+        f64::from(cta) / f64::from(spec.ctas - 1)
+    };
+    let scale = 1.0 + spec.imbalance * frac;
+    ((f64::from(spec.insts_per_warp) * scale).round() as u32).max(1)
+}
+
+impl WarpStream {
+    /// Creates the stream for warp `warp` of CTA `cta` in kernel launch
+    /// `kernel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid (see [`WorkloadSpec::validate`]) or
+    /// `cta`/`warp` are out of range.
+    pub fn new(spec: &WorkloadSpec, kernel: u32, cta: u32, warp: u32) -> Self {
+        spec.validate().expect("invalid workload spec");
+        assert!(cta < spec.ctas, "CTA index out of range");
+        assert!(warp < spec.warps_per_cta, "warp index out of range");
+
+        let total_lines = spec.footprint_lines();
+        let shared_lines = ((total_lines as f64) * spec.locality.shared_region_frac) as u64;
+        let region_lines = total_lines - shared_lines;
+        let slice = (region_lines / u64::from(spec.ctas)).max(1);
+        let slice_of = |c: u32| shared_lines + u64::from(c) * slice;
+        let left = if cta == 0 { spec.ctas - 1 } else { cta - 1 };
+        let right = if cta + 1 == spec.ctas { 0 } else { cta + 1 };
+
+        // Warps start phase-shifted through the slice so a CTA's warps
+        // cover its slice cooperatively.
+        let warp_origin = (u64::from(warp) * slice) / u64::from(spec.warps_per_cta);
+
+        WarpStream {
+            rng: Xoshiro256::seeded(&[
+                spec.seed,
+                u64::from(kernel),
+                u64::from(cta),
+                u64::from(warp),
+            ]),
+            remaining: cta_insts(spec, cta),
+            emit_mem_next: false,
+            shared_lines,
+            own_start: slice_of(cta),
+            own_lines: slice,
+            left_start: slice_of(left),
+            right_start: slice_of(right),
+            neighbor_lines: slice,
+            cursor: warp_origin,
+            mem_ratio: spec.mem_ratio,
+            write_frac: spec.write_frac,
+            streaming: spec.locality.streaming,
+            reuse_window: u64::from(spec.locality.reuse_window_lines),
+            neighbor_frac: spec.locality.neighbor_frac,
+            shared_frac: spec.locality.shared_frac,
+            cold_shared_frac: spec.locality.cold_shared_frac,
+            footprint_lines: total_lines,
+            divergence: spec.locality.divergence,
+            pending_gather: 0,
+        }
+    }
+
+    /// Instructions not yet emitted.
+    pub fn remaining(&self) -> u32 {
+        self.remaining
+    }
+
+    fn pick_line(&mut self) -> u64 {
+        let r = self.rng.next_f64();
+        if r < self.shared_frac && self.shared_lines > 0 {
+            return self.rng.next_range(self.shared_lines);
+        }
+        if r < self.shared_frac + self.cold_shared_frac {
+            // Cold shared: a uniform gather over the whole footprint —
+            // too large to cache, owned by no CTA.
+            return self.rng.next_range(self.footprint_lines);
+        }
+        if r < self.shared_frac + self.cold_shared_frac + self.neighbor_frac {
+            // Halo exchange: stencil-style kernels read the region of
+            // the *adjacent* CTA that corresponds to their own current
+            // sweep position. Because neighbouring CTAs sweep their
+            // slices in lockstep, this access lands where the neighbour
+            // is working *right now* — the temporal alignment that
+            // makes distributed CTA scheduling (§5.2) profitable.
+            let base = if self.rng.chance(0.5) {
+                self.left_start
+            } else {
+                self.right_start
+            };
+            let jitter = self.rng.next_range(64);
+            return base + (self.cursor + jitter) % self.neighbor_lines;
+        }
+        if self.rng.chance(self.streaming) {
+            self.cursor = (self.cursor + 1) % self.own_lines;
+            self.own_start + self.cursor
+        } else {
+            let window = self.reuse_window.min(self.own_lines);
+            let back = self.rng.next_range(window);
+            self.own_start + (self.cursor + self.own_lines - back) % self.own_lines
+        }
+    }
+
+    /// Emits one memory transaction, arming further gather
+    /// transactions when a divergent instruction begins.
+    fn emit_access(&mut self) -> WarpOp {
+        self.remaining -= 1;
+        if self.pending_gather > 0 {
+            self.pending_gather -= 1;
+        } else if let Some(d) = self.divergence {
+            if self.rng.chance(d.frac) {
+                self.pending_gather = d.degree - 1;
+            }
+        }
+        let line = self.pick_line();
+        let kind = if self.rng.chance(self.write_frac) {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        WarpOp::Access {
+            addr: MemAddr::new(line * LINE_BYTES),
+            kind,
+        }
+    }
+
+    fn next_op(&mut self) -> WarpOp {
+        if self.pending_gather > 0 {
+            // Finish the divergent gather before anything else.
+            return self.emit_access();
+        }
+        if self.emit_mem_next {
+            self.emit_mem_next = false;
+            return self.emit_access();
+        }
+        // Compute burst: geometric with success probability `mem_ratio`,
+        // so the long-run instruction mix matches the spec.
+        let u = self.rng.next_f64().max(f64::MIN_POSITIVE);
+        let burst = if self.mem_ratio >= 1.0 {
+            0
+        } else {
+            (u.ln() / (1.0 - self.mem_ratio).ln()) as u64
+        };
+        let burst = burst.min(u64::from(self.remaining.saturating_sub(1))) as u32;
+        if burst == 0 {
+            self.emit_mem_next = false;
+            self.emit_access()
+        } else {
+            self.emit_mem_next = true;
+            self.remaining -= burst;
+            WarpOp::Compute(burst)
+        }
+    }
+}
+
+impl Iterator for WarpStream {
+    type Item = WarpOp;
+
+    fn next(&mut self) -> Option<WarpOp> {
+        if self.remaining == 0 {
+            None
+        } else {
+            Some(self.next_op())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::LocalityProfile;
+    use mcm_mem::addr::LINES_PER_PAGE;
+
+    fn spec() -> WorkloadSpec {
+        let mut s = WorkloadSpec::template("t");
+        s.insts_per_warp = 2000;
+        s
+    }
+
+    fn mem_ops(stream: WarpStream) -> Vec<(u64, AccessKind)> {
+        stream
+            .filter_map(|op| match op {
+                WarpOp::Access { addr, kind } => Some((addr.line().index(), kind)),
+                WarpOp::Compute(_) => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let s = spec();
+        let a: Vec<WarpOp> = WarpStream::new(&s, 1, 5, 2).collect();
+        let b: Vec<WarpOp> = WarpStream::new(&s, 1, 5, 2).collect();
+        assert_eq!(a, b);
+        // A different warp gets a different stream.
+        let c: Vec<WarpOp> = WarpStream::new(&s, 1, 5, 3).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn instruction_budget_is_exact() {
+        let s = spec();
+        let total: u64 = WarpStream::new(&s, 0, 0, 0)
+            .map(|op| match op {
+                WarpOp::Compute(n) => u64::from(n),
+                WarpOp::Access { .. } => 1,
+            })
+            .sum();
+        assert_eq!(total, u64::from(s.insts_per_warp));
+    }
+
+    #[test]
+    fn mem_ratio_is_respected_in_the_long_run() {
+        let mut s = spec();
+        s.insts_per_warp = 50_000;
+        s.mem_ratio = 0.3;
+        let ops: Vec<WarpOp> = WarpStream::new(&s, 0, 0, 0).collect();
+        let mem = ops
+            .iter()
+            .filter(|o| matches!(o, WarpOp::Access { .. }))
+            .count() as f64;
+        let ratio = mem / f64::from(s.insts_per_warp);
+        assert!(
+            (ratio - 0.3).abs() < 0.03,
+            "observed mem ratio {ratio} far from 0.3"
+        );
+    }
+
+    #[test]
+    fn write_fraction_is_respected() {
+        let mut s = spec();
+        s.insts_per_warp = 50_000;
+        s.write_frac = 0.4;
+        let ops = mem_ops(WarpStream::new(&s, 0, 0, 0));
+        let writes = ops.iter().filter(|(_, k)| k.is_write()).count() as f64;
+        let frac = writes / ops.len() as f64;
+        assert!((frac - 0.4).abs() < 0.05, "observed write frac {frac}");
+    }
+
+    #[test]
+    fn addresses_stay_inside_footprint() {
+        let s = spec();
+        let max_line = s.footprint_lines();
+        for cta in [0u32, 1, 127, 255] {
+            for (line, _) in mem_ops(WarpStream::new(&s, 0, cta, 0)) {
+                assert!(line < max_line, "line {line} outside footprint");
+            }
+        }
+    }
+
+    #[test]
+    fn ctas_mostly_touch_their_own_slice() {
+        let mut s = spec();
+        s.locality = LocalityProfile {
+            streaming: 0.8,
+            reuse_window_lines: 256,
+            neighbor_frac: 0.1,
+            shared_frac: 0.1,
+            shared_region_frac: 0.1,
+            cold_shared_frac: 0.0,
+            divergence: None,
+        };
+        s.insts_per_warp = 20_000;
+        let total = s.footprint_lines();
+        let shared = (total as f64 * 0.1) as u64;
+        let slice = (total - shared) / u64::from(s.ctas);
+        let cta = 100u32;
+        let own_start = shared + u64::from(cta) * slice;
+        let ops = mem_ops(WarpStream::new(&s, 0, cta, 0));
+        let own = ops
+            .iter()
+            .filter(|(l, _)| (own_start..own_start + slice).contains(l))
+            .count() as f64;
+        let frac = own / ops.len() as f64;
+        assert!(frac > 0.7, "own-slice fraction {frac} too low");
+    }
+
+    #[test]
+    fn same_cta_same_pages_across_kernels() {
+        // The §5.3 cross-kernel property: the set of pages CTA c touches
+        // is stable across kernel launches (streams differ but the slice
+        // is the same).
+        let mut s = spec();
+        s.locality.shared_frac = 0.0;
+        s.locality.neighbor_frac = 0.0;
+        let pages = |kernel: u32| -> std::collections::HashSet<u64> {
+            mem_ops(WarpStream::new(&s, kernel, 7, 0))
+                .into_iter()
+                .map(|(l, _)| l / LINES_PER_PAGE)
+                .collect()
+        };
+        let k0 = pages(0);
+        let k1 = pages(1);
+        let overlap = k0.intersection(&k1).count() as f64 / k0.len().max(1) as f64;
+        assert!(overlap > 0.8, "cross-kernel page overlap {overlap} too low");
+    }
+
+    #[test]
+    fn imbalance_varies_cta_instruction_counts() {
+        let mut s = spec();
+        s.imbalance = 0.5;
+        let counts: Vec<u32> = (0..16).map(|c| cta_insts(&s, c)).collect();
+        assert!(counts.iter().any(|&c| c != counts[0]));
+        assert!(counts
+            .iter()
+            .all(|&c| c >= s.insts_per_warp && c <= (s.insts_per_warp * 3) / 2 + 1));
+        // Deterministic.
+        assert_eq!(cta_insts(&s, 3), cta_insts(&s, 3));
+    }
+
+    #[test]
+    fn divergence_raises_memory_transaction_share() {
+        let mut coalesced = spec();
+        coalesced.insts_per_warp = 20_000;
+        let mut divergent = coalesced.clone();
+        divergent.locality = divergent.locality.with_divergence(0.5, 4);
+        let mem_share = |s: &WorkloadSpec| {
+            let ops: Vec<WarpOp> = WarpStream::new(s, 0, 0, 0).collect();
+            ops.iter()
+                .filter(|o| matches!(o, WarpOp::Access { .. }))
+                .count() as f64
+                / f64::from(s.insts_per_warp)
+        };
+        let base = mem_share(&coalesced);
+        let div = mem_share(&divergent);
+        assert!(
+            div > base * 1.5,
+            "divergent gathers must multiply memory transactions              ({div:.3} vs {base:.3})"
+        );
+        // Budget is still exact.
+        let total: u64 = WarpStream::new(&divergent, 0, 0, 0)
+            .map(|op| match op {
+                WarpOp::Compute(n) => u64::from(n),
+                WarpOp::Access { .. } => 1,
+            })
+            .sum();
+        assert_eq!(total, u64::from(divergent.insts_per_warp));
+    }
+
+    #[test]
+    fn divergence_validation() {
+        let mut s = spec();
+        s.locality = s.locality.with_divergence(0.5, 1);
+        assert!(s.validate().is_err(), "degree 1 is not divergent");
+        s.locality = s.locality.with_divergence(1.5, 4);
+        assert!(s.validate().is_err());
+        s.locality = s.locality.with_divergence(0.3, 8);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "CTA index out of range")]
+    fn cta_out_of_range_panics() {
+        let s = spec();
+        WarpStream::new(&s, 0, s.ctas, 0);
+    }
+}

@@ -1,0 +1,383 @@
+//! The 48-benchmark evaluation suite.
+//!
+//! The paper evaluates 48 CUDA workloads drawn from CORAL, Lonestar,
+//! Rodinia, and NVIDIA in-house benchmarks (§4). The traces are
+//! proprietary, so this module reconstructs each workload as a
+//! [`WorkloadSpec`] from its *published* characteristics:
+//!
+//! * The 17 memory-intensive workloads carry their exact Table 4
+//!   footprints and are parameterized so their inter-GPM-bandwidth
+//!   sensitivity falls in the order Fig. 6 sorts them by.
+//! * Compute-intensive workloads get low memory intensity; `SP` and
+//!   `XSBench` are given the strong shared-table locality that makes
+//!   them the category's big winners (§5.4 reports 4.4× and 3.1×).
+//! * Limited-parallelism workloads get too few CTAs to fill 256 SMs;
+//!   `DWT` and `NN` are latency-bound with negligible reuse (the
+//!   workloads §5.4 reports the L1.5 hurting), and `Streamcluster` is
+//!   write-heavy enough to suffer when L2 capacity is rebalanced away
+//!   (§5.4's −25.3 % outlier).
+//!
+//! Parameter values are synthetic calibrations, not measurements of the
+//! original applications; DESIGN.md documents this substitution.
+
+use crate::spec::{Category, LocalityProfile, WorkloadSpec};
+
+const MIB: u64 = 1 << 20;
+
+/// Builds one M-intensive spec. `footprint_mb` comes straight from
+/// Table 4.
+#[allow(clippy::too_many_arguments)]
+fn m_intensive(
+    name: &'static str,
+    footprint_mb: u64,
+    mem_ratio: f64,
+    write_frac: f64,
+    locality: LocalityProfile,
+    ctas: u32,
+    insts: u32,
+    iters: u32,
+) -> WorkloadSpec {
+    WorkloadSpec {
+        name,
+        category: Category::MemoryIntensive,
+        footprint_bytes: footprint_mb * MIB,
+        ctas,
+        warps_per_cta: 8,
+        insts_per_warp: insts,
+        mem_ratio,
+        write_frac,
+        kernel_iters: iters,
+        locality,
+        imbalance: 0.0,
+        seed: splitmix_name(name),
+    }
+}
+
+fn profile(
+    streaming: f64,
+    reuse_window_lines: u32,
+    neighbor_frac: f64,
+    shared_frac: f64,
+    shared_region_frac: f64,
+) -> LocalityProfile {
+    LocalityProfile {
+        streaming,
+        reuse_window_lines,
+        neighbor_frac,
+        shared_frac,
+        shared_region_frac,
+        cold_shared_frac: 0.0,
+        divergence: None,
+    }
+}
+
+/// Derives a stable per-workload seed from its name.
+fn splitmix_name(name: &str) -> u64 {
+    let mut acc = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        acc ^= u64::from(b);
+        acc = acc.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    acc
+}
+
+/// The 17 memory-intensive workloads of Table 4, in the
+/// decreasing-bandwidth-sensitivity order Fig. 6 plots them in.
+pub fn m_intensive_suite() -> Vec<WorkloadSpec> {
+    vec![
+        // Convolution: streaming activations over a hot ~2 MB shared
+        // weight table; extremely bandwidth-hungry.
+        m_intensive("NN-Conv", 496, 0.30, 0.20, profile(0.92, 512, 0.02, 0.33, 0.004).with_cold_shared(0.03), 1024, 240, 2),
+        // STREAM triad: pure streaming, perfectly partitionable.
+        m_intensive("Stream", 3072, 0.33, 0.33, profile(0.98, 64, 0.0, 0.0, 0.0), 2048, 210, 2),
+        // SRAD stencil: streaming sweeps with halo exchange and a hot
+        // coefficient table.
+        m_intensive("Srad-v2", 96, 0.28, 0.30, profile(0.85, 1024, 0.22, 0.12, 0.012).with_cold_shared(0.02), 1024, 240, 3),
+        m_intensive("Lulesh1", 1891, 0.26, 0.28, profile(0.78, 2048, 0.18, 0.16, 0.0008).with_cold_shared(0.04), 1024, 240, 2),
+        // Shortest path: random traversal of a shared graph whose hot
+        // frontier fits a GPM-side cache.
+        m_intensive("SSSP", 37, 0.25, 0.10, profile(0.55, 2048, 0.05, 0.40, 0.025).with_cold_shared(0.05), 768, 260, 3),
+        m_intensive("Lulesh2", 4309, 0.24, 0.28, profile(0.78, 2048, 0.18, 0.16, 0.0004).with_cold_shared(0.04), 1024, 230, 2),
+        m_intensive("MiniAMR", 5407, 0.22, 0.30, profile(0.84, 1024, 0.20, 0.11, 0.0003).with_cold_shared(0.03), 1024, 230, 2),
+        // K-means: streaming points against hot shared centroids.
+        m_intensive("Kmeans", 216, 0.22, 0.15, profile(0.90, 512, 0.04, 0.27, 0.005).with_cold_shared(0.03), 1024, 240, 3),
+        m_intensive("Nekbone1", 1746, 0.20, 0.25, profile(0.70, 4096, 0.15, 0.14, 0.0008).with_cold_shared(0.04), 1024, 230, 2),
+        m_intensive("Lulesh3", 203, 0.20, 0.28, profile(0.75, 2048, 0.18, 0.16, 0.007).with_cold_shared(0.04), 1024, 230, 2),
+        // Breadth-first search: shared frontier + graph structure.
+        m_intensive("BFS", 37, 0.19, 0.12, profile(0.55, 2048, 0.05, 0.36, 0.025).with_cold_shared(0.05), 768, 260, 3),
+        m_intensive("MnCtct", 251, 0.18, 0.22, profile(0.72, 4096, 0.15, 0.14, 0.006).with_cold_shared(0.04), 1024, 230, 2),
+        m_intensive("Nekbone2", 287, 0.18, 0.25, profile(0.70, 4096, 0.15, 0.14, 0.005).with_cold_shared(0.04), 1024, 230, 2),
+        // Algebraic multigrid: sparse matvec over a huge footprint with
+        // hot coarse grids.
+        m_intensive("AMG", 5430, 0.17, 0.18, profile(0.72, 8192, 0.06, 0.18, 0.0003).with_cold_shared(0.05), 1024, 230, 2),
+        // Minimum spanning tree: graph with a hot component table.
+        m_intensive("MST", 73, 0.17, 0.12, profile(0.58, 4096, 0.05, 0.32, 0.012).with_cold_shared(0.05), 768, 250, 3),
+        // Small-footprint CFD: caches capture it, so link bandwidth
+        // matters little — but FT+DS make it almost fully local (§5.4
+        // reports 3.2x).
+        m_intensive("CFD", 25, 0.25, 0.25, profile(0.60, 8192, 0.20, 0.04, 0.04).with_cold_shared(0.01), 768, 260, 4),
+        // Molecular dynamics: strong cell-list neighbor locality.
+        m_intensive("CoMD", 385, 0.23, 0.20, profile(0.55, 8192, 0.25, 0.10, 0.003).with_cold_shared(0.02), 1024, 240, 4),
+    ]
+}
+
+fn c_intensive(
+    name: &'static str,
+    footprint_mb: u64,
+    mem_ratio: f64,
+    locality: LocalityProfile,
+) -> WorkloadSpec {
+    WorkloadSpec {
+        name,
+        category: Category::ComputeIntensive,
+        footprint_bytes: footprint_mb * MIB,
+        ctas: 1024,
+        warps_per_cta: 8,
+        insts_per_warp: 450,
+        mem_ratio,
+        write_frac: 0.2,
+        kernel_iters: 2,
+        locality,
+        imbalance: 0.0,
+        seed: splitmix_name(name),
+    }
+}
+
+/// The 16 compute-intensive workloads (names from the public Rodinia /
+/// Lonestar / CORAL suites the paper draws on; parameters synthetic).
+pub fn c_intensive_suite() -> Vec<WorkloadSpec> {
+    vec![
+        // SP: compute-heavy but with a hot shared table; the category's
+        // biggest winner (§5.4: 4.4x).
+        c_intensive("SP", 128, 0.060, profile(0.50, 256, 0.05, 0.40, 0.01).with_cold_shared(0.05)),
+        // XSBench: random lookups in shared cross-section tables
+        // (§5.4: 3.1x).
+        c_intensive("XSBench", 512, 0.050, profile(0.40, 512, 0.02, 0.50, 0.003).with_cold_shared(0.05)),
+        c_intensive("Backprop", 96, 0.045, profile(0.85, 1024, 0.05, 0.12, 0.02).with_cold_shared(0.02)),
+        c_intensive("Hotspot", 64, 0.035, profile(0.85, 1024, 0.12, 0.02, 0.01).with_cold_shared(0.02)),
+        c_intensive("LavaMD", 48, 0.030, profile(0.55, 4096, 0.20, 0.02, 0.01).with_cold_shared(0.02)),
+        c_intensive("Pathfinder", 128, 0.040, profile(0.90, 512, 0.08, 0.02, 0.01).with_cold_shared(0.02)),
+        c_intensive("NW", 96, 0.035, profile(0.80, 2048, 0.10, 0.02, 0.01).with_cold_shared(0.02)),
+        c_intensive("Gaussian", 64, 0.025, profile(0.75, 4096, 0.05, 0.10, 0.02).with_cold_shared(0.02)),
+        c_intensive("B+Tree", 256, 0.045, profile(0.45, 1024, 0.02, 0.40, 0.006).with_cold_shared(0.02)),
+        c_intensive("Heartwall", 96, 0.030, profile(0.80, 2048, 0.08, 0.05, 0.02).with_cold_shared(0.02)),
+        c_intensive("DMR", 192, 0.040, profile(0.55, 4096, 0.10, 0.25, 0.008).with_cold_shared(0.02)),
+        c_intensive("SGEMM", 256, 0.025, profile(0.70, 8192, 0.02, 0.15, 0.01).with_cold_shared(0.02)),
+        c_intensive("Blackscholes", 384, 0.035, profile(0.95, 256, 0.0, 0.02, 0.01).with_cold_shared(0.02)),
+        c_intensive("Raytrace", 128, 0.030, profile(0.40, 2048, 0.02, 0.35, 0.012).with_cold_shared(0.02)),
+        c_intensive("Histogram", 192, 0.040, profile(0.92, 256, 0.0, 0.08, 0.005).with_cold_shared(0.02)),
+        c_intensive("Reduction", 512, 0.035, profile(0.97, 128, 0.0, 0.02, 0.01).with_cold_shared(0.02)),
+    ]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn limited(
+    name: &'static str,
+    footprint_mb: u64,
+    ctas: u32,
+    mem_ratio: f64,
+    write_frac: f64,
+    locality: LocalityProfile,
+    insts: u32,
+) -> WorkloadSpec {
+    let warps_per_cta = if matches!(name, "DWT" | "NN") { 4 } else { 8 };
+    let insts_per_warp = if warps_per_cta == 8 { insts / 2 } else { insts };
+    WorkloadSpec {
+        name,
+        category: Category::LimitedParallelism,
+        footprint_bytes: footprint_mb * MIB,
+        ctas,
+        warps_per_cta,
+        insts_per_warp,
+        mem_ratio,
+        write_frac,
+        kernel_iters: 3,
+        locality,
+        imbalance: 0.0,
+        seed: splitmix_name(name),
+    }
+}
+
+/// The 15 limited-parallelism workloads: too few CTAs to fill 256 SMs
+/// (parallel efficiency < 25 %, §4).
+pub fn limited_parallelism_suite() -> Vec<WorkloadSpec> {
+    vec![
+        // DWT and NN: latency-bound, negligible reuse; the L1.5's added
+        // latency hurts them (§5.4: up to −14.6 %).
+        limited("DWT", 64, 48, 0.12, 0.30, profile(0.97, 64, 0.0, 0.0, 0.0), 3000),
+        limited("NN", 32, 32, 0.12, 0.05, profile(0.97, 64, 0.0, 0.02, 0.01), 3200),
+        // Streamcluster: write-heavy working set that wants the L2
+        // capacity the optimized hierarchy gives away (§5.4: −25.3 %).
+        limited(
+            "Streamcluster",
+            24,
+            64,
+            0.35,
+            0.55,
+            profile(0.30, 16384, 0.02, 0.05, 0.02),
+            2800,
+        ),
+        limited("Mummer", 96, 64, 0.12, 0.10, profile(0.50, 2048, 0.02, 0.40, 0.03).with_cold_shared(0.08), 2600),
+        limited("BarnesHut", 48, 96, 0.10, 0.15, profile(0.45, 4096, 0.05, 0.35, 0.04).with_cold_shared(0.08), 2400),
+        limited("Delaunay", 64, 64, 0.10, 0.20, profile(0.55, 4096, 0.10, 0.20, 0.03).with_cold_shared(0.03), 2600),
+        limited("SpMV-s", 48, 96, 0.15, 0.10, profile(0.70, 4096, 0.05, 0.20, 0.04).with_cold_shared(0.03), 2400),
+        limited("FFT-s", 96, 64, 0.12, 0.30, profile(0.80, 2048, 0.05, 0.20, 0.02).with_cold_shared(0.03), 2600),
+        limited("Sort-s", 128, 96, 0.14, 0.40, profile(0.85, 1024, 0.02, 0.15, 0.015).with_cold_shared(0.03), 2400),
+        limited("Scan", 192, 64, 0.15, 0.35, profile(0.95, 512, 0.0, 0.20, 0.01).with_cold_shared(0.03), 2600),
+        limited("Crypt", 128, 48, 0.08, 0.10, profile(0.90, 512, 0.0, 0.25, 0.015).with_cold_shared(0.03), 3200),
+        limited("GEMM-s", 96, 64, 0.06, 0.10, profile(0.70, 8192, 0.02, 0.15, 0.03).with_cold_shared(0.03), 3000),
+        limited("Jacobi-s", 96, 96, 0.14, 0.30, profile(0.85, 1024, 0.12, 0.15, 0.02).with_cold_shared(0.03), 2400),
+        limited("MonteCarlo", 96, 64, 0.06, 0.05, profile(0.40, 1024, 0.0, 0.30, 0.02).with_cold_shared(0.03), 3200),
+        limited("Stencil-s", 96, 96, 0.14, 0.28, profile(0.85, 1024, 0.12, 0.15, 0.02).with_cold_shared(0.03), 2400),
+    ]
+}
+
+/// The full 48-workload suite, M-intensive first (in Fig. 6 order),
+/// then C-intensive, then limited-parallelism.
+pub fn suite() -> Vec<WorkloadSpec> {
+    let mut all = m_intensive_suite();
+    all.extend(c_intensive_suite());
+    all.extend(limited_parallelism_suite());
+    all
+}
+
+/// Looks a workload up by its figure name.
+pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    suite().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_48_workloads_with_paper_category_split() {
+        let all = suite();
+        assert_eq!(all.len(), 48);
+        let m = all
+            .iter()
+            .filter(|w| w.category == Category::MemoryIntensive)
+            .count();
+        let c = all
+            .iter()
+            .filter(|w| w.category == Category::ComputeIntensive)
+            .count();
+        let l = all
+            .iter()
+            .filter(|w| w.category == Category::LimitedParallelism)
+            .count();
+        assert_eq!(m, 17, "Table 4 lists 17 M-intensive workloads");
+        assert_eq!(c, 16);
+        assert_eq!(l, 15, "the paper reports 15 limited-parallelism apps");
+        // 33 high-parallelism apps, as in Fig. 2.
+        assert_eq!(m + c, 33);
+    }
+
+    #[test]
+    fn every_spec_validates() {
+        for w in suite() {
+            w.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let all = suite();
+        let mut names: Vec<_> = all.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn table4_footprints_match_paper() {
+        let expect = [
+            ("AMG", 5430),
+            ("NN-Conv", 496),
+            ("BFS", 37),
+            ("CFD", 25),
+            ("CoMD", 385),
+            ("Kmeans", 216),
+            ("Lulesh1", 1891),
+            ("Lulesh2", 4309),
+            ("Lulesh3", 203),
+            ("MiniAMR", 5407),
+            ("MnCtct", 251),
+            ("MST", 73),
+            ("Nekbone1", 1746),
+            ("Nekbone2", 287),
+            ("Srad-v2", 96),
+            ("SSSP", 37),
+            ("Stream", 3072),
+        ];
+        for (name, mb) in expect {
+            let w = by_name(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(w.footprint_bytes, mb * MIB, "{name} footprint");
+            assert_eq!(w.category, Category::MemoryIntensive, "{name} category");
+        }
+    }
+
+    #[test]
+    fn m_intensive_order_matches_fig6() {
+        let names: Vec<_> = m_intensive_suite().iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "NN-Conv", "Stream", "Srad-v2", "Lulesh1", "SSSP", "Lulesh2", "MiniAMR",
+                "Kmeans", "Nekbone1", "Lulesh3", "BFS", "MnCtct", "Nekbone2", "AMG", "MST",
+                "CFD", "CoMD",
+            ]
+        );
+    }
+
+    #[test]
+    fn limited_parallelism_cannot_fill_256_sms() {
+        for w in limited_parallelism_suite() {
+            assert!(
+                w.ctas < 256,
+                "{} has {} CTAs; limited-parallelism apps must underfill",
+                w.name,
+                w.ctas
+            );
+        }
+    }
+
+    #[test]
+    fn high_parallelism_fills_256_sms() {
+        for w in m_intensive_suite().iter().chain(c_intensive_suite().iter()) {
+            assert!(
+                w.ctas >= 512,
+                "{} has too few CTAs for a high-parallelism app",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn c_intensive_is_less_memory_bound_than_m_intensive() {
+        let max_c = c_intensive_suite()
+            .iter()
+            .map(|w| w.mem_ratio)
+            .fold(0.0, f64::max);
+        let min_m = m_intensive_suite()
+            .iter()
+            .map(|w| w.mem_ratio)
+            .fold(1.0, f64::min);
+        assert!(max_c < min_m);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        assert!(by_name("CoMD").is_some());
+        assert!(by_name("DoesNotExist").is_none());
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let all = suite();
+        let mut seeds: Vec<_> = all.iter().map(|w| w.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), all.len());
+    }
+}

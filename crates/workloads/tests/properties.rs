@@ -1,0 +1,140 @@
+//! Property-based tests for the workload generator.
+
+use mcm_mem::addr::LINES_PER_PAGE;
+use mcm_workloads::spec::{LocalityProfile, WorkloadSpec};
+use mcm_workloads::stream::{cta_insts, WarpOp, WarpStream};
+use proptest::prelude::*;
+
+fn arb_profile() -> impl Strategy<Value = LocalityProfile> {
+    (
+        0.0f64..=1.0,
+        1u32..20_000,
+        0.0f64..0.4,
+        0.0f64..0.4,
+        0.0f64..0.5,
+        0.0f64..0.2,
+    )
+        .prop_map(
+            |(streaming, window, neighbor, shared, region, cold)| LocalityProfile {
+                streaming,
+                reuse_window_lines: window,
+                neighbor_frac: neighbor,
+                shared_frac: shared,
+                shared_region_frac: region,
+                cold_shared_frac: cold,
+                divergence: None,
+            },
+        )
+}
+
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        1u32..64,          // ctas
+        1u32..8,           // warps per cta
+        1u32..600,         // insts
+        0.01f64..=1.0,     // mem ratio
+        0.0f64..=1.0,      // write frac
+        1u32..4,           // iters
+        20u64..28,         // footprint = 2^n bytes (1 MiB .. 128 MiB)
+        arb_profile(),
+        any::<u64>(),      // seed
+        0.0f64..=1.0,      // imbalance
+    )
+        .prop_map(
+            |(ctas, warps, insts, mem, wfrac, iters, fp, locality, seed, imbalance)| {
+                WorkloadSpec {
+                    name: "prop",
+                    category: mcm_workloads::Category::MemoryIntensive,
+                    footprint_bytes: 1u64 << fp,
+                    ctas,
+                    warps_per_cta: warps,
+                    insts_per_warp: insts,
+                    mem_ratio: mem,
+                    write_frac: wfrac,
+                    kernel_iters: iters,
+                    locality,
+                    imbalance,
+                    seed,
+                }
+            },
+        )
+}
+
+proptest! {
+    /// Every generated spec validates, and its streams (a) emit exactly
+    /// the per-CTA instruction budget, (b) stay inside the footprint,
+    /// and (c) are reproducible.
+    #[test]
+    fn stream_invariants(spec in arb_spec()) {
+        prop_assume!(spec.validate().is_ok());
+        let cta = spec.ctas / 2;
+        let warp = spec.warps_per_cta - 1;
+        let ops: Vec<WarpOp> = WarpStream::new(&spec, 0, cta, warp).collect();
+        let ops2: Vec<WarpOp> = WarpStream::new(&spec, 0, cta, warp).collect();
+        prop_assert_eq!(&ops, &ops2);
+
+        let total: u64 = ops
+            .iter()
+            .map(|op| match op {
+                WarpOp::Compute(n) => u64::from(*n),
+                WarpOp::Access { .. } => 1,
+            })
+            .sum();
+        prop_assert_eq!(total, u64::from(cta_insts(&spec, cta)));
+
+        let max_line = spec.footprint_lines();
+        for op in &ops {
+            if let WarpOp::Access { addr, .. } = op {
+                prop_assert!(addr.line().index() < max_line);
+            }
+        }
+    }
+
+    /// Compute bursts are always nonzero (a zero burst would deadlock an
+    /// SM's issue accounting).
+    #[test]
+    fn compute_bursts_nonzero(spec in arb_spec()) {
+        prop_assume!(spec.validate().is_ok());
+        for op in WarpStream::new(&spec, 0, 0, 0) {
+            if let WarpOp::Compute(n) = op {
+                prop_assert!(n > 0);
+            }
+        }
+    }
+
+    /// Imbalance never shrinks a CTA's work below the base budget, and
+    /// is bounded by the configured factor.
+    #[test]
+    fn imbalance_bounds(spec in arb_spec(), cta in 0u32..64) {
+        prop_assume!(spec.validate().is_ok());
+        let cta = cta % spec.ctas;
+        let n = cta_insts(&spec, cta);
+        prop_assert!(n >= spec.insts_per_warp);
+        let ceil = (f64::from(spec.insts_per_warp) * (1.0 + spec.imbalance)).round() as u32 + 1;
+        prop_assert!(n <= ceil);
+    }
+
+    /// Cross-kernel page stability: with purely private access patterns
+    /// the pages a CTA touches in kernel 0 overlap heavily with kernel 1.
+    #[test]
+    fn cross_kernel_page_overlap(seed in any::<u64>()) {
+        let mut spec = WorkloadSpec::template("xk");
+        spec.seed = seed;
+        spec.insts_per_warp = 2000;
+        spec.locality.shared_frac = 0.0;
+        spec.locality.neighbor_frac = 0.0;
+        let pages = |k: u32| -> std::collections::HashSet<u64> {
+            WarpStream::new(&spec, k, 3, 0)
+                .filter_map(|op| match op {
+                    WarpOp::Access { addr, .. } => Some(addr.line().index() / LINES_PER_PAGE),
+                    _ => None,
+                })
+                .collect()
+        };
+        let a = pages(0);
+        let b = pages(1);
+        prop_assume!(!a.is_empty());
+        let overlap = a.intersection(&b).count() as f64 / a.len() as f64;
+        prop_assert!(overlap > 0.5, "overlap {overlap}");
+    }
+}

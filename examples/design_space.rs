@@ -1,0 +1,79 @@
+//! Design-space exploration: the architect's view of one workload.
+//!
+//! Sweeps the two main MCM-GPU design levers — inter-GPM link bandwidth
+//! and the L1.5/L2 capacity split — and prints how each point performs,
+//! reproducing in miniature the §3.3/§5.1 methodology.
+//!
+//! ```text
+//! cargo run --release --example design_space [workload-name]
+//! ```
+
+use mcm::gpu::{Simulator, SystemConfig};
+use mcm::mem::cache::AllocFilter;
+use mcm::workloads::suite;
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Kmeans".to_string());
+    let spec = suite::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown workload {name}"))
+        .scaled(0.25);
+    println!("workload: {spec}\n");
+
+    // --- Lever 1: inter-GPM link bandwidth (paper §3.3.2, Fig. 4) ---
+    println!("link-bandwidth sweep (baseline cache hierarchy):");
+    println!("{:>12} {:>12} {:>10} {:>11}", "link GB/s", "cycles", "slowdown", "ring TB/s");
+    let reference = Simulator::run(&SystemConfig::mcm_with_link(6144.0), &spec);
+    for gbps in [6144.0, 3072.0, 1536.0, 768.0, 384.0] {
+        let r = Simulator::run(&SystemConfig::mcm_with_link(gbps), &spec);
+        println!(
+            "{:>12.0} {:>12} {:>9.2}x {:>11.2}",
+            gbps,
+            r.cycles.as_u64(),
+            r.cycles.as_u64() as f64 / reference.cycles.as_u64() as f64,
+            r.inter_module_tbps()
+        );
+    }
+
+    // --- Lever 2: the L1.5/L2 split and allocation policy (§5.1) ---
+    println!("\nL1.5 design points (iso-transistor unless noted):");
+    println!(
+        "{:>28} {:>12} {:>9} {:>10} {:>10}",
+        "hierarchy", "cycles", "speedup", "L1.5 hit%", "ring TB/s"
+    );
+    let base = Simulator::run(&SystemConfig::baseline_mcm(), &spec);
+    let mut points = vec![("no L1.5 (baseline)".to_string(), SystemConfig::baseline_mcm())];
+    for mb in [8u64, 16] {
+        for (label, filter) in [("all-alloc", AllocFilter::All), ("remote-only", AllocFilter::RemoteOnly)] {
+            points.push((
+                format!("{mb} MB {label}"),
+                SystemConfig::mcm_with_l15(mb, filter),
+            ));
+        }
+    }
+    points.push((
+        "32 MB remote-only (2x area)".to_string(),
+        SystemConfig::mcm_with_l15_32mb(AllocFilter::RemoteOnly),
+    ));
+    for (label, cfg) in points {
+        let r = Simulator::run(&cfg, &spec);
+        println!(
+            "{:>28} {:>12} {:>8.2}x {:>10.1} {:>10.2}",
+            label,
+            r.cycles.as_u64(),
+            r.speedup_over(&base),
+            r.l15.rate() * 100.0,
+            r.inter_module_tbps()
+        );
+    }
+
+    // --- Combined: the paper's final recipe (§5.4) ---
+    let opt = Simulator::run(&SystemConfig::optimized_mcm(), &spec);
+    println!(
+        "\nfull recipe (8 MB remote-only L1.5 + distributed scheduling + first touch): \
+         {:.2}x over baseline, {:.1}% of traffic local",
+        opt.speedup_over(&base),
+        opt.locality_rate() * 100.0
+    );
+}

@@ -1,0 +1,64 @@
+//! Sizing the on-package links before building anything: the §3.3.1
+//! back-of-the-envelope analysis as a tool, cross-checked against
+//! simulation.
+//!
+//! ```text
+//! cargo run --release --example link_sizing [l2_hit_rate]
+//! ```
+
+use mcm::gpu::analysis::{LinkSizing, LinkVerdict};
+use mcm::gpu::{Simulator, SystemConfig};
+use mcm::workloads::suite;
+
+fn main() {
+    let hit_rate: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("hit rate must be a number"))
+        .unwrap_or(0.5);
+
+    let sizing = LinkSizing {
+        gpms: 4,
+        dram_gbps_per_gpm: 768.0,
+        l2_hit_rate: hit_rate,
+    };
+    println!(
+        "machine: 4 GPMs x 768 GB/s DRAM, assumed L2 hit rate {:.0}%",
+        hit_rate * 100.0
+    );
+    println!(
+        "each partition supplies {:.0} GB/s post-L2; {:.0}% of it crosses the package",
+        sizing.supply_per_partition_gbps(),
+        sizing.remote_fraction() * 100.0
+    );
+    println!(
+        "analytic per-link requirement: {:.0} GB/s (bidirectional)\n",
+        sizing.required_link_gbps()
+    );
+
+    println!("{:>12} {:>28}", "link GB/s", "verdict");
+    for link in [384.0, 768.0, 1536.0, 3072.0, 6144.0] {
+        let verdict = match sizing.verdict(link) {
+            LinkVerdict::Sufficient { headroom } => {
+                format!("sufficient ({headroom:.1}x headroom)")
+            }
+            LinkVerdict::Throttles {
+                achievable_dram_fraction,
+            } => format!("throttles to {:.0}% of DRAM", achievable_dram_fraction * 100.0),
+        };
+        println!("{link:>12.0} {verdict:>28}");
+    }
+
+    // Cross-check one point in simulation.
+    println!("\nsimulation cross-check (Stream, scaled):");
+    let spec = suite::by_name("Stream").unwrap().scaled(0.1);
+    let ample = Simulator::run(&SystemConfig::mcm_with_link(6144.0), &spec);
+    for link in [384.0, 768.0, 1536.0] {
+        let r = Simulator::run(&SystemConfig::mcm_with_link(link), &spec);
+        println!(
+            "  {link:>5.0} GB/s links: {:.2}x slower than 6 TB/s, \
+             DRAM runs at {:.2} TB/s",
+            r.cycles.as_u64() as f64 / ample.cycles.as_u64() as f64,
+            r.dram_tbps()
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Quickstart: simulate one workload on the baseline and the optimized
+//! MCM-GPU and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart [workload-name] [scale]
+//! ```
+//!
+//! `workload-name` is any Table 4 / suite name (default `CoMD`);
+//! `scale` shrinks per-warp instruction counts for quicker runs
+//! (default 0.25).
+
+use mcm::gpu::{Simulator, SystemConfig};
+use mcm::workloads::suite;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "CoMD".to_string());
+    let scale: f64 = args
+        .next()
+        .map(|s| s.parse().expect("scale must be a number"))
+        .unwrap_or(0.25);
+
+    let Some(workload) = suite::by_name(&name) else {
+        eprintln!("unknown workload {name:?}; available:");
+        for w in suite::suite() {
+            eprintln!("  {w}");
+        }
+        std::process::exit(1);
+    };
+    let spec = workload.scaled(scale);
+    println!("workload: {spec}");
+    println!();
+
+    let configs = [
+        SystemConfig::baseline_mcm(),
+        SystemConfig::optimized_mcm(),
+        SystemConfig::largest_buildable_monolithic(),
+        SystemConfig::hypothetical_monolithic_256(),
+    ];
+
+    let baseline = Simulator::run(&configs[0], &spec);
+    println!(
+        "{:45} {:>12} {:>8} {:>9} {:>9} {:>8}",
+        "configuration", "cycles", "speedup", "ring TB/s", "DRAM TB/s", "local %"
+    );
+    for cfg in &configs {
+        let r = Simulator::run(cfg, &spec);
+        println!(
+            "{:45} {:>12} {:>8.2} {:>9.2} {:>9.2} {:>8.1}",
+            r.config,
+            r.cycles.as_u64(),
+            r.speedup_over(&baseline),
+            r.inter_module_tbps(),
+            r.dram_tbps(),
+            r.locality_rate() * 100.0
+        );
+    }
+    println!();
+    let opt = Simulator::run(&configs[1], &spec);
+    println!(
+        "optimized MCM-GPU moves {:.1}x less inter-GPM data than baseline \
+         ({} MB vs {} MB)",
+        baseline.inter_module_bytes as f64 / opt.inter_module_bytes.max(1) as f64,
+        opt.inter_module_bytes >> 20,
+        baseline.inter_module_bytes >> 20,
+    );
+    println!(
+        "data-movement energy: baseline {:.1} mJ, optimized {:.1} mJ",
+        baseline.energy.total_joules() * 1e3,
+        opt.energy.total_joules() * 1e3
+    );
+}

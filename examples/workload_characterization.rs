@@ -1,0 +1,56 @@
+//! Workload characterization: run the full 48-benchmark suite on the
+//! baseline MCM-GPU and print the memory-system profile of every
+//! workload — the kind of table §4 of the paper summarizes.
+//!
+//! ```text
+//! cargo run --release --example workload_characterization [scale]
+//! ```
+//!
+//! `scale` (default 0.1) shrinks instruction counts; the profile shape
+//! is stable under scaling.
+
+use mcm::gpu::{Simulator, SystemConfig};
+use mcm::workloads::{suite, Category};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("scale must be a number"))
+        .unwrap_or(0.1);
+    let cfg = SystemConfig::baseline_mcm();
+
+    println!(
+        "{:14} {:>13} {:>8} {:>7} {:>6} {:>6} {:>9} {:>9} {:>8}",
+        "workload", "category", "foot MB", "IPC", "L1%", "L2%", "ring TB/s", "DRAM TB/s", "mem/inst"
+    );
+    let mut per_cat: Vec<(Category, Vec<f64>)> = Category::ALL
+        .iter()
+        .map(|&c| (c, Vec::new()))
+        .collect();
+    for w in suite::suite() {
+        let spec = w.scaled(scale);
+        let r = Simulator::run(&cfg, &spec);
+        println!(
+            "{:14} {:>13} {:>8} {:>7.1} {:>6.1} {:>6.1} {:>9.2} {:>9.2} {:>8.2}",
+            w.name,
+            w.category.label(),
+            w.footprint_bytes >> 20,
+            r.ipc(),
+            r.l1.rate() * 100.0,
+            r.l2.rate() * 100.0,
+            r.inter_module_tbps(),
+            r.dram_tbps(),
+            r.mem_ops as f64 / r.instructions as f64,
+        );
+        for (c, v) in &mut per_cat {
+            if *c == w.category {
+                v.push(r.ipc());
+            }
+        }
+    }
+    println!();
+    for (c, v) in per_cat {
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        println!("{:>13}: {} workloads, mean baseline IPC {:.1}", c.label(), v.len(), mean);
+    }
+}

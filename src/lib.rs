@@ -1,0 +1,36 @@
+//! Umbrella crate for the MCM-GPU (ISCA 2017) reproduction.
+//!
+//! Re-exports the whole simulator stack under one roof and hosts the
+//! runnable examples (`examples/`) and the cross-crate integration
+//! tests (`tests/`). Library users should usually depend on the
+//! individual crates instead:
+//!
+//! * [`engine`] ([`mcm_engine`]) — discrete-event kernel.
+//! * [`mem`] ([`mcm_mem`]) — caches, MSHRs, DRAM, page placement.
+//! * [`interconnect`] ([`mcm_interconnect`]) — links, ring, crossbar,
+//!   energy tiers.
+//! * [`sm`] ([`mcm_sm`]) — SM model and CTA schedulers.
+//! * [`workloads`] ([`mcm_workloads`]) — the 48-benchmark synthetic
+//!   suite.
+//! * [`gpu`] ([`mcm_gpu`]) — the assembled MCM-GPU system, presets, and
+//!   experiment helpers.
+//!
+//! # Example
+//!
+//! ```
+//! use mcm::gpu::{Simulator, SystemConfig};
+//! use mcm::workloads::suite;
+//!
+//! let spec = suite::by_name("CoMD").unwrap().scaled(0.02);
+//! let report = Simulator::run(&SystemConfig::optimized_mcm(), &spec);
+//! assert!(report.ipc() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use mcm_engine as engine;
+pub use mcm_gpu as gpu;
+pub use mcm_interconnect as interconnect;
+pub use mcm_mem as mem;
+pub use mcm_sm as sm;
+pub use mcm_workloads as workloads;

@@ -1,0 +1,109 @@
+//! The §3.3.1 analytical link-sizing model must agree qualitatively
+//! with what the simulator measures: link settings the analysis calls
+//! sufficient shouldn't throttle the machine, and settings it calls
+//! throttling should.
+
+use mcm::gpu::analysis::{LinkSizing, LinkVerdict};
+use mcm::gpu::{Simulator, SystemConfig};
+use mcm::workloads::suite;
+
+#[test]
+fn paper_example_constants() {
+    let sizing = LinkSizing::paper_example();
+    assert_eq!(sizing.gpms, 4);
+    assert_eq!(sizing.dram_gbps_per_gpm, 768.0);
+    // The paper's "2b supplied from each L2 partition".
+    assert_eq!(sizing.supply_per_partition_gbps(), 2.0 * 768.0);
+}
+
+#[test]
+fn analysis_verdicts_match_simulated_sensitivity() {
+    // A bandwidth-hungry workload on a quarter-size machine (bandwidth
+    // scaled with it). The analysis with the machine's parameters and
+    // its own measured L2 hit rate should order the link settings the
+    // same way the simulation does.
+    let mut spec = suite::by_name("Stream").unwrap().scaled(0.15);
+    spec.ctas /= 4;
+    let machine = |link: f64| {
+        let mut cfg = SystemConfig::mcm_with_link(link);
+        cfg.topology.sms_per_module = 16;
+        cfg.dram_total_gbps /= 4.0;
+        cfg.caches.l2_bytes_total /= 4;
+        cfg
+    };
+
+    // Measure the baseline hit rate once for the analysis input.
+    let probe = Simulator::run(&machine(1536.0), &spec);
+    let sizing = LinkSizing {
+        gpms: 4,
+        dram_gbps_per_gpm: 768.0 / 4.0,
+        l2_hit_rate: probe.l2.rate().min(0.9),
+    };
+
+    let ample = Simulator::run(&machine(1536.0), &spec);
+    let starved_link = 48.0;
+    let starved = Simulator::run(&machine(starved_link), &spec);
+
+    // The analysis must call 1536 GB/s sufficient and 48 GB/s
+    // throttling for this machine.
+    assert!(matches!(
+        sizing.verdict(1536.0),
+        LinkVerdict::Sufficient { .. }
+    ));
+    let predicted_fraction = match sizing.verdict(starved_link) {
+        LinkVerdict::Throttles {
+            achievable_dram_fraction,
+        } => achievable_dram_fraction,
+        LinkVerdict::Sufficient { .. } => panic!("48 GB/s links cannot be sufficient"),
+    };
+
+    // And the simulation must agree: the starved machine is much
+    // slower, in the same ballpark the analysis predicts (loose factor
+    // 3 band — the analysis ignores locality and request overheads).
+    let slowdown = starved.cycles.as_u64() as f64 / ample.cycles.as_u64() as f64;
+    assert!(
+        slowdown > 1.5,
+        "analysis predicted throttling but the simulation barely slowed ({slowdown:.2}x)"
+    );
+    let predicted_slowdown = 1.0 / predicted_fraction;
+    assert!(
+        slowdown < predicted_slowdown * 3.0 && slowdown > predicted_slowdown / 3.0,
+        "simulated slowdown {slowdown:.2}x too far from analytic {predicted_slowdown:.2}x"
+    );
+}
+
+#[test]
+fn sufficient_links_leave_no_performance_on_the_table() {
+    // §3.3.1: "link bandwidth settings greater than [the requirement]
+    // are not expected to yield any additional performance."
+    let mut spec = suite::by_name("MiniAMR").unwrap().scaled(0.1);
+    spec.ctas /= 4;
+    let machine = |link: f64| {
+        let mut cfg = SystemConfig::mcm_with_link(link);
+        cfg.topology.sms_per_module = 16;
+        cfg.dram_total_gbps /= 4.0;
+        cfg.caches.l2_bytes_total /= 4;
+        cfg
+    };
+    let probe = Simulator::run(&machine(1536.0), &spec);
+    let sizing = LinkSizing {
+        gpms: 4,
+        dram_gbps_per_gpm: 768.0 / 4.0,
+        l2_hit_rate: probe.l2.rate().min(0.9),
+    };
+    // The back-of-envelope requirement ignores ring multi-hop
+    // traversal (~1.33x on 4 nodes), request-packet overhead (+25%),
+    // and per-segment load imbalance, so the simulated knee sits a
+    // factor ~2 above it (the paper's own Fig. 4 likewise shows
+    // residual gains past its §3.3.1 estimate). Past twice the
+    // requirement, returns must diminish sharply.
+    let required = sizing.required_link_gbps();
+    let at_2x = Simulator::run(&machine(required * 2.0), &spec);
+    let at_4x = Simulator::run(&machine(required * 4.0), &spec);
+    let gain = at_2x.cycles.as_u64() as f64 / at_4x.cycles.as_u64() as f64;
+    assert!(
+        gain < 1.10,
+        "doubling links past 2x the analytic requirement bought \
+         {gain:.2}x — the analysis promised diminishing returns"
+    );
+}

@@ -1,0 +1,149 @@
+//! Integration tests for the beyond-the-paper extensions: the dynamic
+//! CTA scheduler (§5.4 future work), the fully connected fabric (§3.2's
+//! open question), and first-touch page granularity.
+
+use mcm::gpu::{Simulator, SystemConfig};
+use mcm::workloads::{suite, WorkloadSpec};
+
+fn quarter(mut cfg: SystemConfig) -> SystemConfig {
+    cfg.topology.sms_per_module = 16;
+    cfg.topology.link_gbps /= 4.0;
+    cfg.dram_total_gbps /= 4.0;
+    cfg.caches.l2_bytes_total /= 4;
+    cfg.caches.l15_bytes_total /= 4;
+    cfg
+}
+
+fn workload(name: &str, scale: f64) -> WorkloadSpec {
+    let mut spec = suite::by_name(name).expect("suite workload").scaled(scale);
+    spec.ctas /= 4;
+    spec
+}
+
+#[test]
+fn dynamic_scheduler_fixes_imbalance() {
+    // §5.4: "workloads where different CTAs perform unequal amounts of
+    // work ... leads to workload imbalance due to the coarse-grained
+    // distributed scheduling"; the dynamic scheduler is expected "to
+    // obtain further performance gain". Bake heavy imbalance in and
+    // check stealing recovers it.
+    let mut spec = workload("Lulesh1", 0.15);
+    spec.imbalance = 1.0;
+    let distributed = Simulator::run(&quarter(SystemConfig::optimized_mcm()), &spec);
+    let dynamic = Simulator::run(&quarter(SystemConfig::optimized_mcm_dynamic(4)), &spec);
+    assert!(
+        dynamic.cycles.as_u64() as f64 <= distributed.cycles.as_u64() as f64 * 1.02,
+        "stealing must not lose to static chunks under imbalance ({} vs {})",
+        dynamic.cycles,
+        distributed.cycles
+    );
+    // The busiest module under static chunking does disproportionate
+    // work; stealing should flatten it.
+    assert!(
+        dynamic.module_imbalance() <= distributed.module_imbalance() + 0.02,
+        "stealing should flatten per-module work ({:.3} vs {:.3})",
+        dynamic.module_imbalance(),
+        distributed.module_imbalance()
+    );
+}
+
+#[test]
+fn chunked_scheduling_preserves_contiguity_benefits() {
+    // Finer chunks keep most of the distributed scheduler's locality:
+    // performance should stay in the same band.
+    let spec = workload("Srad-v2", 0.15);
+    let distributed = Simulator::run(&quarter(SystemConfig::optimized_mcm()), &spec);
+    let chunked = Simulator::run(&quarter(SystemConfig::optimized_mcm_chunked(16)), &spec);
+    let ratio = chunked.cycles.as_u64() as f64 / distributed.cycles.as_u64() as f64;
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "group-16 chunking should stay near the distributed point, got {ratio:.2}"
+    );
+    assert!(chunked.locality_rate() > 0.5, "chunking must still localize");
+}
+
+#[test]
+fn fully_connected_fabric_runs_and_trades_hops_for_width() {
+    let spec = workload("SSSP", 0.15);
+    let ring = Simulator::run(&quarter(SystemConfig::optimized_mcm()), &spec);
+    let mesh = Simulator::run(
+        &quarter(SystemConfig::optimized_mcm_fully_connected()),
+        &spec,
+    );
+    // Same work either way (modulo a handful of MSHR-stall replays).
+    let budget = spec.approx_instructions();
+    assert!(ring.instructions >= budget && mesh.instructions >= budget);
+    assert!(
+        (ring.instructions as f64 - mesh.instructions as f64).abs()
+            < budget as f64 * 0.05,
+        "instruction counts diverged: {} vs {}",
+        ring.instructions,
+        mesh.instructions
+    );
+    // The mesh carries each remote transfer exactly once (no multi-hop
+    // re-transmission), so its total fabric byte count must not exceed
+    // the ring's.
+    assert!(
+        mesh.inter_module_bytes <= ring.inter_module_bytes,
+        "1-hop fabric cannot carry more bytes than a multi-hop ring \
+         ({} vs {})",
+        mesh.inter_module_bytes,
+        ring.inter_module_bytes
+    );
+    // And it must be performance-competitive (within 30% either way at
+    // this scale).
+    let ratio = mesh.cycles.as_u64() as f64 / ring.cycles.as_u64() as f64;
+    assert!(
+        (0.7..1.3).contains(&ratio),
+        "mesh vs ring ratio out of band: {ratio:.2}"
+    );
+}
+
+#[test]
+fn page_granularity_extremes_still_localize() {
+    let spec = workload("MiniAMR", 0.1);
+    for kib in [4u64, 2048] {
+        let mut cfg = quarter(SystemConfig::optimized_mcm());
+        cfg.ft_page_bytes = kib * 1024;
+        let r = Simulator::run(&cfg, &spec);
+        assert!(
+            r.locality_rate() > 0.6,
+            "{kib} KiB pages should still localize a stencil, got {:.2}",
+            r.locality_rate()
+        );
+    }
+}
+
+#[test]
+fn smaller_pages_localize_fragmented_sharing_better() {
+    // With CTA slices far smaller than a huge page, neighbouring CTAs
+    // on different GPMs share pages; small pages track the split.
+    let mut spec = workload("CFD", 0.1); // 25 MB over many CTAs: tiny slices
+    spec.kernel_iters = 2;
+    let run_with = |kib: u64| {
+        let mut cfg = quarter(SystemConfig::optimized_mcm());
+        cfg.ft_page_bytes = kib * 1024;
+        Simulator::run(&cfg, &spec)
+    };
+    let small = run_with(4);
+    let huge = run_with(2048);
+    assert!(
+        small.locality_rate() >= huge.locality_rate() - 0.02,
+        "4 KiB pages should localize at least as well as 2 MiB pages \
+         ({:.2} vs {:.2})",
+        small.locality_rate(),
+        huge.locality_rate()
+    );
+}
+
+#[test]
+fn per_module_stats_are_consistent_with_totals() {
+    let spec = workload("Kmeans", 0.1);
+    let r = Simulator::run(&quarter(SystemConfig::optimized_mcm()), &spec);
+    assert_eq!(r.modules.len(), 4);
+    let sum_insts: u64 = r.modules.iter().map(|m| m.instructions).sum();
+    assert_eq!(sum_insts, r.instructions);
+    let sum_dram: u64 = r.modules.iter().map(|m| m.dram_bytes).sum();
+    assert_eq!(sum_dram, r.dram_bytes);
+    assert!(r.module_imbalance() >= 1.0);
+}

@@ -1,0 +1,148 @@
+//! Failure-injection and corner-case integration tests: the simulator
+//! must stay sound (complete, conserve instructions, keep invariants)
+//! under degraded or degenerate machine configurations.
+
+use mcm::gpu::{Simulator, SystemConfig};
+use mcm::workloads::{suite, WorkloadSpec};
+
+/// Asserts the run executed every static instruction, allowing for
+/// bounded inflation from MSHR-stall replays (real SMs replay on
+/// structural hazards too).
+fn assert_instructions(report: &mcm::gpu::RunReport, spec: &WorkloadSpec) {
+    let budget = spec.approx_instructions();
+    assert!(
+        report.instructions >= budget,
+        "lost instructions: {} < {budget}",
+        report.instructions
+    );
+    assert!(
+        report.instructions <= budget * 2,
+        "replay explosion: {} for a budget of {budget}",
+        report.instructions
+    );
+}
+
+fn small(name: &str) -> WorkloadSpec {
+    let mut spec = suite::by_name(name).expect("suite workload").scaled(0.05);
+    spec.ctas = spec.ctas.min(128);
+    spec.kernel_iters = 2;
+    spec
+}
+
+fn shrunken(mut f: impl FnMut(&mut SystemConfig)) -> SystemConfig {
+    let mut cfg = SystemConfig::baseline_mcm();
+    cfg.topology.sms_per_module = 8;
+    f(&mut cfg);
+    cfg
+}
+
+#[test]
+fn crawling_links_still_complete() {
+    // 2 GB/s links (1 GB/s per direction): brutally degraded but legal.
+    let spec = small("Lulesh1");
+    let cfg = shrunken(|c| c.topology.link_gbps = 2.0);
+    let r = Simulator::run(&cfg, &spec);
+    assert_instructions(&r, &spec);
+    let healthy = Simulator::run(&shrunken(|_| {}), &spec);
+    assert!(r.cycles > healthy.cycles, "crawling links must cost time");
+}
+
+#[test]
+fn extreme_hop_latency_still_completes() {
+    let spec = small("BFS");
+    let cfg = shrunken(|c| c.topology.hop_cycles = 5_000);
+    let r = Simulator::run(&cfg, &spec);
+    assert_instructions(&r, &spec);
+}
+
+#[test]
+fn vestigial_l2_spills_to_dram_but_completes() {
+    let spec = small("Stream");
+    let cfg = shrunken(|c| c.caches.l2_bytes_total = 4 * 32 * 1024);
+    let r = Simulator::run(&cfg, &spec);
+    assert_instructions(&r, &spec);
+    assert!(r.dram_bytes > 0);
+}
+
+#[test]
+fn single_module_machine_degenerates_to_monolithic() {
+    let spec = small("CFD");
+    let mut cfg = SystemConfig::baseline_mcm();
+    cfg.topology.modules = 1;
+    cfg.topology.sms_per_module = 32;
+    let r = Simulator::run(&cfg, &spec);
+    assert_eq!(r.remote_accesses, 0);
+    assert_eq!(r.inter_module_bytes, 0);
+    assert_instructions(&r, &spec);
+}
+
+#[test]
+fn one_entry_mshr_serializes_but_completes() {
+    let spec = small("SSSP");
+    let cfg = shrunken(|c| c.sm.mshr_entries = 1);
+    let r = Simulator::run(&cfg, &spec);
+    // Replays may re-issue instructions; never fewer than the budget.
+    assert!(r.instructions >= spec.approx_instructions());
+    let healthy = Simulator::run(&shrunken(|_| {}), &spec);
+    assert!(
+        r.cycles >= healthy.cycles,
+        "a one-entry MSHR cannot be faster than 64 entries"
+    );
+}
+
+#[test]
+fn single_warp_per_sm_occupancy() {
+    let spec = small("MST");
+    let cfg = shrunken(|c| c.sm.max_warps = spec.warps_per_cta);
+    let r = Simulator::run(&cfg, &spec);
+    assert_instructions(&r, &spec);
+}
+
+#[test]
+fn more_ctas_than_total_occupancy_completes_in_waves() {
+    let mut spec = small("Srad-v2");
+    spec.ctas = 2048; // far exceeds 32 SMs x 16 CTA slots
+    spec.insts_per_warp = 8;
+    let cfg = shrunken(|_| {});
+    let r = Simulator::run(&cfg, &spec);
+    assert_instructions(&r, &spec);
+}
+
+#[test]
+fn pure_read_and_pure_write_workloads() {
+    let mut reads = small("Stream");
+    reads.write_frac = 0.0;
+    let mut writes = small("Stream");
+    writes.write_frac = 1.0;
+    let cfg = shrunken(|_| {});
+    let r = Simulator::run(&cfg, &reads);
+    assert_eq!(r.writes, 0);
+    assert!(r.reads > 0);
+    let w = Simulator::run(&cfg, &writes);
+    assert_eq!(w.reads, 0);
+    assert!(w.writes > 0);
+}
+
+#[test]
+fn invalid_configurations_are_rejected() {
+    let mut cfg = SystemConfig::baseline_mcm();
+    cfg.dram_total_gbps = -1.0;
+    assert!(cfg.validate().is_err());
+
+    let mut cfg = SystemConfig::baseline_mcm();
+    cfg.topology.modules = 0;
+    assert!(cfg.validate().is_err());
+
+    let mut spec = suite::by_name("CFD").unwrap();
+    spec.mem_ratio = 2.0;
+    assert!(spec.validate().is_err());
+}
+
+#[test]
+#[should_panic(expected = "invalid system configuration")]
+fn running_an_invalid_config_panics_cleanly() {
+    let mut cfg = SystemConfig::baseline_mcm();
+    cfg.caches.l2_bytes_total = 0;
+    let spec = small("CFD");
+    let _ = Simulator::run(&cfg, &spec);
+}

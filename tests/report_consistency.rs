@@ -1,0 +1,94 @@
+//! Cross-field consistency of run reports: the accounting identities
+//! that must hold for any workload on any machine.
+
+use mcm::gpu::{RunReport, Simulator, SystemConfig};
+use mcm::interconnect::energy::Tier;
+use mcm::workloads::suite;
+
+fn sample_runs() -> Vec<RunReport> {
+    let mut out = Vec::new();
+    for (name, cfg) in [
+        ("Kmeans", SystemConfig::baseline_mcm()),
+        ("Kmeans", SystemConfig::optimized_mcm()),
+        ("DWT", SystemConfig::multi_gpu_baseline()),
+        ("Stream", SystemConfig::monolithic(64)),
+    ] {
+        let mut spec = suite::by_name(name).expect("suite workload").scaled(0.03);
+        spec.ctas = spec.ctas.min(128);
+        let mut cfg = cfg;
+        cfg.topology.sms_per_module = cfg.topology.sms_per_module.min(16);
+        out.push(Simulator::run(&cfg, &spec));
+    }
+    out
+}
+
+#[test]
+fn accounting_identities_hold() {
+    for r in sample_runs() {
+        assert_eq!(r.mem_ops, r.reads + r.writes, "{}: op split", r.config);
+        // Placement decisions happen for every store and for every L1
+        // read miss that issues a new fill (coalesced misses ride an
+        // existing decision), so they are bounded by the L1 miss count
+        // and from below by the store count.
+        let placements = r.local_accesses + r.remote_accesses;
+        assert!(
+            placements <= r.l1.misses() + r.writes,
+            "{}: more placements than L1 misses plus stores",
+            r.config
+        );
+        assert!(
+            placements >= r.writes,
+            "{}: every store is placed",
+            r.config
+        );
+        let ipc = r.instructions as f64 / r.cycles.as_u64() as f64;
+        assert!((r.ipc() - ipc).abs() < 1e-9, "{}: ipc formula", r.config);
+        // Energy ledger's package/board bytes equal the fabric's.
+        let fabric = r.energy.bytes(Tier::Package) + r.energy.bytes(Tier::Board);
+        assert_eq!(fabric, r.inter_module_bytes, "{}: fabric energy bytes", r.config);
+        // Module stats tile the totals.
+        let m_insts: u64 = r.modules.iter().map(|m| m.instructions).sum();
+        assert_eq!(m_insts, r.instructions, "{}: module instructions", r.config);
+        let m_dram: u64 = r.modules.iter().map(|m| m.dram_bytes).sum();
+        assert_eq!(m_dram, r.dram_bytes, "{}: module dram", r.config);
+    }
+}
+
+#[test]
+fn csv_row_matches_header_arity() {
+    let header_fields = RunReport::csv_header().split(',').count();
+    for r in sample_runs() {
+        let row = r.to_csv_row();
+        // Workload/config names are quoted and contain no commas in the
+        // suite, so a plain split is exact here.
+        assert_eq!(
+            row.split(',').count(),
+            header_fields,
+            "CSV arity mismatch: {row}"
+        );
+    }
+}
+
+#[test]
+fn l1_hits_do_not_reach_the_page_map() {
+    // A single-SM-per-module run with a tiny footprint: almost all
+    // accesses should become L1 hits, and placement decisions must
+    // track only the misses.
+    let mut spec = suite::by_name("CFD").expect("suite workload").scaled(0.5);
+    spec.ctas = 16;
+    spec.kernel_iters = 1;
+    spec.footprint_bytes = 4 << 20;
+    spec.locality.reuse_window_lines = 16;
+    spec.locality.streaming = 0.1;
+    spec.locality.neighbor_frac = 0.0;
+    spec.locality.shared_frac = 0.0;
+    spec.locality.cold_shared_frac = 0.0;
+    let mut cfg = SystemConfig::baseline_mcm();
+    cfg.topology.sms_per_module = 4;
+    let r = Simulator::run(&cfg, &spec);
+    assert!(r.l1.rate() > 0.3, "expected strong L1 reuse, got {}", r.l1);
+    assert!(
+        r.local_accesses + r.remote_accesses < r.mem_ops,
+        "placement decisions must be fewer than memory ops when L1 hits"
+    );
+}

@@ -1,0 +1,80 @@
+//! Smoke test: every workload in the 48-benchmark suite runs to
+//! completion on the key machine configurations and produces a sane
+//! report.
+
+use mcm::gpu::{Simulator, SystemConfig};
+use mcm::workloads::{suite, Category};
+
+#[test]
+fn all_48_workloads_run_on_baseline_and_optimized() {
+    let baseline = {
+        let mut c = SystemConfig::baseline_mcm();
+        c.topology.sms_per_module = 16;
+        c
+    };
+    let optimized = {
+        let mut c = SystemConfig::optimized_mcm();
+        c.topology.sms_per_module = 16;
+        c
+    };
+    // Keep this affordable in debug builds: tiny streams, small grids.
+    for w in suite::suite() {
+        let mut spec = w.scaled(0.01);
+        spec.ctas = spec.ctas.min(128);
+        spec.kernel_iters = spec.kernel_iters.min(2);
+        for cfg in [&baseline, &optimized] {
+            let r = Simulator::run(cfg, &spec);
+            assert!(
+                r.instructions >= spec.approx_instructions(),
+                "{} on {}: lost instructions",
+                w.name,
+                cfg.name
+            );
+            assert!(r.cycles.as_u64() > 0, "{}: zero cycles", w.name);
+            assert!(
+                r.mem_ops > 0,
+                "{}: a GPU workload without memory operations",
+                w.name
+            );
+            assert_eq!(r.mem_ops, r.reads + r.writes, "{}: op accounting", w.name);
+            let frac = r.local_accesses + r.remote_accesses;
+            assert!(frac > 0, "{}: no placement decisions", w.name);
+            assert!(r.ipc() > 0.0, "{}: zero IPC", w.name);
+        }
+    }
+}
+
+#[test]
+fn limited_parallelism_apps_do_not_scale_with_sms() {
+    // The defining property of the category (§2.1, Fig. 2): growing the
+    // machine from 64 to 256 SMs barely helps an app with too few CTAs,
+    // while a high-parallelism app speeds up substantially.
+    let small = SystemConfig::monolithic(64);
+    let big = SystemConfig::monolithic(256);
+    let high = suite::by_name("MiniAMR").unwrap().scaled(0.05);
+    let low = suite::by_name("Crypt").unwrap().scaled(0.05);
+    let high_gain = Simulator::run(&big, &high).speedup_over(&Simulator::run(&small, &high));
+    let low_gain = Simulator::run(&big, &low).speedup_over(&Simulator::run(&small, &low));
+    assert!(
+        low_gain < 1.5,
+        "a 48-CTA app cannot exploit 4x the SMs, yet gained {low_gain:.2}x"
+    );
+    assert!(
+        high_gain > 1.8,
+        "a 1024-CTA app should scale with SMs, gained only {high_gain:.2}x"
+    );
+    assert!(
+        high_gain > low_gain * 1.3,
+        "scaling must separate the categories ({high_gain:.2} vs {low_gain:.2})"
+    );
+}
+
+#[test]
+fn category_counts_match_paper() {
+    let all = suite::suite();
+    let count = |cat| all.iter().filter(|w| w.category == cat).count();
+    assert_eq!(all.len(), 48);
+    assert_eq!(count(Category::MemoryIntensive), 17);
+    assert_eq!(count(Category::ComputeIntensive), 16);
+    assert_eq!(count(Category::LimitedParallelism), 15);
+}
