@@ -1,9 +1,9 @@
-//! Criterion microbenchmarks for the simulator's hot components: these
-//! bound how fast whole-system runs can go and guard against
-//! performance regressions in the substrate crates.
+//! Microbenchmarks for the simulator's hot components: these bound how
+//! fast whole-system runs can go and guard against performance
+//! regressions in the substrate crates. Runs on the in-repo
+//! `mcm-testkit` wall-clock runner (`cargo bench -p mcm-bench`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use mcm_testkit::bench::{black_box, Group};
 
 use mcm_engine::rng::Xoshiro256;
 use mcm_engine::{Cycle, EventQueue, Resource};
@@ -13,15 +13,15 @@ use mcm_mem::cache::{CacheConfig, CacheOutcome, SetAssocCache};
 use mcm_mem::dram::{DramConfig, DramPartition};
 use mcm_workloads::{suite, WarpStream};
 
-fn bench_cache(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cache");
-    group.bench_function("access_hit", |b| {
+fn bench_cache() {
+    let mut group = Group::new("cache");
+    {
         let mut cache = SetAssocCache::new(CacheConfig::new("b", 4 << 20));
         for i in 0..1024 {
             cache.fill(LineAddr::new(i), Cycle::ZERO, false);
         }
         let mut i = 0u64;
-        b.iter(|| {
+        group.bench("access_hit", || {
             i = (i + 1) % 1024;
             black_box(cache.access(
                 Cycle::new(i),
@@ -30,11 +30,11 @@ fn bench_cache(c: &mut Criterion) {
                 Locality::Local,
             ))
         });
-    });
-    group.bench_function("miss_fill_evict", |b| {
+    }
+    {
         let mut cache = SetAssocCache::new(CacheConfig::new("b", 1 << 20));
         let mut i = 0u64;
-        b.iter(|| {
+        group.bench("miss_fill_evict", || {
             i += 1;
             if let CacheOutcome::Miss { allocate: true, .. } = cache.access(
                 Cycle::new(i),
@@ -45,83 +45,79 @@ fn bench_cache(c: &mut Criterion) {
                 black_box(cache.fill(LineAddr::new(i), Cycle::new(i), false));
             }
         });
-    });
+    }
     group.finish();
 }
 
-fn bench_interconnect(c: &mut Criterion) {
-    let mut group = c.benchmark_group("interconnect");
-    group.bench_function("ring_transfer_2hop", |b| {
+fn bench_interconnect() {
+    let mut group = Group::new("interconnect");
+    {
         let mut ring = RingNetwork::new(4, 768.0, Cycle::new(32));
         let mut t = 0u64;
-        b.iter(|| {
+        group.bench("ring_transfer_2hop", || {
             t += 1;
             black_box(ring.transfer(Cycle::new(t), NodeId(0), NodeId(2), 128))
         });
-    });
-    group.bench_function("dram_access", |b| {
+    }
+    {
         let mut dram = DramPartition::new(DramConfig::with_bandwidth(768.0));
         let mut t = 0u64;
-        b.iter(|| {
+        group.bench("dram_access", || {
             t += 1;
             black_box(dram.access(Cycle::new(t), LineAddr::new(t * 7), AccessKind::Read))
         });
-    });
-    group.bench_function("resource_service", |b| {
+    }
+    {
         let mut r = Resource::new("b", 768.0);
         let mut t = 0u64;
-        b.iter(|| {
+        group.bench("resource_service", || {
             t += 1;
             black_box(r.service(Cycle::new(t), 128))
         });
-    });
+    }
     group.finish();
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine");
-    group.bench_function("event_queue_push_pop", |b| {
+fn bench_engine() {
+    let mut group = Group::new("engine");
+    {
         let mut q: EventQueue<u64> = EventQueue::with_capacity(4096);
         // Keep a standing population of 1024 events.
         for i in 0..1024u64 {
             q.push(Cycle::new(i), i);
         }
         let mut t = 1024u64;
-        b.iter(|| {
+        group.bench("event_queue_push_pop", || {
             let (at, ev) = q.pop().expect("queue never drains");
             t += 1;
             q.push(at + Cycle::new(t % 251 + 1), ev);
             black_box(ev)
         });
-    });
-    group.bench_function("rng_next_u64", |b| {
+    }
+    {
         let mut rng = Xoshiro256::new(7);
-        b.iter(|| black_box(rng.next_u64()));
+        group.bench("rng_next_u64", || black_box(rng.next_u64()));
+    }
+    group.finish();
+}
+
+fn bench_workloads() {
+    let mut group = Group::new("workloads");
+    let spec = suite::by_name("CoMD").expect("suite workload");
+    let mut stream = WarpStream::new(&spec, 0, 0, 0);
+    group.bench("warp_stream_ops", || match stream.next() {
+        Some(op) => black_box(op),
+        None => {
+            stream = WarpStream::new(&spec, 0, 0, 0);
+            black_box(stream.next().expect("fresh stream"))
+        }
     });
     group.finish();
 }
 
-fn bench_workloads(c: &mut Criterion) {
-    let mut group = c.benchmark_group("workloads");
-    group.bench_function("warp_stream_ops", |b| {
-        let spec = suite::by_name("CoMD").expect("suite workload");
-        let mut stream = WarpStream::new(&spec, 0, 0, 0);
-        b.iter(|| match stream.next() {
-            Some(op) => black_box(op),
-            None => {
-                stream = WarpStream::new(&spec, 0, 0, 0);
-                black_box(stream.next().expect("fresh stream"))
-            }
-        });
-    });
-    group.finish();
+fn main() {
+    bench_cache();
+    bench_interconnect();
+    bench_engine();
+    bench_workloads();
 }
-
-criterion_group!(
-    benches,
-    bench_cache,
-    bench_interconnect,
-    bench_engine,
-    bench_workloads
-);
-criterion_main!(benches);

@@ -1,43 +1,40 @@
 //! End-to-end simulator throughput: whole runs of scaled-down workloads
-//! on the key machine configurations. Criterion reports time per run;
+//! on the key machine configurations. The runner reports time per run;
 //! divide the workload's instruction count by it for simulated
-//! instructions per second.
+//! instructions per second. Runs on the in-repo `mcm-testkit`
+//! wall-clock runner (`cargo bench -p mcm-bench`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use mcm_testkit::bench::{black_box, Group};
 
 use mcm_gpu::{Simulator, SystemConfig};
 use mcm_workloads::suite;
 
-fn bench_full_runs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("end_to_end");
+fn main() {
+    let mut group = Group::new("end_to_end");
     group.sample_size(10);
     let configs = [
         ("baseline_mcm", SystemConfig::baseline_mcm()),
         ("optimized_mcm", SystemConfig::optimized_mcm()),
-        ("monolithic_256", SystemConfig::hypothetical_monolithic_256()),
+        (
+            "monolithic_256",
+            SystemConfig::hypothetical_monolithic_256(),
+        ),
         ("multi_gpu", SystemConfig::multi_gpu_baseline()),
     ];
     for (name, cfg) in &configs {
         let spec = suite::by_name("CFD").expect("suite workload").scaled(0.02);
-        group.bench_with_input(BenchmarkId::new("CFD_2pct", name), cfg, |b, cfg| {
-            b.iter(|| black_box(Simulator::run(cfg, &spec)));
+        group.bench(&format!("CFD_2pct/{name}"), || {
+            black_box(Simulator::run(cfg, &spec))
         });
     }
     // One memory-intensive and one limited-parallelism workload on the
     // baseline, to expose per-category simulation cost.
+    let baseline = SystemConfig::baseline_mcm();
     for wname in ["Stream", "DWT"] {
         let spec = suite::by_name(wname).expect("suite workload").scaled(0.02);
-        group.bench_with_input(
-            BenchmarkId::new("baseline", wname),
-            &SystemConfig::baseline_mcm(),
-            |b, cfg| {
-                b.iter(|| black_box(Simulator::run(cfg, &spec)));
-            },
-        );
+        group.bench(&format!("baseline/{wname}"), || {
+            black_box(Simulator::run(&baseline, &spec))
+        });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_full_runs);
-criterion_main!(benches);

@@ -2,10 +2,10 @@
 //! binaries are made of — memoized comparison sweeps over a
 //! representative workload subset and the static table renderers — so
 //! `cargo bench` exercises the same code paths `reproduce` uses without
-//! its full-suite runtime.
+//! its full-suite runtime. Runs on the in-repo `mcm-testkit`
+//! wall-clock runner.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use mcm_testkit::bench::{black_box, Group};
 
 use mcm_bench::figures;
 use mcm_bench::harness::{geomean_speedup, Memo};
@@ -24,45 +24,40 @@ fn mini_suite() -> Vec<WorkloadSpec> {
         .collect()
 }
 
-fn bench_harness(c: &mut Criterion) {
-    let mut group = c.benchmark_group("harness");
+fn main() {
+    let mut group = Group::new("harness");
     group.sample_size(10);
-    group.bench_function("comparison_sweep_mini", |b| {
+    {
         let mini = mini_suite();
-        b.iter(|| {
+        let baseline = SystemConfig::baseline_mcm();
+        let optimized = SystemConfig::optimized_mcm();
+        group.bench("comparison_sweep_mini", || {
             let mut memo = Memo::new(0.02);
-            let baseline = SystemConfig::baseline_mcm();
-            let optimized = SystemConfig::optimized_mcm();
             black_box(geomean_speedup(
                 &mut memo, &mini, &optimized, &baseline, None,
             ))
         });
-    });
-    group.bench_function("memoized_rerun", |b| {
+    }
+    {
         // With a warm memo the sweep is pure cache lookups.
         let mini = mini_suite();
         let mut memo = Memo::new(0.02);
         let baseline = SystemConfig::baseline_mcm();
         let optimized = SystemConfig::optimized_mcm();
         geomean_speedup(&mut memo, &mini, &optimized, &baseline, None);
-        b.iter(|| {
+        group.bench("memoized_rerun", || {
             black_box(geomean_speedup(
                 &mut memo, &mini, &optimized, &baseline, None,
             ))
         });
-    });
-    group.bench_function("static_tables", |b| {
-        b.iter(|| {
-            black_box((
-                figures::table1(),
-                figures::table2(),
-                figures::table3(),
-                figures::table4(),
-            ))
-        });
+    }
+    group.bench("static_tables", || {
+        black_box((
+            figures::table1(),
+            figures::table2(),
+            figures::table3(),
+            figures::table4(),
+        ))
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_harness);
-criterion_main!(benches);

@@ -12,6 +12,7 @@ use std::time::Instant;
 
 use mcm_bench::figures;
 use mcm_bench::harness::Memo;
+use mcm_engine::stats::ToCsv;
 
 fn main() {
     let out_dir = Path::new("results");
@@ -51,7 +52,10 @@ fn main() {
         ("ablation_topology", Box::new(figures::ablation_topology)),
         ("ablation_gpm_count", Box::new(figures::ablation_gpm_count)),
         ("ablation_page_size", Box::new(figures::ablation_page_size)),
-        ("ablation_alloc_policy", Box::new(figures::ablation_alloc_policy)),
+        (
+            "ablation_alloc_policy",
+            Box::new(figures::ablation_alloc_policy),
+        ),
         ("fig02_scaling", Box::new(figures::fig02)),
     ];
     for (name, f) in figs {

@@ -107,7 +107,10 @@ fn main() {
         },
     ];
 
-    println!("MCM-GPU reproduction scorecard (MCM_SCALE={})\n", memo.scale());
+    println!(
+        "MCM-GPU reproduction scorecard (MCM_SCALE={})\n",
+        memo.scale()
+    );
     let mut failed = 0;
     for c in &claims {
         let mark = if c.passes() { "PASS" } else { "FAIL" };

@@ -25,9 +25,7 @@ fn full_suite() -> Vec<WorkloadSpec> {
 
 /// Table 1: key characteristics of recent NVIDIA GPUs.
 pub fn table1() -> String {
-    let mut t = TextTable::new(vec![
-        "", "Fermi", "Kepler", "Maxwell", "Pascal",
-    ]);
+    let mut t = TextTable::new(vec!["", "Fermi", "Kepler", "Maxwell", "Pascal"]);
     let g = GPU_GENERATIONS;
     t.row(vec![
         "SMs".to_string(),
@@ -71,7 +69,10 @@ pub fn table1() -> String {
         g[2].chip_size_mm2.to_string(),
         g[3].chip_size_mm2.to_string(),
     ]);
-    format!("Table 1: key characteristics of recent NVIDIA GPUs\n\n{}", t.render())
+    format!(
+        "Table 1: key characteristics of recent NVIDIA GPUs\n\n{}",
+        t.render()
+    )
 }
 
 /// Table 2: bandwidth and energy parameters per integration domain.
@@ -118,7 +119,10 @@ pub fn table2() -> String {
 pub fn table3() -> String {
     let cfg = SystemConfig::baseline_mcm();
     let mut t = TextTable::new(vec!["parameter", "value"]);
-    t.row(vec!["Number of GPMs".to_string(), cfg.topology.modules.to_string()]);
+    t.row(vec![
+        "Number of GPMs".to_string(),
+        cfg.topology.modules.to_string(),
+    ]);
     t.row(vec![
         "Total number of SMs".to_string(),
         cfg.topology.total_sms().to_string(),
@@ -134,7 +138,10 @@ pub fn table3() -> String {
     ]);
     t.row(vec![
         "Total L2 cache".to_string(),
-        format!("{} MB, 128B lines, 16 ways", cfg.caches.l2_bytes_total >> 20),
+        format!(
+            "{} MB, 128B lines, 16 ways",
+            cfg.caches.l2_bytes_total >> 20
+        ),
     ]);
     t.row(vec![
         "Inter-GPM interconnect".to_string(),
@@ -435,8 +442,11 @@ fn bandwidth_figure(
                 .filter(|w| w.category == cat)
                 .map(|w| memo.run(cfg, w))
                 .collect();
-            let mean =
-                reports.iter().map(RunReport::inter_module_tbps).sum::<f64>() / reports.len() as f64;
+            let mean = reports
+                .iter()
+                .map(RunReport::inter_module_tbps)
+                .sum::<f64>()
+                / reports.len() as f64;
             cells.push(f2(mean));
         }
         t.row(cells);
@@ -448,7 +458,10 @@ fn bandwidth_figure(
         .sum();
     let mut extra = String::new();
     for (label, cfg) in configs.iter().skip(1) {
-        let bytes: u64 = all.iter().map(|w| memo.run(cfg, w).inter_module_bytes).sum();
+        let bytes: u64 = all
+            .iter()
+            .map(|w| memo.run(cfg, w).inter_module_bytes)
+            .sum();
         extra.push_str(&format!(
             "{label}: {:.2}x total inter-GPM traffic reduction vs baseline\n",
             base_bytes as f64 / bytes.max(1) as f64
@@ -715,7 +728,10 @@ pub fn efficiency(memo: &mut Memo) -> String {
         ("MCM-GPU optimized", SystemConfig::optimized_mcm()),
         ("Multi-GPU baseline", SystemConfig::multi_gpu_baseline()),
         ("Multi-GPU optimized", SystemConfig::multi_gpu_optimized()),
-        ("Monolithic 256 (unbuildable)", SystemConfig::hypothetical_monolithic_256()),
+        (
+            "Monolithic 256 (unbuildable)",
+            SystemConfig::hypothetical_monolithic_256(),
+        ),
     ];
     let all = full_suite();
     let mut t = TextTable::new(vec![
@@ -789,7 +805,10 @@ pub fn ablation_gpm_count(memo: &mut Memo) -> String {
     ]);
     let mut rows: Vec<(String, SystemConfig)> = Vec::new();
     for gpms in [2u8, 4, 8] {
-        rows.push((format!("baseline {gpms} GPMs"), SystemConfig::mcm_n_gpms(gpms)));
+        rows.push((
+            format!("baseline {gpms} GPMs"),
+            SystemConfig::mcm_n_gpms(gpms),
+        ));
     }
     for gpms in [2u8, 4, 8] {
         rows.push((

@@ -10,7 +10,10 @@ fn main() {
     let all = suite::suite();
     let configs = [
         ("base", SystemConfig::baseline_mcm()),
-        ("L1.5-16RO", SystemConfig::mcm_with_l15(16, AllocFilter::RemoteOnly)),
+        (
+            "L1.5-16RO",
+            SystemConfig::mcm_with_l15(16, AllocFilter::RemoteOnly),
+        ),
         ("+DS", SystemConfig::mcm_l15_ds()),
         ("opt(8+DS+FT)", SystemConfig::optimized_mcm()),
         ("6TB/s", SystemConfig::mcm_with_link(6144.0)),
@@ -21,7 +24,8 @@ fn main() {
     ];
     let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
     let mut cats: Vec<Category> = Vec::new();
-    let mut ring_base = 0u64; let mut ring_opt = 0u64;
+    let mut ring_base = 0u64;
+    let mut ring_opt = 0u64;
     let t0 = std::time::Instant::now();
     for w in &all {
         let spec = w.scaled(0.5);
@@ -30,24 +34,51 @@ fn main() {
         ring_base += base.inter_module_bytes;
         print!("{:14}", w.name);
         for (i, (_, cfg)) in configs.iter().enumerate() {
-            let r = if i == 0 { base.clone() } else { Simulator::run(cfg, &spec) };
+            let r = if i == 0 {
+                base.clone()
+            } else {
+                Simulator::run(cfg, &spec)
+            };
             let s = r.speedup_over(&base);
-            if i == 3 { ring_opt += r.inter_module_bytes; }
+            if i == 3 {
+                ring_opt += r.inter_module_bytes;
+            }
             speedups[i].push(s);
             print!(" {:5.2}", s);
         }
         println!("  [{:.0}s]", t0.elapsed().as_secs_f64());
     }
-    println!("\n{:14} {}", "GEOMEAN", configs.iter().map(|c| format!("{:>9}", c.0)).collect::<String>());
-    for cat in [Category::MemoryIntensive, Category::ComputeIntensive, Category::LimitedParallelism] {
+    println!(
+        "\n{:14} {}",
+        "GEOMEAN",
+        configs
+            .iter()
+            .map(|c| format!("{:>9}", c.0))
+            .collect::<String>()
+    );
+    for cat in [
+        Category::MemoryIntensive,
+        Category::ComputeIntensive,
+        Category::LimitedParallelism,
+    ] {
         print!("{:14}", cat.label());
         for col in &speedups {
-            let v: Vec<f64> = col.iter().zip(&cats).filter(|(_, c)| **c == cat).map(|(s, _)| *s).collect();
+            let v: Vec<f64> = col
+                .iter()
+                .zip(&cats)
+                .filter(|(_, c)| **c == cat)
+                .map(|(s, _)| *s)
+                .collect();
             print!(" {:8.3}", geomean(&v));
         }
         println!();
     }
     print!("{:14}", "ALL");
-    for col in &speedups { print!(" {:8.3}", geomean(col)); }
-    println!("\nring reduction base/opt = {:.2}x", ring_base as f64 / ring_opt as f64);
+    for col in &speedups {
+        print!(" {:8.3}", geomean(col));
+    }
+    println!(
+        "\nring reduction base/opt = {:.2}x",
+        ring_base as f64 / ring_opt as f64
+    );
 }

@@ -11,10 +11,8 @@
 //! bandwidth of "4b" (3 TB/s) is needed, and that settings below it
 //! degrade performance while settings above it buy nothing (§3.3.1).
 
-use serde::{Deserialize, Serialize};
-
 /// Inputs to the §3.3.1 sizing exercise.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkSizing {
     /// Number of GPMs (the paper's 4).
     pub gpms: u32,
@@ -89,7 +87,7 @@ impl LinkSizing {
 }
 
 /// The outcome of sizing a link against the §3.3.1 requirement.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LinkVerdict {
     /// The link meets or exceeds the requirement; extra capacity buys
     /// nothing ("not expected to yield any additional performance").
@@ -122,10 +120,7 @@ mod tests {
         let needed = s.required_link_gbps();
         assert!((needed - 2304.0).abs() < 1e-9);
         // 3 TB/s links are sufficient; 768 GB/s throttles to a third.
-        assert!(matches!(
-            s.verdict(3072.0),
-            LinkVerdict::Sufficient { .. }
-        ));
+        assert!(matches!(s.verdict(3072.0), LinkVerdict::Sufficient { .. }));
         match s.verdict(768.0) {
             LinkVerdict::Throttles {
                 achievable_dram_fraction,

@@ -7,7 +7,6 @@ use mcm_interconnect::mesh::NetworkKind;
 use mcm_mem::cache::AllocFilter;
 use mcm_mem::page::PlacementPolicy;
 use mcm_sm::{SchedulerPolicy, SmConfig};
-use serde::{Deserialize, Serialize};
 
 /// Bytes in one mebibyte.
 pub const MIB: u64 = 1 << 20;
@@ -19,7 +18,7 @@ pub const KIB: u64 = 1 << 10;
 ///
 /// A monolithic GPU is the 1-module degenerate case: no inter-module
 /// links, everything local.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Topology {
     /// Number of modules (GPMs in an MCM-GPU, GPUs in a multi-GPU).
     pub modules: u8,
@@ -92,7 +91,7 @@ impl Topology {
 
 /// Cache capacities and policies, expressed as machine totals (the
 /// paper's convention: "16MB total L2", "8MB L1.5").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CacheHierarchy {
     /// Per-SM L1 data cache capacity in bytes (Table 3: 128 KB).
     pub l1_bytes_per_sm: u64,
@@ -149,7 +148,7 @@ impl CacheHierarchy {
 
 /// One complete machine configuration: everything [`crate::Simulator`]
 /// needs to build and time a system.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// Human-readable configuration name used in reports.
     pub name: String,
@@ -408,8 +407,7 @@ impl SystemConfig {
     pub fn multi_gpu_optimized() -> Self {
         let mut cfg = SystemConfig::multi_gpu_baseline();
         cfg.name = "Multi-GPU optimized (+ remote cache)".into();
-        cfg.caches =
-            CacheHierarchy::rebalanced(8, AllocFilter::RemoteOnly, cfg.topology.modules);
+        cfg.caches = CacheHierarchy::rebalanced(8, AllocFilter::RemoteOnly, cfg.topology.modules);
         cfg
     }
 }

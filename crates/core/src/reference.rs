@@ -1,10 +1,8 @@
 //! Reference data reproduced from the paper's tables.
 
-use serde::{Deserialize, Serialize};
-
 /// One row of paper Table 1: key characteristics of recent NVIDIA GPU
 /// generations, the scaling-trend motivation of §2.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuGeneration {
     /// Architecture name.
     pub name: &'static str,

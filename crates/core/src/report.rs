@@ -2,14 +2,13 @@
 
 use std::fmt;
 
-use mcm_engine::stats::Ratio;
+use mcm_engine::stats::{Ratio, Tabular};
 use mcm_engine::Cycle;
 use mcm_interconnect::energy::EnergyLedger;
-use serde::{Deserialize, Serialize};
 
 /// Per-module (GPM/GPU) measurements within a run — the view that
 /// exposes load imbalance (§5.4) and NUMA asymmetries.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ModuleStats {
     /// Warp instructions issued by this module's SMs.
     pub instructions: u64,
@@ -25,7 +24,7 @@ pub struct ModuleStats {
 ///
 /// Reports are plain data (cheap to clone, serializable) so experiment
 /// harnesses can collect thousands of them and aggregate freely.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Workload name.
     pub workload: String,
@@ -114,42 +113,13 @@ impl RunReport {
             return 1.0;
         }
         let mean = total as f64 / self.modules.len() as f64;
-        let max = self.modules.iter().map(|m| m.instructions).max().unwrap_or(0);
+        let max = self
+            .modules
+            .iter()
+            .map(|m| m.instructions)
+            .max()
+            .unwrap_or(0);
         max as f64 / mean
-    }
-
-    /// The header row for [`RunReport::to_csv_row`].
-    pub fn csv_header() -> &'static str {
-        "workload,config,cycles,instructions,mem_ops,reads,writes,\
-         local_accesses,remote_accesses,l1_rate,l15_rate,l2_rate,\
-         inter_module_bytes,dram_bytes,ipc,inter_module_tbps,\
-         locality_rate,total_joules"
-    }
-
-    /// This report as one CSV row matching [`RunReport::csv_header`]
-    /// (workload and configuration names are quoted).
-    pub fn to_csv_row(&self) -> String {
-        format!(
-            "\"{}\",\"{}\",{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{},{},{:.4},{:.4},{:.6},{:.9}",
-            self.workload,
-            self.config,
-            self.cycles.as_u64(),
-            self.instructions,
-            self.mem_ops,
-            self.reads,
-            self.writes,
-            self.local_accesses,
-            self.remote_accesses,
-            self.l1.rate(),
-            self.l15.rate(),
-            self.l2.rate(),
-            self.inter_module_bytes,
-            self.dram_bytes,
-            self.ipc(),
-            self.inter_module_tbps(),
-            self.locality_rate(),
-            self.energy.total_joules(),
-        )
     }
 
     /// Speedup of this run relative to `baseline` (same workload on
@@ -165,6 +135,65 @@ impl RunReport {
             "speedup comparisons must use the same workload"
         );
         baseline.cycles.as_u64() as f64 / self.cycles.as_u64().max(1) as f64
+    }
+}
+
+impl Tabular for ModuleStats {
+    const COLUMNS: &'static [&'static str] = &["instructions", "dram_bytes", "l2_rate", "l15_rate"];
+
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.instructions.to_string(),
+            self.dram_bytes.to_string(),
+            format!("{:.6}", self.l2.rate()),
+            format!("{:.6}", self.l15.rate()),
+        ]
+    }
+}
+
+impl Tabular for RunReport {
+    const COLUMNS: &'static [&'static str] = &[
+        "workload",
+        "config",
+        "cycles",
+        "instructions",
+        "mem_ops",
+        "reads",
+        "writes",
+        "local_accesses",
+        "remote_accesses",
+        "l1_rate",
+        "l15_rate",
+        "l2_rate",
+        "inter_module_bytes",
+        "dram_bytes",
+        "ipc",
+        "inter_module_tbps",
+        "locality_rate",
+        "total_joules",
+    ];
+
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.workload.clone(),
+            self.config.clone(),
+            self.cycles.as_u64().to_string(),
+            self.instructions.to_string(),
+            self.mem_ops.to_string(),
+            self.reads.to_string(),
+            self.writes.to_string(),
+            self.local_accesses.to_string(),
+            self.remote_accesses.to_string(),
+            format!("{:.6}", self.l1.rate()),
+            format!("{:.6}", self.l15.rate()),
+            format!("{:.6}", self.l2.rate()),
+            self.inter_module_bytes.to_string(),
+            self.dram_bytes.to_string(),
+            format!("{:.4}", self.ipc()),
+            format!("{:.4}", self.inter_module_tbps()),
+            format!("{:.6}", self.locality_rate()),
+            format!("{:.9}", self.energy.total_joules()),
+        ]
     }
 }
 
@@ -245,6 +274,25 @@ mod tests {
         let mut b = report(100);
         b.workload = "other".into();
         let _ = a.speedup_over(&b);
+    }
+
+    #[test]
+    fn csv_cells_match_columns() {
+        use mcm_engine::stats::ToCsv;
+        let r = report(1000);
+        assert_eq!(r.cells().len(), RunReport::COLUMNS.len());
+        assert_eq!(
+            RunReport::csv_header().split(',').count(),
+            r.to_csv_row().split(',').count(),
+            "suite names contain no commas, so a plain split is exact"
+        );
+        let m = ModuleStats {
+            instructions: 10,
+            dram_bytes: 20,
+            l2: Ratio::new(),
+            l15: Ratio::new(),
+        };
+        assert_eq!(m.cells().len(), ModuleStats::COLUMNS.len());
     }
 
     #[test]

@@ -326,7 +326,9 @@ impl RunState<'_> {
     /// warp synchronizes with it — modelling the consume of the oldest
     /// load without an extra event.
     fn advance_warp(&mut self, pool: &mut CtaPool, widx: u32, t: Cycle) {
-        let mut warp = self.warps[widx as usize].take().expect("event for dead warp");
+        let mut warp = self.warps[widx as usize]
+            .take()
+            .expect("event for dead warp");
         let mlp = self.sys.sm(warp.sm as usize).config().mlp_per_warp.max(1);
         let mut t = t;
 
@@ -486,7 +488,9 @@ impl RunState<'_> {
 
     /// Advances request `ridx` one stage at event time `now`.
     fn advance_req(&mut self, ridx: u32, now: Cycle) {
-        let mut req = self.reqs[ridx as usize].take().expect("event for freed request");
+        let mut req = self.reqs[ridx as usize]
+            .take()
+            .expect("event for freed request");
         match req.stage {
             Stage::Access => {
                 let module = usize::from(req.module);
@@ -496,7 +500,10 @@ impl RunState<'_> {
                     AccessKind::Write
                 };
                 let mut t = now;
-                match self.sys.l15_access(now, module, req.line, kind, req.locality) {
+                match self
+                    .sys
+                    .l15_access(now, module, req.line, kind, req.locality)
+                {
                     L15Outcome::Hit { ready_at } => {
                         if req.is_read {
                             self.complete_read(req, ridx, ready_at);

@@ -4,8 +4,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// A point in simulated time, measured in GPU core clock cycles.
 ///
 /// The modelled GPU runs at 1 GHz (paper Table 3), so one cycle equals one
@@ -26,9 +24,7 @@ use serde::{Deserialize, Serialize};
 /// let issued = Cycle::new(40);
 /// assert_eq!(issued + dram_latency, Cycle::new(140));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Cycle(u64);
 
 impl Cycle {

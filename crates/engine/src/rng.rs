@@ -5,8 +5,6 @@
 //! deterministically from a hierarchy of identifiers via [`SplitMix64`],
 //! so a run is a pure function of its configuration and seed.
 
-use serde::{Deserialize, Serialize};
-
 /// The SplitMix64 generator, used to expand seeds.
 ///
 /// SplitMix64 passes its output through a strong avalanche, so seeding a
@@ -22,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// let mut b = SplitMix64::new(1);
 /// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SplitMix64 {
     state: u64,
 }
@@ -54,7 +52,7 @@ impl SplitMix64 {
 /// let x = rng.next_range(100);
 /// assert!(x < 100);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Xoshiro256 {
     s: [u64; 4],
 }
@@ -83,10 +81,7 @@ impl Xoshiro256 {
 
     /// Produces the next 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];

@@ -7,8 +7,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A monotonically increasing event counter.
 ///
 /// # Example
@@ -21,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// c.add(41);
 /// assert_eq!(c.get(), 42);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter(u64);
 
 impl Counter {
@@ -73,7 +71,7 @@ impl fmt::Display for Counter {
 /// hits.record(false);
 /// assert!((hits.rate() - 2.0 / 3.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Ratio {
     hits: u64,
     total: u64,
@@ -132,7 +130,13 @@ impl Ratio {
 
 impl fmt::Display for Ratio {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}/{} ({:.1}%)", self.hits, self.total, self.rate() * 100.0)
+        write!(
+            f,
+            "{}/{} ({:.1}%)",
+            self.hits,
+            self.total,
+            self.rate() * 100.0
+        )
     }
 }
 
@@ -155,7 +159,7 @@ impl fmt::Display for Ratio {
 /// assert_eq!(h.max(), 5000);
 /// assert!((h.mean() - 1300.25).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
@@ -257,7 +261,7 @@ impl Histogram {
 /// m.record(3.0);
 /// assert!((m.get() - 2.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Mean {
     sum: f64,
     n: u64,
@@ -288,6 +292,89 @@ impl Mean {
     pub const fn count(self) -> u64 {
         self.n
     }
+}
+
+/// Row-oriented report serialization: a type that can present itself
+/// as one row of a named-column table.
+///
+/// This is the workspace's replacement for external serialization
+/// derives — run reports and other plain-data results implement it
+/// once and every harness (CSV dumps, text tables) consumes the same
+/// column contract. The CSV rendering itself comes for free through
+/// the blanket [`ToCsv`] impl.
+///
+/// # Example
+///
+/// ```
+/// use mcm_engine::stats::{Tabular, ToCsv};
+///
+/// struct Row { name: &'static str, cycles: u64 }
+/// impl Tabular for Row {
+///     const COLUMNS: &'static [&'static str] = &["name", "cycles"];
+///     fn cells(&self) -> Vec<String> {
+///         vec![self.name.to_string(), self.cycles.to_string()]
+///     }
+/// }
+///
+/// assert_eq!(Row::csv_header(), "name,cycles");
+/// assert_eq!(Row { name: "a,b", cycles: 7 }.to_csv_row(), "\"a,b\",7");
+/// ```
+pub trait Tabular {
+    /// Column names, in emission order.
+    const COLUMNS: &'static [&'static str];
+
+    /// The cells of one row; must match [`Tabular::COLUMNS`] in length.
+    fn cells(&self) -> Vec<String>;
+}
+
+/// CSV rendering for any [`Tabular`] type (RFC-4180-style quoting).
+pub trait ToCsv: Tabular {
+    /// The comma-joined column names.
+    fn csv_header() -> String {
+        Self::COLUMNS.join(",")
+    }
+
+    /// This row as one CSV line, with cells quoted only when needed.
+    fn to_csv_row(&self) -> String {
+        let cells = self.cells();
+        assert_eq!(
+            cells.len(),
+            Self::COLUMNS.len(),
+            "Tabular::cells must match COLUMNS"
+        );
+        cells
+            .iter()
+            .map(|c| csv_escape(c))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+impl<T: Tabular> ToCsv for T {}
+
+/// Quotes a CSV cell when it contains a comma, quote, or newline;
+/// embedded quotes are doubled per RFC 4180.
+pub fn csv_escape(cell: &str) -> String {
+    if cell.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Renders a whole result set as CSV: header plus one line per row.
+pub fn to_csv<'a, T, I>(rows: I) -> String
+where
+    T: Tabular + 'a,
+    I: IntoIterator<Item = &'a T>,
+{
+    let mut out = T::csv_header();
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.to_csv_row());
+        out.push('\n');
+    }
+    out
 }
 
 /// Geometric mean of a slice of positive values — the aggregation the
@@ -413,5 +500,47 @@ mod tests {
     #[should_panic(expected = "positive values")]
     fn geomean_rejects_zero() {
         geomean(&[1.0, 0.0]);
+    }
+
+    struct Row(&'static str, u64);
+
+    impl Tabular for Row {
+        const COLUMNS: &'static [&'static str] = &["name", "value"];
+
+        fn cells(&self) -> Vec<String> {
+            vec![self.0.to_string(), self.1.to_string()]
+        }
+    }
+
+    #[test]
+    fn csv_escape_quotes_only_when_needed() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_escape("two\nlines"), "\"two\nlines\"");
+    }
+
+    #[test]
+    fn tabular_to_csv_round() {
+        assert_eq!(Row::csv_header(), "name,value");
+        assert_eq!(Row("a", 1).to_csv_row(), "a,1");
+        let rendered = to_csv(&[Row("a", 1), Row("b,c", 2)]);
+        assert_eq!(rendered, "name,value\na,1\n\"b,c\",2\n");
+    }
+
+    struct Ragged;
+
+    impl Tabular for Ragged {
+        const COLUMNS: &'static [&'static str] = &["one", "two"];
+
+        fn cells(&self) -> Vec<String> {
+            vec!["only".to_string()]
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "match COLUMNS")]
+    fn ragged_rows_are_rejected() {
+        let _ = Ragged.to_csv_row();
     }
 }

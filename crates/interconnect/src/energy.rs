@@ -7,10 +7,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// An integration tier from paper Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Tier {
     /// On-chip wires (crossbars, cache banks).
     Chip,
@@ -29,8 +27,8 @@ impl Tier {
     /// Signaling energy in picojoules per bit (paper Table 2).
     pub const fn pj_per_bit(self) -> f64 {
         match self {
-            Tier::Chip => 0.08,    // 80 fJ/bit
-            Tier::Package => 0.5,  // GRS: 0.54 pJ/bit rounded as in Table 2
+            Tier::Chip => 0.08,   // 80 fJ/bit
+            Tier::Package => 0.5, // GRS: 0.54 pJ/bit rounded as in Table 2
             Tier::Board => 10.0,
             Tier::System => 250.0,
         }
@@ -93,7 +91,7 @@ pub const DRAM_PJ_PER_BIT: f64 = 4.0;
 /// let j = ledger.joules(Tier::Package);
 /// assert!(j > 0.004 && j < 0.005); // ~4.3 mJ at 0.5 pJ/bit
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyLedger {
     chip_bytes: u64,
     package_bytes: u64,

@@ -10,7 +10,6 @@
 //! `n(n-1)/2` links instead of `n`) for hop count.
 
 use mcm_engine::Cycle;
-use serde::{Deserialize, Serialize};
 
 use crate::energy::Tier;
 use crate::link::Link;
@@ -118,7 +117,7 @@ impl FullMesh {
 }
 
 /// The inter-module network topology choice.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum NetworkKind {
     /// The paper's baseline: a bidirectional ring (§3.2).
     #[default]

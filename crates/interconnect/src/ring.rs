@@ -3,15 +3,12 @@
 //! network").
 
 use mcm_engine::Cycle;
-use serde::{Deserialize, Serialize};
 
 use crate::energy::Tier;
 use crate::link::Link;
 
 /// Identifies a node (GPM or GPU) on an interconnect.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(pub u8);
 
 impl NodeId {
@@ -29,7 +26,7 @@ impl std::fmt::Display for NodeId {
 }
 
 /// Direction of travel around the ring.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RingDir {
     /// From node `i` to node `i + 1` (mod n).
     Clockwise,
@@ -235,7 +232,11 @@ impl RingNetwork {
 
     /// Total energy dissipated on ring segments, in joules.
     pub fn joules(&self) -> f64 {
-        self.cw.iter().chain(self.ccw.iter()).map(Link::joules).sum()
+        self.cw
+            .iter()
+            .chain(self.ccw.iter())
+            .map(Link::joules)
+            .sum()
     }
 }
 

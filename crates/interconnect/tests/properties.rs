@@ -1,76 +1,96 @@
-//! Property-based tests for interconnect invariants.
+//! Property-based tests for interconnect invariants, running on the
+//! in-repo `mcm-testkit` harness.
 
 use mcm_engine::Cycle;
 use mcm_interconnect::energy::{EnergyLedger, Tier};
 use mcm_interconnect::link::Link;
 use mcm_interconnect::ring::{NodeId, RingNetwork};
-use proptest::prelude::*;
+use mcm_testkit::prelude::*;
 
-proptest! {
-    /// Ring hop count is symmetric, bounded by floor(n/2), and zero only
-    /// for self-routes.
-    #[test]
-    fn ring_hops_properties(n in 1u8..16, a in 0u8..16, b in 0u8..16) {
-        let ring = RingNetwork::new(n, 768.0, Cycle::new(32));
-        let a = NodeId(a % n);
-        let b = NodeId(b % n);
-        let h = ring.hops(a, b);
-        prop_assert_eq!(h, ring.hops(b, a));
-        prop_assert!(h <= u32::from(n) / 2);
-        prop_assert_eq!(h == 0, a == b);
-    }
+/// Ring hop count is symmetric, bounded by floor(n/2), and zero only
+/// for self-routes.
+#[test]
+fn ring_hops_properties() {
+    check(
+        "ring_hops_properties",
+        &(u8s(1..16), u8s(0..16), u8s(0..16)),
+        |&(n, a, b)| {
+            let ring = RingNetwork::new(n, 768.0, Cycle::new(32));
+            let a = NodeId(a % n);
+            let b = NodeId(b % n);
+            let h = ring.hops(a, b);
+            assert_eq!(h, ring.hops(b, a));
+            assert!(h <= u32::from(n) / 2);
+            assert_eq!(h == 0, a == b);
+        },
+    );
+}
 
-    /// A ring transfer arrives no earlier than hops * hop_latency after
-    /// departure, and charges exactly hops * bytes of segment traffic.
-    #[test]
-    fn ring_transfer_lower_bound(
-        n in 2u8..9,
-        from in 0u8..9,
-        to in 0u8..9,
-        bytes in 1u64..1_000_000,
-    ) {
-        let hop = Cycle::new(32);
-        let mut ring = RingNetwork::new(n, 768.0, hop);
-        let from = NodeId(from % n);
-        let to = NodeId(to % n);
-        let hops = ring.hops(from, to);
-        let arrive = ring.transfer(Cycle::ZERO, from, to, bytes);
-        prop_assert!(arrive.as_u64() >= u64::from(hops) * 32);
-        prop_assert_eq!(ring.total_segment_bytes(), u64::from(hops) * bytes);
-    }
+/// A ring transfer arrives no earlier than hops * hop_latency after
+/// departure, and charges exactly hops * bytes of segment traffic.
+#[test]
+fn ring_transfer_lower_bound() {
+    check(
+        "ring_transfer_lower_bound",
+        &(u8s(2..9), u8s(0..9), u8s(0..9), u64s(1..1_000_000)),
+        |&(n, from, to, bytes)| {
+            let hop = Cycle::new(32);
+            let mut ring = RingNetwork::new(n, 768.0, hop);
+            let from = NodeId(from % n);
+            let to = NodeId(to % n);
+            let hops = ring.hops(from, to);
+            let arrive = ring.transfer(Cycle::ZERO, from, to, bytes);
+            assert!(arrive.as_u64() >= u64::from(hops) * 32);
+            assert_eq!(ring.total_segment_bytes(), u64::from(hops) * bytes);
+        },
+    );
+}
 
-    /// Link transfers never complete before arrival + hop latency.
-    #[test]
-    fn link_latency_floor(
-        gbps in 1.0f64..10_000.0,
-        hop in 0u64..128,
-        at in 0u64..10_000,
-        bytes in 1u64..1_000_000,
-    ) {
-        let mut l = Link::new("p", gbps, Cycle::new(hop), Tier::Package);
-        let done = l.transfer(Cycle::new(at), bytes);
-        prop_assert!(done >= Cycle::new(at + hop));
-    }
+/// Link transfers never complete before arrival + hop latency.
+#[test]
+fn link_latency_floor() {
+    check(
+        "link_latency_floor",
+        &(
+            f64s(1.0..10_000.0),
+            u64s(0..128),
+            u64s(0..10_000),
+            u64s(1..1_000_000),
+        ),
+        |&(gbps, hop, at, bytes)| {
+            let mut l = Link::new("p", gbps, Cycle::new(hop), Tier::Package);
+            let done = l.transfer(Cycle::new(at), bytes);
+            assert!(done >= Cycle::new(at + hop));
+        },
+    );
+}
 
-    /// Energy ledgers: total is the sum of parts, and merging equals
-    /// recording into one ledger.
-    #[test]
-    fn energy_ledger_additive(
-        recs in proptest::collection::vec((0usize..4, 0u64..1_000_000), 0..64),
-    ) {
-        let mut one = EnergyLedger::new();
-        let mut a = EnergyLedger::new();
-        let mut b = EnergyLedger::new();
-        for (i, &(t, bytes)) in recs.iter().enumerate() {
-            let tier = Tier::ALL[t];
-            one.record(tier, bytes);
-            if i % 2 == 0 { a.record(tier, bytes) } else { b.record(tier, bytes) }
-        }
-        a.merge(&b);
-        for tier in Tier::ALL {
-            prop_assert_eq!(a.bytes(tier), one.bytes(tier));
-        }
-        let sum: f64 = Tier::ALL.iter().map(|&t| one.joules(t)).sum();
-        prop_assert!((one.total_joules() - sum - one.dram_joules()).abs() < 1e-12);
-    }
+/// Energy ledgers: total is the sum of parts, and merging equals
+/// recording into one ledger.
+#[test]
+fn energy_ledger_additive() {
+    check(
+        "energy_ledger_additive",
+        &vecs((usizes(0..4), u64s(0..1_000_000)), 0..64),
+        |recs: &Vec<(usize, u64)>| {
+            let mut one = EnergyLedger::new();
+            let mut a = EnergyLedger::new();
+            let mut b = EnergyLedger::new();
+            for (i, &(t, bytes)) in recs.iter().enumerate() {
+                let tier = Tier::ALL[t];
+                one.record(tier, bytes);
+                if i % 2 == 0 {
+                    a.record(tier, bytes)
+                } else {
+                    b.record(tier, bytes)
+                }
+            }
+            a.merge(&b);
+            for tier in Tier::ALL {
+                assert_eq!(a.bytes(tier), one.bytes(tier));
+            }
+            let sum: f64 = Tier::ALL.iter().map(|&t| one.joules(t)).sum();
+            assert!((one.total_joules() - sum - one.dram_joules()).abs() < 1e-12);
+        },
+    );
 }

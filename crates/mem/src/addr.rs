@@ -7,8 +7,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Cache line size in bytes (paper Table 3: "128B lines").
 pub const LINE_BYTES: u64 = 128;
 /// Page size in bytes used by the page-placement policies.
@@ -29,9 +27,7 @@ const PAGE_SHIFT: u32 = PAGE_BYTES.trailing_zeros();
 /// let a = MemAddr::new(1000);
 /// assert_eq!(a.line().index(), 1000 / LINE_BYTES);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct MemAddr(u64);
 
 impl MemAddr {
@@ -71,9 +67,7 @@ impl MemAddr {
 /// let line = LineAddr::new(512); // first line of the second 64 KiB page
 /// assert_eq!(line.page().index(), 1);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct LineAddr(u64);
 
 impl LineAddr {
@@ -115,9 +109,7 @@ impl fmt::Display for LineAddr {
 }
 
 /// A page-granular address (byte address divided by [`PAGE_BYTES`]).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PageId(u64);
 
 impl PageId {
@@ -149,9 +141,7 @@ impl fmt::Display for PageId {
 /// Identifies one of the machine's DRAM partitions (one per GPM in the
 /// MCM-GPU organization of Fig. 3; one per GPU in the multi-GPU
 /// comparison of §6).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PartitionId(pub u8);
 
 impl PartitionId {
@@ -171,7 +161,7 @@ impl fmt::Display for PartitionId {
 /// Whether a memory access targets the requester's local partition or a
 /// remote one — the distinction the L1.5 allocation filter (§5.1) and
 /// the NUMA statistics are built on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Locality {
     /// The access targets the requester's own GPM's memory partition.
     Local,
@@ -188,7 +178,7 @@ impl Locality {
 }
 
 /// Read or write, as seen by the memory system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// A load; the requester blocks until data returns.
     Read,

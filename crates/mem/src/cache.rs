@@ -5,12 +5,11 @@ use std::fmt;
 
 use mcm_engine::stats::{Counter, Ratio};
 use mcm_engine::{Cycle, Resource};
-use serde::{Deserialize, Serialize};
 
 use crate::addr::{AccessKind, LineAddr, Locality};
 
 /// How the cache handles stores.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WritePolicy {
     /// Stores propagate downstream on every write; lines are never dirty.
     /// The paper's L1 and L1.5 are write-through to support the
@@ -25,7 +24,7 @@ pub enum WritePolicy {
 /// the GPM-side L1.5 cache's *remote-only* policy (§5.1.2: "the best
 /// allocation policy for the L1.5 cache is to only cache remote
 /// accesses").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AllocFilter {
     /// Any miss may allocate.
     All,
@@ -75,7 +74,7 @@ const LEADER_STRIDE: u64 = 32;
 const PSEL_MAX: i32 = 512;
 
 /// Static configuration of one cache level.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CacheConfig {
     /// Diagnostic name ("L1", "L1.5", "L2-MP0", ...).
     pub name: &'static str,
@@ -165,7 +164,7 @@ pub struct Eviction {
 }
 
 /// Aggregated statistics for one cache.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct CacheStats {
     /// Hit/total ratio over demand accesses (excludes bypasses).
     pub accesses: Ratio,
@@ -739,7 +738,11 @@ mod tests {
                     Locality::Local,
                 );
                 if let CacheOutcome::Miss { allocate: true, .. } = out {
-                    c.fill(LineAddr::new(i % 256), Cycle::new(round * 10_000 + i), false);
+                    c.fill(
+                        LineAddr::new(i % 256),
+                        Cycle::new(round * 10_000 + i),
+                        false,
+                    );
                 }
             }
         }

@@ -10,12 +10,11 @@
 
 use mcm_engine::stats::Counter;
 use mcm_engine::{Cycle, Resource};
-use serde::{Deserialize, Serialize};
 
 use crate::addr::{AccessKind, LineAddr, LINE_BYTES};
 
 /// Static configuration of one DRAM partition.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramConfig {
     /// Aggregate partition bandwidth in GB/s (= bytes/cycle at 1 GHz).
     pub bandwidth_gbps: f64,
@@ -121,10 +120,7 @@ impl DramPartition {
 
     /// Achieved bandwidth in GB/s over `elapsed`.
     pub fn achieved_gbps(&self, elapsed: Cycle) -> f64 {
-        self.channels
-            .iter()
-            .map(|c| c.achieved_gbps(elapsed))
-            .sum()
+        self.channels.iter().map(|c| c.achieved_gbps(elapsed)).sum()
     }
 
     /// Peak utilization across channels over `elapsed` — reveals channel
@@ -200,7 +196,11 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for i in 0..512u64 {
             let before = mp.debug_channel_next_free();
-            mp.access(Cycle::new(1_000_000), LineAddr::new(i * 4), AccessKind::Read);
+            mp.access(
+                Cycle::new(1_000_000),
+                LineAddr::new(i * 4),
+                AccessKind::Read,
+            );
             let after = mp.debug_channel_next_free();
             for (c, (b, a)) in before.iter().zip(after.iter()).enumerate() {
                 if a != b {
@@ -234,6 +234,9 @@ impl DramPartition {
     /// Per-channel next-free cycles (diagnostics).
     #[doc(hidden)]
     pub fn debug_channel_next_free(&self) -> Vec<u64> {
-        self.channels.iter().map(|c| c.next_free().as_u64()).collect()
+        self.channels
+            .iter()
+            .map(|c| c.next_free().as_u64())
+            .collect()
     }
 }

@@ -11,12 +11,11 @@
 use std::collections::HashMap;
 
 use mcm_engine::stats::Counter;
-use serde::{Deserialize, Serialize};
 
 use crate::addr::{LineAddr, PartitionId, LINES_PER_PAGE};
 
 /// The placement policy in force for a run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlacementPolicy {
     /// Fine-grain line interleaving across all partitions (baseline,
     /// §3.2).
@@ -196,8 +195,14 @@ mod tests {
         let mut map = PageMap::new(PlacementPolicy::FirstTouch, 4);
         let page0_line = LineAddr::new(3);
         let page1_line = PageId::new(1).first_line();
-        assert_eq!(map.partition_for(page0_line, PartitionId(1)), PartitionId(1));
-        assert_eq!(map.partition_for(page1_line, PartitionId(2)), PartitionId(2));
+        assert_eq!(
+            map.partition_for(page0_line, PartitionId(1)),
+            PartitionId(1)
+        );
+        assert_eq!(
+            map.partition_for(page1_line, PartitionId(2)),
+            PartitionId(2)
+        );
         // Every other line of page 0 follows the first touch, from any
         // requester.
         for i in 0..LINES_PER_PAGE {

@@ -1,11 +1,11 @@
 //! Stress and law tests for the set-associative cache beyond the
 //! basics: the LRU inclusion property and adaptive-filter sanity under
-//! adversarial access mixes.
+//! adversarial access mixes, on the in-repo `mcm-testkit` harness.
 
 use mcm_engine::Cycle;
 use mcm_mem::addr::{AccessKind, LineAddr, Locality};
 use mcm_mem::cache::{AllocFilter, CacheConfig, CacheOutcome, SetAssocCache};
-use proptest::prelude::*;
+use mcm_testkit::prelude::*;
 
 /// Builds a cache with the given total line capacity and associativity,
 /// fixed set count (so two caches with equal `sets` share their set
@@ -31,82 +31,101 @@ fn run_reads(c: &mut SetAssocCache, trace: &[u64]) {
     }
 }
 
-proptest! {
-    /// LRU inclusion: after any read trace, everything resident in a
-    /// w-way cache is also resident in a 2w-way cache with the same set
-    /// count (the stack property that makes LRU miss rates monotone in
-    /// associativity).
-    #[test]
-    fn lru_inclusion_property(
-        trace in proptest::collection::vec(0u64..4096, 1..800),
-        ways in 1u32..6,
-    ) {
-        let mut small = cache(16, ways);
-        let mut big = cache(16, ways * 2);
-        run_reads(&mut small, &trace);
-        run_reads(&mut big, &trace);
-        for &line in &trace {
-            if small.contains(LineAddr::new(line)) {
-                prop_assert!(
-                    big.contains(LineAddr::new(line)),
-                    "line {line} resident at {ways} ways but evicted at {} ways",
-                    ways * 2
-                );
-            }
-        }
-    }
-
-    /// Associativity never increases the miss count on the same trace
-    /// (corollary of the stack property).
-    #[test]
-    fn more_ways_never_more_misses(
-        trace in proptest::collection::vec(0u64..2048, 1..800),
-    ) {
-        let mut last_misses = None;
-        for ways in [1u32, 2, 4, 8] {
-            let mut c = cache(16, ways);
-            run_reads(&mut c, &trace);
-            let misses = c.stats().accesses.misses();
-            if let Some(prev) = last_misses {
-                prop_assert!(
-                    misses <= prev,
-                    "{ways} ways missed {misses} > previous {prev}"
-                );
-            }
-            last_misses = Some(misses);
-        }
-    }
-
-    /// The adaptive filter stays well-formed under arbitrary mixed
-    /// traces: accounting identities hold and fills never exceed
-    /// admitted misses.
-    #[test]
-    fn adaptive_filter_accounting(
-        ops in proptest::collection::vec((0u64..2048, any::<bool>(), any::<bool>()), 1..600),
-    ) {
-        let mut cfg = CacheConfig::new("adp", 64 * 8 * 128);
-        cfg.ways = 8;
-        cfg.alloc_filter = AllocFilter::Adaptive;
-        let mut c = SetAssocCache::new(cfg);
-        let mut admitted_misses = 0u64;
-        for (t, &(line, remote, write)) in ops.iter().enumerate() {
-            let loc = if remote { Locality::Remote } else { Locality::Local };
-            let kind = if write { AccessKind::Write } else { AccessKind::Read };
-            match c.access(Cycle::new(t as u64), LineAddr::new(line), kind, loc) {
-                CacheOutcome::Miss { allocate: true, .. } => {
-                    admitted_misses += 1;
-                    c.fill(LineAddr::new(line), Cycle::new(t as u64), false);
+/// LRU inclusion: after any read trace, everything resident in a
+/// w-way cache is also resident in a 2w-way cache with the same set
+/// count (the stack property that makes LRU miss rates monotone in
+/// associativity).
+#[test]
+fn lru_inclusion_property() {
+    check(
+        "lru_inclusion_property",
+        &(vecs(u64s(0..4096), 1..800), u32s(1..6)),
+        |&(ref trace, ways)| {
+            let mut small = cache(16, ways);
+            let mut big = cache(16, ways * 2);
+            run_reads(&mut small, trace);
+            run_reads(&mut big, trace);
+            for &line in trace {
+                if small.contains(LineAddr::new(line)) {
+                    assert!(
+                        big.contains(LineAddr::new(line)),
+                        "line {line} resident at {ways} ways but evicted at {} ways",
+                        ways * 2
+                    );
                 }
-                CacheOutcome::Miss { allocate: false, .. }
-                | CacheOutcome::Hit { .. }
-                | CacheOutcome::Bypass => {}
             }
-        }
-        let s = *c.stats();
-        prop_assert_eq!(s.accesses.total() + s.bypasses.get(), ops.len() as u64);
-        prop_assert!(s.fills.get() <= admitted_misses);
-        prop_assert!(c.resident_lines() as u64 <= 64 * 8);
-    }
+        },
+    );
+}
+
+/// Associativity never increases the miss count on the same trace
+/// (corollary of the stack property).
+#[test]
+fn more_ways_never_more_misses() {
+    check(
+        "more_ways_never_more_misses",
+        &vecs(u64s(0..2048), 1..800),
+        |trace: &Vec<u64>| {
+            let mut last_misses = None;
+            for ways in [1u32, 2, 4, 8] {
+                let mut c = cache(16, ways);
+                run_reads(&mut c, trace);
+                let misses = c.stats().accesses.misses();
+                if let Some(prev) = last_misses {
+                    assert!(
+                        misses <= prev,
+                        "{ways} ways missed {misses} > previous {prev}"
+                    );
+                }
+                last_misses = Some(misses);
+            }
+        },
+    );
+}
+
+/// The adaptive filter stays well-formed under arbitrary mixed
+/// traces: accounting identities hold and fills never exceed
+/// admitted misses.
+#[test]
+fn adaptive_filter_accounting() {
+    check(
+        "adaptive_filter_accounting",
+        &vecs((u64s(0..2048), bools(), bools()), 1..600),
+        |ops: &Vec<(u64, bool, bool)>| {
+            let mut cfg = CacheConfig::new("adp", 64 * 8 * 128);
+            cfg.ways = 8;
+            cfg.alloc_filter = AllocFilter::Adaptive;
+            let mut c = SetAssocCache::new(cfg);
+            let mut admitted_misses = 0u64;
+            for (t, &(line, remote, write)) in ops.iter().enumerate() {
+                let loc = if remote {
+                    Locality::Remote
+                } else {
+                    Locality::Local
+                };
+                let kind = if write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                match c.access(Cycle::new(t as u64), LineAddr::new(line), kind, loc) {
+                    CacheOutcome::Miss { allocate: true, .. } => {
+                        admitted_misses += 1;
+                        c.fill(LineAddr::new(line), Cycle::new(t as u64), false);
+                    }
+                    CacheOutcome::Miss {
+                        allocate: false, ..
+                    }
+                    | CacheOutcome::Hit { .. }
+                    | CacheOutcome::Bypass => {}
+                }
+            }
+            let s = *c.stats();
+            assert_eq!(s.accesses.total() + s.bypasses.get(), ops.len() as u64);
+            assert!(s.fills.get() <= admitted_misses);
+            assert!(c.resident_lines() as u64 <= 64 * 8);
+        },
+    );
 }
 
 #[test]

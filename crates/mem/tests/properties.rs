@@ -1,140 +1,181 @@
-//! Property-based tests for memory-system invariants.
+//! Property-based tests for memory-system invariants, running on the
+//! in-repo `mcm-testkit` harness.
 
 use mcm_engine::Cycle;
 use mcm_mem::addr::{AccessKind, LineAddr, Locality, MemAddr, PartitionId, LINES_PER_PAGE};
 use mcm_mem::cache::{AllocFilter, CacheConfig, CacheOutcome, SetAssocCache};
 use mcm_mem::dram::{DramConfig, DramPartition};
 use mcm_mem::page::{PageMap, PlacementPolicy};
-use proptest::prelude::*;
+use mcm_testkit::prelude::*;
 
-proptest! {
-    /// Address algebra round-trips: a byte's line contains the byte's
-    /// page relationship.
-    #[test]
-    fn addr_hierarchy_consistent(addr in 0u64..(1u64 << 48)) {
-        let a = MemAddr::new(addr);
-        prop_assert_eq!(a.line().page(), a.page());
-        prop_assert!(a.line().base_addr().as_u64() <= addr);
-        prop_assert!(addr - a.line().base_addr().as_u64() < 128);
-    }
+/// Address algebra round-trips: a byte's line contains the byte's
+/// page relationship.
+#[test]
+fn addr_hierarchy_consistent() {
+    check(
+        "addr_hierarchy_consistent",
+        &u64s(0..(1u64 << 48)),
+        |&addr| {
+            let a = MemAddr::new(addr);
+            assert_eq!(a.line().page(), a.page());
+            assert!(a.line().base_addr().as_u64() <= addr);
+            assert!(addr - a.line().base_addr().as_u64() < 128);
+        },
+    );
+}
 
-    /// A cache never holds more lines than its capacity allows, and a
-    /// just-filled line is resident until evicted.
-    #[test]
-    fn cache_capacity_invariant(
-        size_lines in 1u64..64,
-        ways in 1u32..8,
-        fills in proptest::collection::vec(0u64..10_000, 1..512),
-    ) {
-        let mut cfg = CacheConfig::new("p", size_lines * 128);
-        cfg.ways = ways;
-        let mut c = SetAssocCache::new(cfg);
-        for &f in &fills {
-            c.fill(LineAddr::new(f), Cycle::ZERO, false);
-            prop_assert!(c.contains(LineAddr::new(f)));
-            prop_assert!(c.resident_lines() as u64 <= size_lines);
-        }
-    }
-
-    /// Cache accounting: hits + misses = accesses; fills <= misses (only
-    /// allocating misses fill, and the caller here fills every
-    /// allocating miss exactly once).
-    #[test]
-    fn cache_accounting(
-        ops in proptest::collection::vec((0u64..256, any::<bool>()), 1..512),
-    ) {
-        let mut c = SetAssocCache::new(CacheConfig::new("p", 64 * 128));
-        let mut t = 0u64;
-        for &(line, is_write) in &ops {
-            t += 1;
-            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
-            if let CacheOutcome::Miss { allocate: true, ready_at } =
-                c.access(Cycle::new(t), LineAddr::new(line), kind, Locality::Local)
-            {
-                c.fill(LineAddr::new(line), ready_at, is_write);
+/// A cache never holds more lines than its capacity allows, and a
+/// just-filled line is resident until evicted.
+#[test]
+fn cache_capacity_invariant() {
+    check(
+        "cache_capacity_invariant",
+        &(u64s(1..64), u32s(1..8), vecs(u64s(0..10_000), 1..512)),
+        |&(size_lines, ways, ref fills)| {
+            let mut cfg = CacheConfig::new("p", size_lines * 128);
+            cfg.ways = ways;
+            let mut c = SetAssocCache::new(cfg);
+            for &f in fills {
+                c.fill(LineAddr::new(f), Cycle::ZERO, false);
+                assert!(c.contains(LineAddr::new(f)));
+                assert!(c.resident_lines() as u64 <= size_lines);
             }
-        }
-        let s = *c.stats();
-        prop_assert_eq!(s.accesses.total(), ops.len() as u64);
-        prop_assert!(s.fills.get() <= s.accesses.misses());
-        prop_assert!(s.writebacks.get() <= s.evictions.get());
-    }
+        },
+    );
+}
 
-    /// Remote-only caches never observe local accesses in their hit
-    /// ratio.
-    #[test]
-    fn remote_only_sees_only_remote(
-        ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..256),
-    ) {
-        let mut cfg = CacheConfig::new("l15", 16 * 128);
-        cfg.alloc_filter = AllocFilter::RemoteOnly;
-        let mut c = SetAssocCache::new(cfg);
-        let mut remote = 0u64;
-        for &(line, is_remote) in &ops {
-            let loc = if is_remote { Locality::Remote } else { Locality::Local };
-            let out = c.access(Cycle::ZERO, LineAddr::new(line), AccessKind::Read, loc);
-            if is_remote {
-                remote += 1;
-                prop_assert!(!matches!(out, CacheOutcome::Bypass));
-                if let CacheOutcome::Miss { allocate: true, .. } = out {
-                    c.fill(LineAddr::new(line), Cycle::ZERO, false);
+/// Cache accounting: hits + misses = accesses; fills <= misses (only
+/// allocating misses fill, and the caller here fills every
+/// allocating miss exactly once).
+#[test]
+fn cache_accounting() {
+    check(
+        "cache_accounting",
+        &vecs((u64s(0..256), bools()), 1..512),
+        |ops: &Vec<(u64, bool)>| {
+            let mut c = SetAssocCache::new(CacheConfig::new("p", 64 * 128));
+            let mut t = 0u64;
+            for &(line, is_write) in ops {
+                t += 1;
+                let kind = if is_write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                if let CacheOutcome::Miss {
+                    allocate: true,
+                    ready_at,
+                } = c.access(Cycle::new(t), LineAddr::new(line), kind, Locality::Local)
+                {
+                    c.fill(LineAddr::new(line), ready_at, is_write);
                 }
-            } else {
-                prop_assert!(matches!(out, CacheOutcome::Bypass));
             }
-        }
-        prop_assert_eq!(c.stats().accesses.total(), remote);
-        prop_assert_eq!(c.stats().bypasses.get(), ops.len() as u64 - remote);
-    }
+            let s = *c.stats();
+            assert_eq!(s.accesses.total(), ops.len() as u64);
+            assert!(s.fills.get() <= s.accesses.misses());
+            assert!(s.writebacks.get() <= s.evictions.get());
+        },
+    );
+}
 
-    /// DRAM access completion is at least latency after arrival, and all
-    /// traffic is accounted.
-    #[test]
-    fn dram_latency_floor(
-        bw in 32.0f64..2048.0,
-        channels in 1u32..16,
-        lines in proptest::collection::vec(0u64..100_000, 1..128),
-    ) {
-        let mut mp = DramPartition::new(DramConfig {
-            bandwidth_gbps: bw,
-            channels,
-            latency: Cycle::from_ns(100),
-        });
-        for (i, &l) in lines.iter().enumerate() {
-            let now = Cycle::new(i as u64);
-            let done = mp.access(now, LineAddr::new(l), AccessKind::Read);
-            prop_assert!(done >= now + Cycle::from_ns(100));
-        }
-        prop_assert_eq!(mp.total_bytes(), lines.len() as u64 * 128);
-        prop_assert_eq!(mp.reads(), lines.len() as u64);
-    }
+/// Remote-only caches never observe local accesses in their hit
+/// ratio.
+#[test]
+fn remote_only_sees_only_remote() {
+    check(
+        "remote_only_sees_only_remote",
+        &vecs((u64s(0..64), bools()), 1..256),
+        |ops: &Vec<(u64, bool)>| {
+            let mut cfg = CacheConfig::new("l15", 16 * 128);
+            cfg.alloc_filter = AllocFilter::RemoteOnly;
+            let mut c = SetAssocCache::new(cfg);
+            let mut remote = 0u64;
+            for &(line, is_remote) in ops {
+                let loc = if is_remote {
+                    Locality::Remote
+                } else {
+                    Locality::Local
+                };
+                let out = c.access(Cycle::ZERO, LineAddr::new(line), AccessKind::Read, loc);
+                if is_remote {
+                    remote += 1;
+                    assert!(!matches!(out, CacheOutcome::Bypass));
+                    if let CacheOutcome::Miss { allocate: true, .. } = out {
+                        c.fill(LineAddr::new(line), Cycle::ZERO, false);
+                    }
+                } else {
+                    assert!(matches!(out, CacheOutcome::Bypass));
+                }
+            }
+            assert_eq!(c.stats().accesses.total(), remote);
+            assert_eq!(c.stats().bypasses.get(), ops.len() as u64 - remote);
+        },
+    );
+}
 
-    /// First touch is idempotent: all lines of a page resolve to the
-    /// page's first requester forever after, regardless of requester.
-    #[test]
-    fn first_touch_idempotent(
-        touches in proptest::collection::vec((0u64..32, 0u8..4), 1..256),
-    ) {
-        let mut map = PageMap::new(PlacementPolicy::FirstTouch, 4);
-        let mut expected: std::collections::HashMap<u64, u8> = Default::default();
-        for &(page, req) in &touches {
-            let line = LineAddr::new(page * LINES_PER_PAGE + (page % LINES_PER_PAGE));
-            let got = map.partition_for(line, PartitionId(req));
-            let want = *expected.entry(page).or_insert(req);
-            prop_assert_eq!(got, PartitionId(want));
-        }
-        prop_assert_eq!(map.mapped_pages(), expected.len());
-    }
+/// DRAM access completion is at least latency after arrival, and all
+/// traffic is accounted.
+#[test]
+fn dram_latency_floor() {
+    check(
+        "dram_latency_floor",
+        &(
+            f64s(32.0..2048.0),
+            u32s(1..16),
+            vecs(u64s(0..100_000), 1..128),
+        ),
+        |&(bw, channels, ref lines)| {
+            let mut mp = DramPartition::new(DramConfig {
+                bandwidth_gbps: bw,
+                channels,
+                latency: Cycle::from_ns(100),
+            });
+            for (i, &l) in lines.iter().enumerate() {
+                let now = Cycle::new(i as u64);
+                let done = mp.access(now, LineAddr::new(l), AccessKind::Read);
+                assert!(done >= now + Cycle::from_ns(100));
+            }
+            assert_eq!(mp.total_bytes(), lines.len() as u64 * 128);
+            assert_eq!(mp.reads(), lines.len() as u64);
+        },
+    );
+}
 
-    /// Interleaved placement balances lines across partitions exactly.
-    #[test]
-    fn interleaved_is_balanced(parts in 1u8..8, n in 1u64..2048) {
-        let mut map = PageMap::new(PlacementPolicy::Interleaved, parts);
-        let mut counts = vec![0u64; parts as usize];
-        for i in 0..n * u64::from(parts) {
-            let mp = map.partition_for(LineAddr::new(i), PartitionId(0));
-            counts[mp.as_usize()] += 1;
-        }
-        prop_assert!(counts.iter().all(|&c| c == n));
-    }
+/// First touch is idempotent: all lines of a page resolve to the
+/// page's first requester forever after, regardless of requester.
+#[test]
+fn first_touch_idempotent() {
+    check(
+        "first_touch_idempotent",
+        &vecs((u64s(0..32), u8s(0..4)), 1..256),
+        |touches: &Vec<(u64, u8)>| {
+            let mut map = PageMap::new(PlacementPolicy::FirstTouch, 4);
+            let mut expected: std::collections::HashMap<u64, u8> = Default::default();
+            for &(page, req) in touches {
+                let line = LineAddr::new(page * LINES_PER_PAGE + (page % LINES_PER_PAGE));
+                let got = map.partition_for(line, PartitionId(req));
+                let want = *expected.entry(page).or_insert(req);
+                assert_eq!(got, PartitionId(want));
+            }
+            assert_eq!(map.mapped_pages(), expected.len());
+        },
+    );
+}
+
+/// Interleaved placement balances lines across partitions exactly.
+#[test]
+fn interleaved_is_balanced() {
+    check(
+        "interleaved_is_balanced",
+        &(u8s(1..8), u64s(1..2048)),
+        |&(parts, n)| {
+            let mut map = PageMap::new(PlacementPolicy::Interleaved, parts);
+            let mut counts = vec![0u64; parts as usize];
+            for i in 0..n * u64::from(parts) {
+                let mp = map.partition_for(LineAddr::new(i), PartitionId(0));
+                counts[mp.as_usize()] += 1;
+            }
+            assert!(counts.iter().all(|&c| c == n));
+        },
+    );
 }

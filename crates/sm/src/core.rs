@@ -10,10 +10,9 @@
 
 use mcm_engine::stats::Counter;
 use mcm_engine::{Cycle, Resource};
-use serde::{Deserialize, Serialize};
 
 /// Static configuration of one SM.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SmConfig {
     /// Maximum resident warps (Table 3: 64 per SM).
     pub max_warps: u32,

@@ -17,10 +17,8 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 /// Which CTA assignment policy is in force.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchedulerPolicy {
     /// Global round-robin in CTA order across all SMs (baseline §3.2).
     Centralized,

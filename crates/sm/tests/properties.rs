@@ -1,117 +1,146 @@
-//! Property-based tests for SM occupancy and CTA scheduling invariants.
+//! Property-based tests for SM occupancy and CTA scheduling
+//! invariants, running on the in-repo `mcm-testkit` harness.
 
 use mcm_sm::scheduler::{owning_gpm, CtaPool, SchedulerPolicy};
 use mcm_sm::{SmConfig, SmCore};
-use proptest::prelude::*;
+use mcm_testkit::prelude::*;
 
-proptest! {
-    /// Every CTA is handed out exactly once, regardless of policy or the
-    /// order GPMs pull in.
-    #[test]
-    fn pool_hands_out_each_cta_once(
-        total in 0u32..512,
-        gpms in 1u32..9,
-        distributed in any::<bool>(),
-        pull_order in proptest::collection::vec(0usize..9, 0..2048),
-    ) {
-        let policy = if distributed {
-            SchedulerPolicy::Distributed
-        } else {
-            SchedulerPolicy::Centralized
-        };
-        let mut pool = CtaPool::new(policy, total, gpms);
-        let mut seen = std::collections::HashSet::new();
-        for &g in &pull_order {
-            if let Some(c) = pool.next_cta(g % gpms as usize) {
-                prop_assert!(c < total);
-                prop_assert!(seen.insert(c), "CTA {c} handed out twice");
+/// Every CTA is handed out exactly once, regardless of policy or the
+/// order GPMs pull in.
+#[test]
+fn pool_hands_out_each_cta_once() {
+    check(
+        "pool_hands_out_each_cta_once",
+        &(
+            u32s(0..512),
+            u32s(1..9),
+            bools(),
+            vecs(usizes(0..9), 0..2048),
+        ),
+        |&(total, gpms, distributed, ref pull_order)| {
+            let policy = if distributed {
+                SchedulerPolicy::Distributed
+            } else {
+                SchedulerPolicy::Centralized
+            };
+            let mut pool = CtaPool::new(policy, total, gpms);
+            let mut seen = std::collections::HashSet::new();
+            for &g in pull_order {
+                if let Some(c) = pool.next_cta(g % gpms as usize) {
+                    assert!(c < total);
+                    assert!(seen.insert(c), "CTA {c} handed out twice");
+                }
             }
-        }
-        // Drain completely round-robin.
-        loop {
-            let mut any = false;
+            // Drain completely round-robin.
+            loop {
+                let mut any = false;
+                for g in 0..gpms as usize {
+                    if let Some(c) = pool.next_cta(g) {
+                        assert!(seen.insert(c));
+                        any = true;
+                    }
+                }
+                if !any {
+                    break;
+                }
+            }
+            assert_eq!(seen.len() as u32, total);
+            assert!(pool.is_exhausted());
+        },
+    );
+}
+
+/// Distributed chunks tile the CTA space exactly and differ in size
+/// by at most one.
+#[test]
+fn distributed_chunks_tile() {
+    check(
+        "distributed_chunks_tile",
+        &(u32s(0..4096), u32s(1..9)),
+        |&(total, gpms)| {
+            let pool = CtaPool::new(SchedulerPolicy::Distributed, total, gpms);
+            let mut covered = 0u32;
+            let mut sizes = Vec::new();
             for g in 0..gpms as usize {
-                if let Some(c) = pool.next_cta(g) {
-                    prop_assert!(seen.insert(c));
-                    any = true;
-                }
+                let (start, end) = pool.chunk(g);
+                assert_eq!(start, covered);
+                covered = end;
+                sizes.push(end - start);
             }
-            if !any {
-                break;
-            }
-        }
-        prop_assert_eq!(seen.len() as u32, total);
-        prop_assert!(pool.is_exhausted());
-    }
+            assert_eq!(covered, total);
+            let min = sizes.iter().min().unwrap();
+            let max = sizes.iter().max().unwrap();
+            assert!(max - min <= 1);
+        },
+    );
+}
 
-    /// Distributed chunks tile the CTA space exactly and differ in size
-    /// by at most one.
-    #[test]
-    fn distributed_chunks_tile(total in 0u32..4096, gpms in 1u32..9) {
-        let pool = CtaPool::new(SchedulerPolicy::Distributed, total, gpms);
-        let mut covered = 0u32;
-        let mut sizes = Vec::new();
-        for g in 0..gpms as usize {
+/// `owning_gpm` agrees with the chunk layout for every CTA.
+#[test]
+fn owning_gpm_consistent() {
+    check(
+        "owning_gpm_consistent",
+        &(u32s(1..2048), u32s(1..9), u32s(0..2048)),
+        |&(total, gpms, cta)| {
+            let cta = cta % total;
+            let pool = CtaPool::new(SchedulerPolicy::Distributed, total, gpms);
+            let g = owning_gpm(cta, total, gpms);
             let (start, end) = pool.chunk(g);
-            prop_assert_eq!(start, covered);
-            covered = end;
-            sizes.push(end - start);
-        }
-        prop_assert_eq!(covered, total);
-        let min = sizes.iter().min().unwrap();
-        let max = sizes.iter().max().unwrap();
-        prop_assert!(max - min <= 1);
-    }
+            assert!((start..end).contains(&cta));
+        },
+    );
+}
 
-    /// `owning_gpm` agrees with the chunk layout for every CTA.
-    #[test]
-    fn owning_gpm_consistent(total in 1u32..2048, gpms in 1u32..9, cta in 0u32..2048) {
-        let cta = cta % total;
-        let pool = CtaPool::new(SchedulerPolicy::Distributed, total, gpms);
-        let g = owning_gpm(cta, total, gpms);
-        let (start, end) = pool.chunk(g);
-        prop_assert!((start..end).contains(&cta));
-    }
-
-    /// SM occupancy never exceeds the configured warp limit under any
-    /// admit/retire sequence.
-    #[test]
-    fn occupancy_never_exceeds_limit(
-        max_warps in 1u32..128,
-        ops in proptest::collection::vec((any::<bool>(), 1u32..16), 0..256),
-    ) {
-        let mut sm = SmCore::new(SmConfig {
-            max_warps,
-            issue_ipc: 2.0,
-            mshr_entries: 8,
-            mlp_per_warp: 4,
-        });
-        let mut resident: Vec<u32> = Vec::new();
-        for &(admit, warps) in &ops {
-            if admit {
-                if sm.try_admit(warps) {
-                    resident.push(warps);
+/// SM occupancy never exceeds the configured warp limit under any
+/// admit/retire sequence.
+#[test]
+fn occupancy_never_exceeds_limit() {
+    check(
+        "occupancy_never_exceeds_limit",
+        &(u32s(1..128), vecs((bools(), u32s(1..16)), 0..256)),
+        |&(max_warps, ref ops)| {
+            let mut sm = SmCore::new(SmConfig {
+                max_warps,
+                issue_ipc: 2.0,
+                mshr_entries: 8,
+                mlp_per_warp: 4,
+            });
+            let mut resident: Vec<u32> = Vec::new();
+            for &(admit, warps) in ops {
+                if admit {
+                    if sm.try_admit(warps) {
+                        resident.push(warps);
+                    }
+                } else if let Some(w) = resident.pop() {
+                    sm.retire_warps(w);
                 }
-            } else if let Some(w) = resident.pop() {
-                sm.retire_warps(w);
+                assert!(sm.resident_warps() <= max_warps);
+                assert_eq!(sm.resident_warps(), resident.iter().sum::<u32>());
             }
-            prop_assert!(sm.resident_warps() <= max_warps);
-            prop_assert_eq!(sm.resident_warps(), resident.iter().sum::<u32>());
-        }
-    }
+        },
+    );
+}
 
-    /// Issue completions are monotone for nondecreasing request times
-    /// and total instructions are conserved.
-    #[test]
-    fn issue_accounting(bursts in proptest::collection::vec(1u32..1000, 1..64)) {
-        let mut sm = SmCore::new(SmConfig::pascal_like());
-        sm.try_admit(1);
-        let mut last = mcm_engine::Cycle::ZERO;
-        for &b in &bursts {
-            let done = sm.issue(mcm_engine::Cycle::ZERO, b);
-            prop_assert!(done >= last);
-            last = done;
-        }
-        prop_assert_eq!(sm.instructions(), bursts.iter().map(|&b| u64::from(b)).sum::<u64>());
-    }
+/// Issue completions are monotone for nondecreasing request times
+/// and total instructions are conserved.
+#[test]
+fn issue_accounting() {
+    check(
+        "issue_accounting",
+        &vecs(u32s(1..1000), 1..64),
+        |bursts: &Vec<u32>| {
+            let mut sm = SmCore::new(SmConfig::pascal_like());
+            sm.try_admit(1);
+            let mut last = mcm_engine::Cycle::ZERO;
+            for &b in bursts {
+                let done = sm.issue(mcm_engine::Cycle::ZERO, b);
+                assert!(done >= last);
+                last = done;
+            }
+            assert_eq!(
+                sm.instructions(),
+                bursts.iter().map(|&b| u64::from(b)).sum::<u64>()
+            );
+        },
+    );
 }

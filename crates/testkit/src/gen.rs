@@ -1,0 +1,419 @@
+//! Composable value generators with bounded greedy shrinking.
+//!
+//! A [`Gen`] produces values from the workspace's own deterministic
+//! [`Xoshiro256`] generator, so a property case is a pure function of
+//! its seed. Each generator also knows how to *shrink* a value it
+//! produced: propose a short list of strictly simpler candidates
+//! (smaller numbers, shorter vectors, per-component simplifications)
+//! that the runner retries greedily while the property keeps failing.
+//!
+//! Generators compose structurally: tuples of generators are
+//! generators, [`vecs`] lifts an element generator to vectors, and
+//! [`GenExt::map`] post-processes values (at the cost of shrinking —
+//! prefer generating a tuple of primitives and building the composite
+//! value inside the property body, which keeps full shrinking).
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+use mcm_engine::rng::Xoshiro256;
+
+/// A deterministic value generator with greedy shrink proposals.
+pub trait Gen {
+    /// The type of generated values.
+    type Value: Clone + Debug;
+
+    /// Produces one value from the case RNG.
+    fn generate(&self, rng: &mut Xoshiro256) -> Self::Value;
+
+    /// Proposes strictly simpler candidates for a failing `value`.
+    ///
+    /// Candidates must move toward a fixpoint (smaller magnitude,
+    /// shorter length) so the runner's greedy loop terminates; the
+    /// default proposes nothing, which disables shrinking.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+macro_rules! int_gen {
+    ($(#[$doc:meta])* $fn_name:ident, $gen_name:ident, $ty:ty) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $gen_name {
+            lo: $ty,
+            hi: $ty,
+        }
+
+        $(#[$doc])*
+        pub fn $fn_name(range: Range<$ty>) -> $gen_name {
+            assert!(
+                range.start < range.end,
+                "empty generator range {}..{}",
+                range.start,
+                range.end
+            );
+            $gen_name { lo: range.start, hi: range.end }
+        }
+
+        impl Gen for $gen_name {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut Xoshiro256) -> $ty {
+                let span = (self.hi - self.lo) as u64;
+                self.lo + rng.next_range(span) as $ty
+            }
+
+            fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                let v = *value;
+                if v <= self.lo {
+                    return Vec::new();
+                }
+                // A delta-halving ladder (lo, then v minus shrinking
+                // deltas) so the runner's greedy loop converges to a
+                // boundary counterexample in O(log²) attempts.
+                let mut out = vec![self.lo];
+                let mut delta = (v - self.lo) / 2;
+                while delta > 0 {
+                    let cand = v - delta;
+                    if !out.contains(&cand) {
+                        out.push(cand);
+                    }
+                    delta /= 2;
+                }
+                out
+            }
+        }
+    };
+}
+
+int_gen!(
+    /// Uniform `u8` in a half-open range; shrinks toward the low bound.
+    u8s, U8s, u8
+);
+int_gen!(
+    /// Uniform `u32` in a half-open range; shrinks toward the low bound.
+    u32s, U32s, u32
+);
+int_gen!(
+    /// Uniform `u64` in a half-open range; shrinks toward the low bound.
+    u64s, U64s, u64
+);
+int_gen!(
+    /// Uniform `usize` in a half-open range; shrinks toward the low bound.
+    usizes, Usizes, usize
+);
+
+/// Uniform over the full `u64` domain (the moral `any::<u64>()`);
+/// shrinks by halving toward zero.
+#[derive(Debug, Clone)]
+pub struct AnyU64;
+
+/// Uniform over the full `u64` domain; shrinks by halving toward zero.
+pub fn any_u64() -> AnyU64 {
+    AnyU64
+}
+
+impl Gen for AnyU64 {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut Xoshiro256) -> u64 {
+        rng.next_u64()
+    }
+
+    fn shrink(&self, value: &u64) -> Vec<u64> {
+        let v = *value;
+        if v == 0 {
+            return Vec::new();
+        }
+        let mut out = vec![0];
+        let mut delta = v / 2;
+        while delta > 0 {
+            let cand = v - delta;
+            if !out.contains(&cand) {
+                out.push(cand);
+            }
+            delta /= 2;
+        }
+        out
+    }
+}
+
+/// Uniform booleans; `true` shrinks to `false`.
+#[derive(Debug, Clone)]
+pub struct Bools;
+
+/// Uniform booleans; `true` shrinks to `false`.
+pub fn bools() -> Bools {
+    Bools
+}
+
+impl Gen for Bools {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut Xoshiro256) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Uniform `f64` in `[lo, hi)`; shrinks toward the low bound.
+#[derive(Debug, Clone)]
+pub struct F64s {
+    lo: f64,
+    hi: f64,
+}
+
+/// Uniform `f64` in `[range.start, range.end)`; shrinks toward the low
+/// bound.
+pub fn f64s(range: Range<f64>) -> F64s {
+    assert!(
+        range.start < range.end && range.start.is_finite() && range.end.is_finite(),
+        "invalid f64 generator range {}..{}",
+        range.start,
+        range.end
+    );
+    F64s {
+        lo: range.start,
+        hi: range.end,
+    }
+}
+
+impl Gen for F64s {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut Xoshiro256) -> f64 {
+        self.lo + rng.next_f64() * (self.hi - self.lo)
+    }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let v = *value;
+        let span = self.hi - self.lo;
+        let mut out = Vec::new();
+        let delta = (v - self.lo) / 2.0;
+        // Same ladder shape as the integer gens, cut off once the step
+        // is negligible so the greedy loop converges despite f64
+        // halving never exactly reaching the bound.
+        for cand in [self.lo, v - delta, v - delta / 2.0, v - delta / 4.0] {
+            if cand < v - span * 1e-6 {
+                out.push(cand);
+            }
+        }
+        out
+    }
+}
+
+/// Vectors of a fixed element generator with length drawn from a
+/// half-open range. Shrinks by shortening first, then simplifying
+/// individual elements.
+#[derive(Debug, Clone)]
+pub struct Vecs<G> {
+    elem: G,
+    lo: usize,
+    hi: usize,
+}
+
+/// Vectors with length in `len.start..len.end` over `elem` values.
+pub fn vecs<G: Gen>(elem: G, len: Range<usize>) -> Vecs<G> {
+    assert!(len.start < len.end, "empty vec length range");
+    Vecs {
+        elem,
+        lo: len.start,
+        hi: len.end,
+    }
+}
+
+impl<G: Gen> Gen for Vecs<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut Xoshiro256) -> Vec<G::Value> {
+        let len = self.lo + rng.next_range((self.hi - self.lo) as u64) as usize;
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<G::Value>) -> Vec<Vec<G::Value>> {
+        let mut out = Vec::new();
+        // Structural shrinks: minimal length, half length, one shorter.
+        let mut seen_lens = Vec::new();
+        for target in [self.lo, value.len() / 2, value.len().saturating_sub(1)] {
+            if target >= self.lo && target < value.len() && !seen_lens.contains(&target) {
+                seen_lens.push(target);
+                out.push(value[..target].to_vec());
+            }
+        }
+        // Element shrinks: simplify a few positions, bounded so the
+        // candidate list stays small for long vectors.
+        for i in 0..value.len().min(4) {
+            for elem_cand in self.elem.shrink(&value[i]).into_iter().take(2) {
+                let mut cand = value.clone();
+                cand[i] = elem_cand;
+                out.push(cand);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! tuple_gen {
+    ($($G:ident => $idx:tt),+) => {
+        impl<$($G: Gen),+> Gen for ($($G,)+) {
+            type Value = ($($G::Value,)+);
+
+            fn generate(&self, rng: &mut Xoshiro256) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+tuple_gen!(A => 0);
+tuple_gen!(A => 0, B => 1);
+tuple_gen!(A => 0, B => 1, C => 2);
+tuple_gen!(A => 0, B => 1, C => 2, D => 3);
+tuple_gen!(A => 0, B => 1, C => 2, D => 3, E => 4);
+tuple_gen!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5);
+tuple_gen!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6);
+tuple_gen!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6, H => 7);
+tuple_gen!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6, H => 7, I => 8);
+tuple_gen!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6, H => 7, I => 8, J => 9);
+
+/// A generator post-processed by a pure function (see [`GenExt::map`]).
+#[derive(Debug, Clone)]
+pub struct Map<G, F> {
+    inner: G,
+    f: F,
+}
+
+impl<G, F, T> Gen for Map<G, F>
+where
+    G: Gen,
+    T: Clone + Debug,
+    F: Fn(G::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut Xoshiro256) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+    // Mapped values cannot be shrunk: the pre-image of a candidate is
+    // unknown. Build composites inside the property body instead when
+    // shrinking matters.
+}
+
+/// Combinator extensions available on every generator.
+pub trait GenExt: Gen + Sized {
+    /// Transforms generated values with a pure function. The result
+    /// does not shrink; prefer mapping inside the property body when
+    /// counterexample minimization matters.
+    fn map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        T: Clone + Debug,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<G: Gen + Sized> GenExt for G {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Xoshiro256 {
+        Xoshiro256::new(0xDEAD_BEEF)
+    }
+
+    #[test]
+    fn int_gen_respects_range_and_shrinks_down() {
+        let g = u64s(10..20);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = g.generate(&mut r);
+            assert!((10..20).contains(&v));
+        }
+        let shrunk = g.shrink(&17);
+        assert!(!shrunk.is_empty());
+        assert!(shrunk.iter().all(|&s| (10..17).contains(&s)));
+        assert!(g.shrink(&10).is_empty(), "the minimum cannot shrink");
+    }
+
+    #[test]
+    fn generation_is_a_pure_function_of_the_seed() {
+        let g = (u64s(0..1000), vecs(bools(), 0..8), f64s(0.0..1.0));
+        let a = g.generate(&mut rng());
+        let b = g.generate(&mut rng());
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert!((a.2 - b.2).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn vec_gen_respects_length_and_shrinks_shorter_first() {
+        let g = vecs(u32s(0..100), 2..6);
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = g.generate(&mut r);
+            assert!((2..6).contains(&v.len()));
+        }
+        let v = vec![50u32, 60, 70, 80, 90];
+        let shrunk = g.shrink(&v);
+        assert!(shrunk.iter().any(|c| c.len() < v.len()));
+        assert!(shrunk.iter().all(|c| c.len() >= 2));
+    }
+
+    #[test]
+    fn tuple_gen_shrinks_one_component_at_a_time() {
+        let g = (u64s(0..10), bools());
+        let shrunk = g.shrink(&(5, true));
+        assert!(shrunk.contains(&(0, true)));
+        assert!(shrunk.contains(&(5, false)));
+        assert!(shrunk.iter().all(|&(n, b)| n < 5 || (n == 5 && !b)));
+    }
+
+    #[test]
+    fn f64_gen_stays_in_range() {
+        let g = f64s(-2.0..3.0);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = g.generate(&mut r);
+            assert!((-2.0..3.0).contains(&v));
+        }
+        assert!(g.shrink(&2.5).iter().all(|&c| c < 2.5 && c >= -2.0));
+    }
+
+    #[test]
+    fn map_transforms_values() {
+        let g = u64s(1..5).map(|n| vec![0u8; n as usize]);
+        let v = g.generate(&mut rng());
+        assert!((1..5).contains(&v.len()));
+        assert!(g.shrink(&v).is_empty(), "mapped gens do not shrink");
+    }
+
+    #[test]
+    fn any_u64_halves_toward_zero() {
+        let shrunk = any_u64().shrink(&1024);
+        assert!(shrunk.contains(&0));
+        assert!(shrunk.contains(&512));
+        assert!(any_u64().shrink(&0).is_empty());
+    }
+}

@@ -2,14 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The paper's three workload categories (§4).
 ///
 /// High-parallelism applications (parallel efficiency ≥ 25 %) are split
 /// into memory-intensive (> 20 % slowdown when DRAM bandwidth is halved)
 /// and compute-intensive; the rest are limited-parallelism.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Category {
     /// High parallelism, memory intensive ("M-Intensive").
     MemoryIntensive,
@@ -51,7 +49,7 @@ impl fmt::Display for Category {
 /// operations; `streaming`, `neighbor_frac` and `shared_frac` partition
 /// an access's target region (own slice stream/reuse, adjacent CTA's
 /// slice, globally shared data).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LocalityProfile {
     /// Of own-slice accesses, the fraction that advance sequentially
     /// (streaming); the rest revisit the reuse window (temporal reuse).
@@ -81,7 +79,7 @@ pub struct LocalityProfile {
 }
 
 /// Uncoalesced-gather behaviour for [`LocalityProfile::divergence`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Divergence {
     /// Fraction of memory instructions that diverge.
     pub frac: f64,
@@ -98,7 +96,10 @@ impl Divergence {
     /// Returns a description of the violated constraint.
     pub fn validate(&self) -> Result<(), String> {
         if !(0.0..=1.0).contains(&self.frac) {
-            return Err(format!("divergence frac must be in [0,1], got {}", self.frac));
+            return Err(format!(
+                "divergence frac must be in [0,1], got {}",
+                self.frac
+            ));
         }
         if self.degree < 2 {
             return Err("divergent gathers need degree >= 2".to_string());
@@ -178,7 +179,7 @@ impl Default for LocalityProfile {
 }
 
 /// The full static description of one benchmark in the suite.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     /// Benchmark name as it appears in the paper's figures.
     pub name: &'static str,

@@ -87,37 +87,190 @@ pub fn m_intensive_suite() -> Vec<WorkloadSpec> {
     vec![
         // Convolution: streaming activations over a hot ~2 MB shared
         // weight table; extremely bandwidth-hungry.
-        m_intensive("NN-Conv", 496, 0.30, 0.20, profile(0.92, 512, 0.02, 0.33, 0.004).with_cold_shared(0.03), 1024, 240, 2),
+        m_intensive(
+            "NN-Conv",
+            496,
+            0.30,
+            0.20,
+            profile(0.92, 512, 0.02, 0.33, 0.004).with_cold_shared(0.03),
+            1024,
+            240,
+            2,
+        ),
         // STREAM triad: pure streaming, perfectly partitionable.
-        m_intensive("Stream", 3072, 0.33, 0.33, profile(0.98, 64, 0.0, 0.0, 0.0), 2048, 210, 2),
+        m_intensive(
+            "Stream",
+            3072,
+            0.33,
+            0.33,
+            profile(0.98, 64, 0.0, 0.0, 0.0),
+            2048,
+            210,
+            2,
+        ),
         // SRAD stencil: streaming sweeps with halo exchange and a hot
         // coefficient table.
-        m_intensive("Srad-v2", 96, 0.28, 0.30, profile(0.85, 1024, 0.22, 0.12, 0.012).with_cold_shared(0.02), 1024, 240, 3),
-        m_intensive("Lulesh1", 1891, 0.26, 0.28, profile(0.78, 2048, 0.18, 0.16, 0.0008).with_cold_shared(0.04), 1024, 240, 2),
+        m_intensive(
+            "Srad-v2",
+            96,
+            0.28,
+            0.30,
+            profile(0.85, 1024, 0.22, 0.12, 0.012).with_cold_shared(0.02),
+            1024,
+            240,
+            3,
+        ),
+        m_intensive(
+            "Lulesh1",
+            1891,
+            0.26,
+            0.28,
+            profile(0.78, 2048, 0.18, 0.16, 0.0008).with_cold_shared(0.04),
+            1024,
+            240,
+            2,
+        ),
         // Shortest path: random traversal of a shared graph whose hot
         // frontier fits a GPM-side cache.
-        m_intensive("SSSP", 37, 0.25, 0.10, profile(0.55, 2048, 0.05, 0.40, 0.025).with_cold_shared(0.05), 768, 260, 3),
-        m_intensive("Lulesh2", 4309, 0.24, 0.28, profile(0.78, 2048, 0.18, 0.16, 0.0004).with_cold_shared(0.04), 1024, 230, 2),
-        m_intensive("MiniAMR", 5407, 0.22, 0.30, profile(0.84, 1024, 0.20, 0.11, 0.0003).with_cold_shared(0.03), 1024, 230, 2),
+        m_intensive(
+            "SSSP",
+            37,
+            0.25,
+            0.10,
+            profile(0.55, 2048, 0.05, 0.40, 0.025).with_cold_shared(0.05),
+            768,
+            260,
+            3,
+        ),
+        m_intensive(
+            "Lulesh2",
+            4309,
+            0.24,
+            0.28,
+            profile(0.78, 2048, 0.18, 0.16, 0.0004).with_cold_shared(0.04),
+            1024,
+            230,
+            2,
+        ),
+        m_intensive(
+            "MiniAMR",
+            5407,
+            0.22,
+            0.30,
+            profile(0.84, 1024, 0.20, 0.11, 0.0003).with_cold_shared(0.03),
+            1024,
+            230,
+            2,
+        ),
         // K-means: streaming points against hot shared centroids.
-        m_intensive("Kmeans", 216, 0.22, 0.15, profile(0.90, 512, 0.04, 0.27, 0.005).with_cold_shared(0.03), 1024, 240, 3),
-        m_intensive("Nekbone1", 1746, 0.20, 0.25, profile(0.70, 4096, 0.15, 0.14, 0.0008).with_cold_shared(0.04), 1024, 230, 2),
-        m_intensive("Lulesh3", 203, 0.20, 0.28, profile(0.75, 2048, 0.18, 0.16, 0.007).with_cold_shared(0.04), 1024, 230, 2),
+        m_intensive(
+            "Kmeans",
+            216,
+            0.22,
+            0.15,
+            profile(0.90, 512, 0.04, 0.27, 0.005).with_cold_shared(0.03),
+            1024,
+            240,
+            3,
+        ),
+        m_intensive(
+            "Nekbone1",
+            1746,
+            0.20,
+            0.25,
+            profile(0.70, 4096, 0.15, 0.14, 0.0008).with_cold_shared(0.04),
+            1024,
+            230,
+            2,
+        ),
+        m_intensive(
+            "Lulesh3",
+            203,
+            0.20,
+            0.28,
+            profile(0.75, 2048, 0.18, 0.16, 0.007).with_cold_shared(0.04),
+            1024,
+            230,
+            2,
+        ),
         // Breadth-first search: shared frontier + graph structure.
-        m_intensive("BFS", 37, 0.19, 0.12, profile(0.55, 2048, 0.05, 0.36, 0.025).with_cold_shared(0.05), 768, 260, 3),
-        m_intensive("MnCtct", 251, 0.18, 0.22, profile(0.72, 4096, 0.15, 0.14, 0.006).with_cold_shared(0.04), 1024, 230, 2),
-        m_intensive("Nekbone2", 287, 0.18, 0.25, profile(0.70, 4096, 0.15, 0.14, 0.005).with_cold_shared(0.04), 1024, 230, 2),
+        m_intensive(
+            "BFS",
+            37,
+            0.19,
+            0.12,
+            profile(0.55, 2048, 0.05, 0.36, 0.025).with_cold_shared(0.05),
+            768,
+            260,
+            3,
+        ),
+        m_intensive(
+            "MnCtct",
+            251,
+            0.18,
+            0.22,
+            profile(0.72, 4096, 0.15, 0.14, 0.006).with_cold_shared(0.04),
+            1024,
+            230,
+            2,
+        ),
+        m_intensive(
+            "Nekbone2",
+            287,
+            0.18,
+            0.25,
+            profile(0.70, 4096, 0.15, 0.14, 0.005).with_cold_shared(0.04),
+            1024,
+            230,
+            2,
+        ),
         // Algebraic multigrid: sparse matvec over a huge footprint with
         // hot coarse grids.
-        m_intensive("AMG", 5430, 0.17, 0.18, profile(0.72, 8192, 0.06, 0.18, 0.0003).with_cold_shared(0.05), 1024, 230, 2),
+        m_intensive(
+            "AMG",
+            5430,
+            0.17,
+            0.18,
+            profile(0.72, 8192, 0.06, 0.18, 0.0003).with_cold_shared(0.05),
+            1024,
+            230,
+            2,
+        ),
         // Minimum spanning tree: graph with a hot component table.
-        m_intensive("MST", 73, 0.17, 0.12, profile(0.58, 4096, 0.05, 0.32, 0.012).with_cold_shared(0.05), 768, 250, 3),
+        m_intensive(
+            "MST",
+            73,
+            0.17,
+            0.12,
+            profile(0.58, 4096, 0.05, 0.32, 0.012).with_cold_shared(0.05),
+            768,
+            250,
+            3,
+        ),
         // Small-footprint CFD: caches capture it, so link bandwidth
         // matters little — but FT+DS make it almost fully local (§5.4
         // reports 3.2x).
-        m_intensive("CFD", 25, 0.25, 0.25, profile(0.60, 8192, 0.20, 0.04, 0.04).with_cold_shared(0.01), 768, 260, 4),
+        m_intensive(
+            "CFD",
+            25,
+            0.25,
+            0.25,
+            profile(0.60, 8192, 0.20, 0.04, 0.04).with_cold_shared(0.01),
+            768,
+            260,
+            4,
+        ),
         // Molecular dynamics: strong cell-list neighbor locality.
-        m_intensive("CoMD", 385, 0.23, 0.20, profile(0.55, 8192, 0.25, 0.10, 0.003).with_cold_shared(0.02), 1024, 240, 4),
+        m_intensive(
+            "CoMD",
+            385,
+            0.23,
+            0.20,
+            profile(0.55, 8192, 0.25, 0.10, 0.003).with_cold_shared(0.02),
+            1024,
+            240,
+            4,
+        ),
     ]
 }
 
@@ -149,24 +302,104 @@ pub fn c_intensive_suite() -> Vec<WorkloadSpec> {
     vec![
         // SP: compute-heavy but with a hot shared table; the category's
         // biggest winner (§5.4: 4.4x).
-        c_intensive("SP", 128, 0.060, profile(0.50, 256, 0.05, 0.40, 0.01).with_cold_shared(0.05)),
+        c_intensive(
+            "SP",
+            128,
+            0.060,
+            profile(0.50, 256, 0.05, 0.40, 0.01).with_cold_shared(0.05),
+        ),
         // XSBench: random lookups in shared cross-section tables
         // (§5.4: 3.1x).
-        c_intensive("XSBench", 512, 0.050, profile(0.40, 512, 0.02, 0.50, 0.003).with_cold_shared(0.05)),
-        c_intensive("Backprop", 96, 0.045, profile(0.85, 1024, 0.05, 0.12, 0.02).with_cold_shared(0.02)),
-        c_intensive("Hotspot", 64, 0.035, profile(0.85, 1024, 0.12, 0.02, 0.01).with_cold_shared(0.02)),
-        c_intensive("LavaMD", 48, 0.030, profile(0.55, 4096, 0.20, 0.02, 0.01).with_cold_shared(0.02)),
-        c_intensive("Pathfinder", 128, 0.040, profile(0.90, 512, 0.08, 0.02, 0.01).with_cold_shared(0.02)),
-        c_intensive("NW", 96, 0.035, profile(0.80, 2048, 0.10, 0.02, 0.01).with_cold_shared(0.02)),
-        c_intensive("Gaussian", 64, 0.025, profile(0.75, 4096, 0.05, 0.10, 0.02).with_cold_shared(0.02)),
-        c_intensive("B+Tree", 256, 0.045, profile(0.45, 1024, 0.02, 0.40, 0.006).with_cold_shared(0.02)),
-        c_intensive("Heartwall", 96, 0.030, profile(0.80, 2048, 0.08, 0.05, 0.02).with_cold_shared(0.02)),
-        c_intensive("DMR", 192, 0.040, profile(0.55, 4096, 0.10, 0.25, 0.008).with_cold_shared(0.02)),
-        c_intensive("SGEMM", 256, 0.025, profile(0.70, 8192, 0.02, 0.15, 0.01).with_cold_shared(0.02)),
-        c_intensive("Blackscholes", 384, 0.035, profile(0.95, 256, 0.0, 0.02, 0.01).with_cold_shared(0.02)),
-        c_intensive("Raytrace", 128, 0.030, profile(0.40, 2048, 0.02, 0.35, 0.012).with_cold_shared(0.02)),
-        c_intensive("Histogram", 192, 0.040, profile(0.92, 256, 0.0, 0.08, 0.005).with_cold_shared(0.02)),
-        c_intensive("Reduction", 512, 0.035, profile(0.97, 128, 0.0, 0.02, 0.01).with_cold_shared(0.02)),
+        c_intensive(
+            "XSBench",
+            512,
+            0.050,
+            profile(0.40, 512, 0.02, 0.50, 0.003).with_cold_shared(0.05),
+        ),
+        c_intensive(
+            "Backprop",
+            96,
+            0.045,
+            profile(0.85, 1024, 0.05, 0.12, 0.02).with_cold_shared(0.02),
+        ),
+        c_intensive(
+            "Hotspot",
+            64,
+            0.035,
+            profile(0.85, 1024, 0.12, 0.02, 0.01).with_cold_shared(0.02),
+        ),
+        c_intensive(
+            "LavaMD",
+            48,
+            0.030,
+            profile(0.55, 4096, 0.20, 0.02, 0.01).with_cold_shared(0.02),
+        ),
+        c_intensive(
+            "Pathfinder",
+            128,
+            0.040,
+            profile(0.90, 512, 0.08, 0.02, 0.01).with_cold_shared(0.02),
+        ),
+        c_intensive(
+            "NW",
+            96,
+            0.035,
+            profile(0.80, 2048, 0.10, 0.02, 0.01).with_cold_shared(0.02),
+        ),
+        c_intensive(
+            "Gaussian",
+            64,
+            0.025,
+            profile(0.75, 4096, 0.05, 0.10, 0.02).with_cold_shared(0.02),
+        ),
+        c_intensive(
+            "B+Tree",
+            256,
+            0.045,
+            profile(0.45, 1024, 0.02, 0.40, 0.006).with_cold_shared(0.02),
+        ),
+        c_intensive(
+            "Heartwall",
+            96,
+            0.030,
+            profile(0.80, 2048, 0.08, 0.05, 0.02).with_cold_shared(0.02),
+        ),
+        c_intensive(
+            "DMR",
+            192,
+            0.040,
+            profile(0.55, 4096, 0.10, 0.25, 0.008).with_cold_shared(0.02),
+        ),
+        c_intensive(
+            "SGEMM",
+            256,
+            0.025,
+            profile(0.70, 8192, 0.02, 0.15, 0.01).with_cold_shared(0.02),
+        ),
+        c_intensive(
+            "Blackscholes",
+            384,
+            0.035,
+            profile(0.95, 256, 0.0, 0.02, 0.01).with_cold_shared(0.02),
+        ),
+        c_intensive(
+            "Raytrace",
+            128,
+            0.030,
+            profile(0.40, 2048, 0.02, 0.35, 0.012).with_cold_shared(0.02),
+        ),
+        c_intensive(
+            "Histogram",
+            192,
+            0.040,
+            profile(0.92, 256, 0.0, 0.08, 0.005).with_cold_shared(0.02),
+        ),
+        c_intensive(
+            "Reduction",
+            512,
+            0.035,
+            profile(0.97, 128, 0.0, 0.02, 0.01).with_cold_shared(0.02),
+        ),
     ]
 }
 
@@ -204,8 +437,24 @@ pub fn limited_parallelism_suite() -> Vec<WorkloadSpec> {
     vec![
         // DWT and NN: latency-bound, negligible reuse; the L1.5's added
         // latency hurts them (§5.4: up to −14.6 %).
-        limited("DWT", 64, 48, 0.12, 0.30, profile(0.97, 64, 0.0, 0.0, 0.0), 3000),
-        limited("NN", 32, 32, 0.12, 0.05, profile(0.97, 64, 0.0, 0.02, 0.01), 3200),
+        limited(
+            "DWT",
+            64,
+            48,
+            0.12,
+            0.30,
+            profile(0.97, 64, 0.0, 0.0, 0.0),
+            3000,
+        ),
+        limited(
+            "NN",
+            32,
+            32,
+            0.12,
+            0.05,
+            profile(0.97, 64, 0.0, 0.02, 0.01),
+            3200,
+        ),
         // Streamcluster: write-heavy working set that wants the L2
         // capacity the optimized hierarchy gives away (§5.4: −25.3 %).
         limited(
@@ -217,18 +466,114 @@ pub fn limited_parallelism_suite() -> Vec<WorkloadSpec> {
             profile(0.30, 16384, 0.02, 0.05, 0.02),
             2800,
         ),
-        limited("Mummer", 96, 64, 0.12, 0.10, profile(0.50, 2048, 0.02, 0.40, 0.03).with_cold_shared(0.08), 2600),
-        limited("BarnesHut", 48, 96, 0.10, 0.15, profile(0.45, 4096, 0.05, 0.35, 0.04).with_cold_shared(0.08), 2400),
-        limited("Delaunay", 64, 64, 0.10, 0.20, profile(0.55, 4096, 0.10, 0.20, 0.03).with_cold_shared(0.03), 2600),
-        limited("SpMV-s", 48, 96, 0.15, 0.10, profile(0.70, 4096, 0.05, 0.20, 0.04).with_cold_shared(0.03), 2400),
-        limited("FFT-s", 96, 64, 0.12, 0.30, profile(0.80, 2048, 0.05, 0.20, 0.02).with_cold_shared(0.03), 2600),
-        limited("Sort-s", 128, 96, 0.14, 0.40, profile(0.85, 1024, 0.02, 0.15, 0.015).with_cold_shared(0.03), 2400),
-        limited("Scan", 192, 64, 0.15, 0.35, profile(0.95, 512, 0.0, 0.20, 0.01).with_cold_shared(0.03), 2600),
-        limited("Crypt", 128, 48, 0.08, 0.10, profile(0.90, 512, 0.0, 0.25, 0.015).with_cold_shared(0.03), 3200),
-        limited("GEMM-s", 96, 64, 0.06, 0.10, profile(0.70, 8192, 0.02, 0.15, 0.03).with_cold_shared(0.03), 3000),
-        limited("Jacobi-s", 96, 96, 0.14, 0.30, profile(0.85, 1024, 0.12, 0.15, 0.02).with_cold_shared(0.03), 2400),
-        limited("MonteCarlo", 96, 64, 0.06, 0.05, profile(0.40, 1024, 0.0, 0.30, 0.02).with_cold_shared(0.03), 3200),
-        limited("Stencil-s", 96, 96, 0.14, 0.28, profile(0.85, 1024, 0.12, 0.15, 0.02).with_cold_shared(0.03), 2400),
+        limited(
+            "Mummer",
+            96,
+            64,
+            0.12,
+            0.10,
+            profile(0.50, 2048, 0.02, 0.40, 0.03).with_cold_shared(0.08),
+            2600,
+        ),
+        limited(
+            "BarnesHut",
+            48,
+            96,
+            0.10,
+            0.15,
+            profile(0.45, 4096, 0.05, 0.35, 0.04).with_cold_shared(0.08),
+            2400,
+        ),
+        limited(
+            "Delaunay",
+            64,
+            64,
+            0.10,
+            0.20,
+            profile(0.55, 4096, 0.10, 0.20, 0.03).with_cold_shared(0.03),
+            2600,
+        ),
+        limited(
+            "SpMV-s",
+            48,
+            96,
+            0.15,
+            0.10,
+            profile(0.70, 4096, 0.05, 0.20, 0.04).with_cold_shared(0.03),
+            2400,
+        ),
+        limited(
+            "FFT-s",
+            96,
+            64,
+            0.12,
+            0.30,
+            profile(0.80, 2048, 0.05, 0.20, 0.02).with_cold_shared(0.03),
+            2600,
+        ),
+        limited(
+            "Sort-s",
+            128,
+            96,
+            0.14,
+            0.40,
+            profile(0.85, 1024, 0.02, 0.15, 0.015).with_cold_shared(0.03),
+            2400,
+        ),
+        limited(
+            "Scan",
+            192,
+            64,
+            0.15,
+            0.35,
+            profile(0.95, 512, 0.0, 0.20, 0.01).with_cold_shared(0.03),
+            2600,
+        ),
+        limited(
+            "Crypt",
+            128,
+            48,
+            0.08,
+            0.10,
+            profile(0.90, 512, 0.0, 0.25, 0.015).with_cold_shared(0.03),
+            3200,
+        ),
+        limited(
+            "GEMM-s",
+            96,
+            64,
+            0.06,
+            0.10,
+            profile(0.70, 8192, 0.02, 0.15, 0.03).with_cold_shared(0.03),
+            3000,
+        ),
+        limited(
+            "Jacobi-s",
+            96,
+            96,
+            0.14,
+            0.30,
+            profile(0.85, 1024, 0.12, 0.15, 0.02).with_cold_shared(0.03),
+            2400,
+        ),
+        limited(
+            "MonteCarlo",
+            96,
+            64,
+            0.06,
+            0.05,
+            profile(0.40, 1024, 0.0, 0.30, 0.02).with_cold_shared(0.03),
+            3200,
+        ),
+        limited(
+            "Stencil-s",
+            96,
+            96,
+            0.14,
+            0.28,
+            profile(0.85, 1024, 0.12, 0.15, 0.02).with_cold_shared(0.03),
+            2400,
+        ),
     ]
 }
 
@@ -323,9 +668,8 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "NN-Conv", "Stream", "Srad-v2", "Lulesh1", "SSSP", "Lulesh2", "MiniAMR",
-                "Kmeans", "Nekbone1", "Lulesh3", "BFS", "MnCtct", "Nekbone2", "AMG", "MST",
-                "CFD", "CoMD",
+                "NN-Conv", "Stream", "Srad-v2", "Lulesh1", "SSSP", "Lulesh2", "MiniAMR", "Kmeans",
+                "Nekbone1", "Lulesh3", "BFS", "MnCtct", "Nekbone2", "AMG", "MST", "CFD", "CoMD",
             ]
         );
     }

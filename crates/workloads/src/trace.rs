@@ -15,8 +15,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::spec::WorkloadSpec;
 use crate::stream::{WarpOp, WarpStream};
 use mcm_mem::addr::{AccessKind, MemAddr};
@@ -36,13 +34,13 @@ use mcm_mem::addr::{AccessKind, MemAddr};
 /// let replayed: Vec<_> = trace.replay().collect();
 /// assert_eq!(replayed.len(), trace.ops().len());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Trace {
     ops: Vec<TraceOp>,
 }
 
 /// One serializable trace record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceOp {
     /// A burst of back-to-back non-memory instructions.
     Compute(u32),
@@ -159,7 +157,7 @@ impl Iterator for Replay<'_> {
 /// assert_eq!(set.len(), 4 * 4); // 4 CTAs x 4 warps
 /// assert!(set.get(0, 3, 2).is_some());
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TraceSet {
     traces: HashMap<(u32, u32, u32), Trace>,
 }

@@ -1,77 +1,93 @@
-//! Property-based tests for the workload generator.
+//! Property-based tests for the workload generator, running on the
+//! in-repo `mcm-testkit` harness.
+//!
+//! Specs are built from tuples of primitives *inside* the property
+//! bodies (rather than via `Gen::map`) so counterexamples shrink all
+//! the way down through the constituent fields.
 
 use mcm_mem::addr::LINES_PER_PAGE;
+use mcm_testkit::prelude::*;
 use mcm_workloads::spec::{LocalityProfile, WorkloadSpec};
 use mcm_workloads::stream::{cta_insts, WarpOp, WarpStream};
-use proptest::prelude::*;
 
-fn arb_profile() -> impl Strategy<Value = LocalityProfile> {
+/// The raw tuple a [`LocalityProfile`] is built from.
+type ProfileParams = (f64, u32, f64, f64, f64, f64);
+
+/// The raw tuple a [`WorkloadSpec`] is built from (minus the profile).
+type SpecParams = (u32, u32, u32, f64, f64, u32, u64, u64, f64);
+
+fn profile_gen() -> impl mcm_testkit::gen::Gen<Value = ProfileParams> {
     (
-        0.0f64..=1.0,
-        1u32..20_000,
-        0.0f64..0.4,
-        0.0f64..0.4,
-        0.0f64..0.5,
-        0.0f64..0.2,
+        f64s(0.0..1.0),  // streaming
+        u32s(1..20_000), // reuse window
+        f64s(0.0..0.4),  // neighbor frac
+        f64s(0.0..0.4),  // shared frac
+        f64s(0.0..0.5),  // shared region frac
+        f64s(0.0..0.2),  // cold shared frac
     )
-        .prop_map(
-            |(streaming, window, neighbor, shared, region, cold)| LocalityProfile {
-                streaming,
-                reuse_window_lines: window,
-                neighbor_frac: neighbor,
-                shared_frac: shared,
-                shared_region_frac: region,
-                cold_shared_frac: cold,
-                divergence: None,
-            },
-        )
 }
 
-fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+fn spec_gen() -> impl mcm_testkit::gen::Gen<Value = (SpecParams, ProfileParams)> {
     (
-        1u32..64,          // ctas
-        1u32..8,           // warps per cta
-        1u32..600,         // insts
-        0.01f64..=1.0,     // mem ratio
-        0.0f64..=1.0,      // write frac
-        1u32..4,           // iters
-        20u64..28,         // footprint = 2^n bytes (1 MiB .. 128 MiB)
-        arb_profile(),
-        any::<u64>(),      // seed
-        0.0f64..=1.0,      // imbalance
+        (
+            u32s(1..64),     // ctas
+            u32s(1..8),      // warps per cta
+            u32s(1..600),    // insts
+            f64s(0.01..1.0), // mem ratio
+            f64s(0.0..1.0),  // write frac
+            u32s(1..4),      // iters
+            u64s(20..28),    // footprint = 2^n bytes (1 MiB .. 128 MiB)
+            any_u64(),       // seed
+            f64s(0.0..1.0),  // imbalance
+        ),
+        profile_gen(),
     )
-        .prop_map(
-            |(ctas, warps, insts, mem, wfrac, iters, fp, locality, seed, imbalance)| {
-                WorkloadSpec {
-                    name: "prop",
-                    category: mcm_workloads::Category::MemoryIntensive,
-                    footprint_bytes: 1u64 << fp,
-                    ctas,
-                    warps_per_cta: warps,
-                    insts_per_warp: insts,
-                    mem_ratio: mem,
-                    write_frac: wfrac,
-                    kernel_iters: iters,
-                    locality,
-                    imbalance,
-                    seed,
-                }
-            },
-        )
 }
 
-proptest! {
-    /// Every generated spec validates, and its streams (a) emit exactly
-    /// the per-CTA instruction budget, (b) stay inside the footprint,
-    /// and (c) are reproducible.
-    #[test]
-    fn stream_invariants(spec in arb_spec()) {
-        prop_assume!(spec.validate().is_ok());
+fn build_profile(p: ProfileParams) -> LocalityProfile {
+    let (streaming, window, neighbor, shared, region, cold) = p;
+    LocalityProfile {
+        streaming,
+        reuse_window_lines: window,
+        neighbor_frac: neighbor,
+        shared_frac: shared,
+        shared_region_frac: region,
+        cold_shared_frac: cold,
+        divergence: None,
+    }
+}
+
+fn build_spec(params: &(SpecParams, ProfileParams)) -> WorkloadSpec {
+    let ((ctas, warps, insts, mem, wfrac, iters, fp, seed, imbalance), profile) = *params;
+    WorkloadSpec {
+        name: "prop",
+        category: mcm_workloads::Category::MemoryIntensive,
+        footprint_bytes: 1u64 << fp,
+        ctas,
+        warps_per_cta: warps,
+        insts_per_warp: insts,
+        mem_ratio: mem,
+        write_frac: wfrac,
+        kernel_iters: iters,
+        locality: build_profile(profile),
+        imbalance,
+        seed,
+    }
+}
+
+/// Every generated spec validates, and its streams (a) emit exactly
+/// the per-CTA instruction budget, (b) stay inside the footprint,
+/// and (c) are reproducible.
+#[test]
+fn stream_invariants() {
+    check("stream_invariants", &spec_gen(), |params| {
+        let spec = build_spec(params);
+        assume!(spec.validate().is_ok());
         let cta = spec.ctas / 2;
         let warp = spec.warps_per_cta - 1;
         let ops: Vec<WarpOp> = WarpStream::new(&spec, 0, cta, warp).collect();
         let ops2: Vec<WarpOp> = WarpStream::new(&spec, 0, cta, warp).collect();
-        prop_assert_eq!(&ops, &ops2);
+        assert_eq!(&ops, &ops2);
 
         let total: u64 = ops
             .iter()
@@ -80,44 +96,56 @@ proptest! {
                 WarpOp::Access { .. } => 1,
             })
             .sum();
-        prop_assert_eq!(total, u64::from(cta_insts(&spec, cta)));
+        assert_eq!(total, u64::from(cta_insts(&spec, cta)));
 
         let max_line = spec.footprint_lines();
         for op in &ops {
             if let WarpOp::Access { addr, .. } = op {
-                prop_assert!(addr.line().index() < max_line);
+                assert!(addr.line().index() < max_line);
             }
         }
-    }
+    });
+}
 
-    /// Compute bursts are always nonzero (a zero burst would deadlock an
-    /// SM's issue accounting).
-    #[test]
-    fn compute_bursts_nonzero(spec in arb_spec()) {
-        prop_assume!(spec.validate().is_ok());
+/// Compute bursts are always nonzero (a zero burst would deadlock an
+/// SM's issue accounting).
+#[test]
+fn compute_bursts_nonzero() {
+    check("compute_bursts_nonzero", &spec_gen(), |params| {
+        let spec = build_spec(params);
+        assume!(spec.validate().is_ok());
         for op in WarpStream::new(&spec, 0, 0, 0) {
             if let WarpOp::Compute(n) = op {
-                prop_assert!(n > 0);
+                assert!(n > 0);
             }
         }
-    }
+    });
+}
 
-    /// Imbalance never shrinks a CTA's work below the base budget, and
-    /// is bounded by the configured factor.
-    #[test]
-    fn imbalance_bounds(spec in arb_spec(), cta in 0u32..64) {
-        prop_assume!(spec.validate().is_ok());
-        let cta = cta % spec.ctas;
-        let n = cta_insts(&spec, cta);
-        prop_assert!(n >= spec.insts_per_warp);
-        let ceil = (f64::from(spec.insts_per_warp) * (1.0 + spec.imbalance)).round() as u32 + 1;
-        prop_assert!(n <= ceil);
-    }
+/// Imbalance never shrinks a CTA's work below the base budget, and
+/// is bounded by the configured factor.
+#[test]
+fn imbalance_bounds() {
+    check(
+        "imbalance_bounds",
+        &(spec_gen(), u32s(0..64)),
+        |&(ref params, cta)| {
+            let spec = build_spec(params);
+            assume!(spec.validate().is_ok());
+            let cta = cta % spec.ctas;
+            let n = cta_insts(&spec, cta);
+            assert!(n >= spec.insts_per_warp);
+            let ceil = (f64::from(spec.insts_per_warp) * (1.0 + spec.imbalance)).round() as u32 + 1;
+            assert!(n <= ceil);
+        },
+    );
+}
 
-    /// Cross-kernel page stability: with purely private access patterns
-    /// the pages a CTA touches in kernel 0 overlap heavily with kernel 1.
-    #[test]
-    fn cross_kernel_page_overlap(seed in any::<u64>()) {
+/// Cross-kernel page stability: with purely private access patterns
+/// the pages a CTA touches in kernel 0 overlap heavily with kernel 1.
+#[test]
+fn cross_kernel_page_overlap() {
+    check("cross_kernel_page_overlap", &any_u64(), |&seed| {
         let mut spec = WorkloadSpec::template("xk");
         spec.seed = seed;
         spec.insts_per_warp = 2000;
@@ -133,8 +161,8 @@ proptest! {
         };
         let a = pages(0);
         let b = pages(1);
-        prop_assume!(!a.is_empty());
+        assume!(!a.is_empty());
         let overlap = a.intersection(&b).count() as f64 / a.len() as f64;
-        prop_assert!(overlap > 0.5, "overlap {overlap}");
-    }
+        assert!(overlap > 0.5, "overlap {overlap}");
+    });
 }

@@ -23,7 +23,10 @@ fn main() {
 
     // --- Lever 1: inter-GPM link bandwidth (paper §3.3.2, Fig. 4) ---
     println!("link-bandwidth sweep (baseline cache hierarchy):");
-    println!("{:>12} {:>12} {:>10} {:>11}", "link GB/s", "cycles", "slowdown", "ring TB/s");
+    println!(
+        "{:>12} {:>12} {:>10} {:>11}",
+        "link GB/s", "cycles", "slowdown", "ring TB/s"
+    );
     let reference = Simulator::run(&SystemConfig::mcm_with_link(6144.0), &spec);
     for gbps in [6144.0, 3072.0, 1536.0, 768.0, 384.0] {
         let r = Simulator::run(&SystemConfig::mcm_with_link(gbps), &spec);
@@ -43,9 +46,15 @@ fn main() {
         "hierarchy", "cycles", "speedup", "L1.5 hit%", "ring TB/s"
     );
     let base = Simulator::run(&SystemConfig::baseline_mcm(), &spec);
-    let mut points = vec![("no L1.5 (baseline)".to_string(), SystemConfig::baseline_mcm())];
+    let mut points = vec![(
+        "no L1.5 (baseline)".to_string(),
+        SystemConfig::baseline_mcm(),
+    )];
     for mb in [8u64, 16] {
-        for (label, filter) in [("all-alloc", AllocFilter::All), ("remote-only", AllocFilter::RemoteOnly)] {
+        for (label, filter) in [
+            ("all-alloc", AllocFilter::All),
+            ("remote-only", AllocFilter::RemoteOnly),
+        ] {
             points.push((
                 format!("{mb} MB {label}"),
                 SystemConfig::mcm_with_l15(mb, filter),

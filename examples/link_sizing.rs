@@ -43,7 +43,10 @@ fn main() {
             }
             LinkVerdict::Throttles {
                 achievable_dram_fraction,
-            } => format!("throttles to {:.0}% of DRAM", achievable_dram_fraction * 100.0),
+            } => format!(
+                "throttles to {:.0}% of DRAM",
+                achievable_dram_fraction * 100.0
+            ),
         };
         println!("{link:>12.0} {verdict:>28}");
     }

@@ -21,12 +21,18 @@ fn main() {
 
     println!(
         "{:14} {:>13} {:>8} {:>7} {:>6} {:>6} {:>9} {:>9} {:>8}",
-        "workload", "category", "foot MB", "IPC", "L1%", "L2%", "ring TB/s", "DRAM TB/s", "mem/inst"
+        "workload",
+        "category",
+        "foot MB",
+        "IPC",
+        "L1%",
+        "L2%",
+        "ring TB/s",
+        "DRAM TB/s",
+        "mem/inst"
     );
-    let mut per_cat: Vec<(Category, Vec<f64>)> = Category::ALL
-        .iter()
-        .map(|&c| (c, Vec::new()))
-        .collect();
+    let mut per_cat: Vec<(Category, Vec<f64>)> =
+        Category::ALL.iter().map(|&c| (c, Vec::new())).collect();
     for w in suite::suite() {
         let spec = w.scaled(scale);
         let r = Simulator::run(&cfg, &spec);
@@ -51,6 +57,11 @@ fn main() {
     println!();
     for (c, v) in per_cat {
         let mean = v.iter().sum::<f64>() / v.len() as f64;
-        println!("{:>13}: {} workloads, mean baseline IPC {:.1}", c.label(), v.len(), mean);
+        println!(
+            "{:>13}: {} workloads, mean baseline IPC {:.1}",
+            c.label(),
+            v.len(),
+            mean
+        );
     }
 }

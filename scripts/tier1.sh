@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: the canonical "is the tree healthy" check.
+# Everything here must pass before a change lands. Fully offline — the
+# workspace has no external dependencies, so `--offline` is a
+# guarantee, not an inconvenience.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo build --workspace --release --offline =="
+cargo build --workspace --release --offline
+
+echo "== cargo test --workspace -q --offline =="
+cargo test --workspace -q --offline
+
+echo "tier-1: all green"

@@ -59,7 +59,10 @@ fn chunked_scheduling_preserves_contiguity_benefits() {
         (0.8..1.25).contains(&ratio),
         "group-16 chunking should stay near the distributed point, got {ratio:.2}"
     );
-    assert!(chunked.locality_rate() > 0.5, "chunking must still localize");
+    assert!(
+        chunked.locality_rate() > 0.5,
+        "chunking must still localize"
+    );
 }
 
 #[test]
@@ -74,8 +77,7 @@ fn fully_connected_fabric_runs_and_trades_hops_for_width() {
     let budget = spec.approx_instructions();
     assert!(ring.instructions >= budget && mesh.instructions >= budget);
     assert!(
-        (ring.instructions as f64 - mesh.instructions as f64).abs()
-            < budget as f64 * 0.05,
+        (ring.instructions as f64 - mesh.instructions as f64).abs() < budget as f64 * 0.05,
         "instruction counts diverged: {} vs {}",
         ring.instructions,
         mesh.instructions

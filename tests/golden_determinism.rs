@@ -1,0 +1,65 @@
+//! Golden determinism: exact cycle counts for one workload per
+//! category on the two headline configurations. These pin down the
+//! simulator's end-to-end determinism — any change to event ordering,
+//! RNG streams, cache replacement, or scheduling that alters observed
+//! behaviour shows up here as an exact-count diff.
+//!
+//! If a change *intentionally* alters simulated behaviour, update the
+//! golden numbers in the table below and call out the change in the
+//! commit message.
+
+use mcm::gpu::{Simulator, SystemConfig};
+use mcm::workloads::suite;
+
+/// (workload, baseline_mcm cycles, optimized_mcm cycles).
+/// One row per workload category: Stream is memory-intensive, Hotspot
+/// compute-intensive, DWT limited-parallelism. All run at 2 % scale.
+const GOLDEN: &[(&str, u64, u64)] = &[
+    ("Stream", 5032, 1794),
+    ("Hotspot", 1303, 1132),
+    ("DWT", 2671, 1870),
+];
+
+#[test]
+fn golden_cycle_counts() {
+    let baseline = SystemConfig::baseline_mcm();
+    let optimized = SystemConfig::optimized_mcm();
+    let mut failures = Vec::new();
+    for &(name, want_base, want_opt) in GOLDEN {
+        let spec = suite::by_name(name).expect("suite workload").scaled(0.02);
+        let got_base = Simulator::run(&baseline, &spec).cycles.as_u64();
+        let got_opt = Simulator::run(&optimized, &spec).cycles.as_u64();
+        eprintln!("(\"{name}\", {got_base}, {got_opt}),");
+        if got_base != want_base {
+            failures.push(format!(
+                "{name} on baseline_mcm: got {got_base} cycles, golden {want_base}"
+            ));
+        }
+        if got_opt != want_opt {
+            failures.push(format!(
+                "{name} on optimized_mcm: got {got_opt} cycles, golden {want_opt}"
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden mismatches:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// The same (config, workload) pair run twice yields bit-identical
+/// reports, not just matching cycle counts.
+#[test]
+fn repeated_runs_are_identical() {
+    let cfg = SystemConfig::baseline_mcm();
+    let spec = suite::by_name("Stream")
+        .expect("suite workload")
+        .scaled(0.02);
+    let a = Simulator::run(&cfg, &spec);
+    let b = Simulator::run(&cfg, &spec);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.instructions, b.instructions);
+    assert_eq!(a.dram_bytes, b.dram_bytes);
+    assert_eq!(a.inter_module_bytes, b.inter_module_bytes);
+}

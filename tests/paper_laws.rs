@@ -42,19 +42,36 @@ fn optimization_stack_improves_memory_intensive_workloads() {
     let spec = workload("Kmeans", 0.2);
     let base = run(&mcm16(|_| {}), &spec);
     let l15 = run(
-        &mcm16(|c| c.caches = mcm::gpu::CacheHierarchy::rebalanced_from(4 << 20, 2 << 20, AllocFilter::RemoteOnly, 4)),
+        &mcm16(|c| {
+            c.caches = mcm::gpu::CacheHierarchy::rebalanced_from(
+                4 << 20,
+                2 << 20,
+                AllocFilter::RemoteOnly,
+                4,
+            )
+        }),
         &spec,
     );
     let ds = run(
         &mcm16(|c| {
-            c.caches = mcm::gpu::CacheHierarchy::rebalanced_from(4 << 20, 2 << 20, AllocFilter::RemoteOnly, 4);
+            c.caches = mcm::gpu::CacheHierarchy::rebalanced_from(
+                4 << 20,
+                2 << 20,
+                AllocFilter::RemoteOnly,
+                4,
+            );
             c.scheduler = SchedulerPolicy::Distributed;
         }),
         &spec,
     );
     let ft = run(
         &mcm16(|c| {
-            c.caches = mcm::gpu::CacheHierarchy::rebalanced_from(4 << 20, 2 << 20, AllocFilter::RemoteOnly, 4);
+            c.caches = mcm::gpu::CacheHierarchy::rebalanced_from(
+                4 << 20,
+                2 << 20,
+                AllocFilter::RemoteOnly,
+                4,
+            );
             c.scheduler = SchedulerPolicy::Distributed;
             c.placement = PlacementPolicy::FirstTouch;
         }),
@@ -93,7 +110,12 @@ fn full_stack_cuts_inter_gpm_traffic_multiple_fold() {
     let base = run(&mcm16(|_| {}), &spec);
     let opt = run(
         &mcm16(|c| {
-            c.caches = mcm::gpu::CacheHierarchy::rebalanced_from(4 << 20, 2 << 20, AllocFilter::RemoteOnly, 4);
+            c.caches = mcm::gpu::CacheHierarchy::rebalanced_from(
+                4 << 20,
+                2 << 20,
+                AllocFilter::RemoteOnly,
+                4,
+            );
             c.scheduler = SchedulerPolicy::Distributed;
             c.placement = PlacementPolicy::FirstTouch;
         }),
@@ -153,11 +175,21 @@ fn remote_only_beats_cache_all_at_iso_capacity() {
     // cache.
     let spec = workload("Kmeans", 0.2);
     let remote_only = run(
-        &mcm16(|c| c.caches = mcm::gpu::CacheHierarchy::rebalanced_from(4 << 20, 2 << 20, AllocFilter::RemoteOnly, 4)),
+        &mcm16(|c| {
+            c.caches = mcm::gpu::CacheHierarchy::rebalanced_from(
+                4 << 20,
+                2 << 20,
+                AllocFilter::RemoteOnly,
+                4,
+            )
+        }),
         &spec,
     );
     let cache_all = run(
-        &mcm16(|c| c.caches = mcm::gpu::CacheHierarchy::rebalanced_from(4 << 20, 2 << 20, AllocFilter::All, 4)),
+        &mcm16(|c| {
+            c.caches =
+                mcm::gpu::CacheHierarchy::rebalanced_from(4 << 20, 2 << 20, AllocFilter::All, 4)
+        }),
         &spec,
     );
     assert!(
@@ -181,10 +213,7 @@ fn first_touch_with_distributed_scheduling_localizes() {
         }),
         &spec,
     );
-    let ft_central = run(
-        &mcm16(|c| c.placement = PlacementPolicy::FirstTouch),
-        &spec,
-    );
+    let ft_central = run(&mcm16(|c| c.placement = PlacementPolicy::FirstTouch), &spec);
     assert!(
         ft_ds.locality_rate() > 0.8,
         "FT+DS locality too low: {}",
@@ -227,7 +256,12 @@ fn multi_gpu_loses_to_mcm_on_communication_heavy_work() {
     let spec = workload("SSSP", 0.15);
     let mcm = run(
         &mcm16(|c| {
-            c.caches = mcm::gpu::CacheHierarchy::rebalanced_from(4 << 20, 2 << 20, AllocFilter::RemoteOnly, 4);
+            c.caches = mcm::gpu::CacheHierarchy::rebalanced_from(
+                4 << 20,
+                2 << 20,
+                AllocFilter::RemoteOnly,
+                4,
+            );
             c.scheduler = SchedulerPolicy::Distributed;
             c.placement = PlacementPolicy::FirstTouch;
         }),
@@ -254,7 +288,8 @@ fn reports_are_bit_reproducible_across_runs() {
     let cfg = mcm16(|c| {
         c.placement = PlacementPolicy::FirstTouch;
         c.scheduler = SchedulerPolicy::Distributed;
-        c.caches = mcm::gpu::CacheHierarchy::rebalanced_from(4 << 20, 2 << 20, AllocFilter::RemoteOnly, 4);
+        c.caches =
+            mcm::gpu::CacheHierarchy::rebalanced_from(4 << 20, 2 << 20, AllocFilter::RemoteOnly, 4);
     });
     let a = run(&cfg, &spec);
     let b = run(&cfg, &spec);

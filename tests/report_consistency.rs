@@ -1,6 +1,7 @@
 //! Cross-field consistency of run reports: the accounting identities
 //! that must hold for any workload on any machine.
 
+use mcm::engine::stats::ToCsv;
 use mcm::gpu::{RunReport, Simulator, SystemConfig};
 use mcm::interconnect::energy::Tier;
 use mcm::workloads::suite;
@@ -45,7 +46,11 @@ fn accounting_identities_hold() {
         assert!((r.ipc() - ipc).abs() < 1e-9, "{}: ipc formula", r.config);
         // Energy ledger's package/board bytes equal the fabric's.
         let fabric = r.energy.bytes(Tier::Package) + r.energy.bytes(Tier::Board);
-        assert_eq!(fabric, r.inter_module_bytes, "{}: fabric energy bytes", r.config);
+        assert_eq!(
+            fabric, r.inter_module_bytes,
+            "{}: fabric energy bytes",
+            r.config
+        );
         // Module stats tile the totals.
         let m_insts: u64 = r.modules.iter().map(|m| m.instructions).sum();
         assert_eq!(m_insts, r.instructions, "{}: module instructions", r.config);
