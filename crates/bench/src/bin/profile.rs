@@ -1,0 +1,114 @@
+//! Stall-attribution profiler: runs one (workload, configuration) pair
+//! and prints where every warp-cycle went — the measured analogue of
+//! the paper's Fig. 16 decomposition.
+//!
+//! Usage: `profile [WORKLOAD] [CONFIG]` (defaults: `CFD` on
+//! `optimized`). Honors `MCM_SCALE` (default 0.5) and the
+//! observability variables `MCM_TRACE` / `MCM_METRICS` /
+//! `MCM_METRICS_BUCKET` (see the README's Observability section).
+
+use std::path::PathBuf;
+
+use mcm_bench::harness::{self, TextTable};
+use mcm_gpu::{Simulator, SystemConfig};
+use mcm_probe::{ChromeTraceProbe, MetricsProbe, StallProfile};
+use mcm_workloads::suite;
+
+const CONFIG_KEYS: &[&str] = &[
+    "baseline",
+    "optimized",
+    "l15-ds",
+    "mono128",
+    "mono256",
+    "multi-gpu",
+];
+
+fn config_by_key(key: &str) -> Option<SystemConfig> {
+    Some(match key {
+        "baseline" => SystemConfig::baseline_mcm(),
+        "optimized" => SystemConfig::optimized_mcm(),
+        "l15-ds" => SystemConfig::mcm_l15_ds(),
+        "mono128" => SystemConfig::largest_buildable_monolithic(),
+        "mono256" => SystemConfig::hypothetical_monolithic_256(),
+        "multi-gpu" => SystemConfig::multi_gpu_baseline(),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let wname = args.next().unwrap_or_else(|| "CFD".into());
+    let ckey = args.next().unwrap_or_else(|| "optimized".into());
+    let Some(spec) = suite::by_name(&wname) else {
+        let names: Vec<&str> = suite::suite().iter().map(|w| w.name).collect();
+        eprintln!("unknown workload '{wname}'; one of: {}", names.join(", "));
+        std::process::exit(2);
+    };
+    let Some(cfg) = config_by_key(&ckey) else {
+        eprintln!(
+            "unknown config '{ckey}'; one of: {}",
+            CONFIG_KEYS.join(", ")
+        );
+        std::process::exit(2);
+    };
+    let spec = spec.scaled(harness::scale());
+
+    let trace_dir = std::env::var_os("MCM_TRACE").map(PathBuf::from);
+    let metrics_dir = std::env::var_os("MCM_METRICS").map(PathBuf::from);
+    let mut probe = (
+        StallProfile::new(),
+        (
+            trace_dir.as_ref().map(|_| ChromeTraceProbe::new()),
+            metrics_dir
+                .as_ref()
+                .map(|_| MetricsProbe::new(harness::metrics_bucket(), cfg.topology.sms_per_module)),
+        ),
+    );
+    let report = Simulator::run_probed(&cfg, &spec, &mut probe);
+    let (profile, (mut trace, metrics)) = probe;
+
+    let stem = format!(
+        "{}__{}",
+        harness::sanitize(&cfg.name),
+        harness::sanitize(spec.name)
+    );
+    if let (Some(dir), Some(trace)) = (&trace_dir, &mut trace) {
+        std::fs::create_dir_all(dir).expect("create MCM_TRACE directory");
+        let path = dir.join(format!("{stem}.trace.json"));
+        trace.save(&path).expect("write Chrome trace");
+        println!("trace:   {}", path.display());
+    }
+    if let (Some(dir), Some(metrics)) = (&metrics_dir, &metrics) {
+        std::fs::create_dir_all(dir).expect("create MCM_METRICS directory");
+        let path = dir.join(format!("{stem}.metrics.csv"));
+        metrics.save(&path).expect("write metrics CSV");
+        println!("metrics: {}", path.display());
+    }
+
+    println!(
+        "{} on {}: {}, {} warps ({} retired)\n",
+        report.workload,
+        report.config,
+        report.cycles,
+        profile.warps_spawned(),
+        profile.warps_retired()
+    );
+    let total = profile.total_warp_cycles();
+    let max = profile.phases().map(|(_, c)| c).max().unwrap_or(0);
+    let mut table = TextTable::new(vec!["phase", "warp-cycles", "share", ""]);
+    for (phase, cycles) in profile.phases() {
+        table.row(vec![
+            phase.label().to_string(),
+            cycles.to_string(),
+            format!("{:5.1}%", 100.0 * profile.fraction(phase)),
+            harness::bar(cycles as f64, max as f64, 30),
+        ]);
+    }
+    table.row(vec![
+        "total".to_string(),
+        total.to_string(),
+        "100.0%".to_string(),
+        String::new(),
+    ]);
+    print!("{}", table.render());
+}

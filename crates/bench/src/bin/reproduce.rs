@@ -14,6 +14,9 @@ use mcm_bench::figures;
 use mcm_bench::harness::Memo;
 use mcm_engine::stats::ToCsv;
 
+/// A named, simulation-backed table or figure generator.
+type Exhibit = (&'static str, Box<dyn Fn(&mut Memo) -> String>);
+
 fn main() {
     let out_dir = Path::new("results");
     fs::create_dir_all(out_dir).expect("create results/");
@@ -36,7 +39,7 @@ fn main() {
 
     // Simulation-backed exhibits, cheapest shared-config ones first so
     // the memo warms up.
-    let figs: Vec<(&str, Box<dyn Fn(&mut Memo) -> String>)> = vec![
+    let figs: Vec<Exhibit> = vec![
         ("fig04_link_sensitivity", Box::new(figures::fig04)),
         ("fig06_l15_cache", Box::new(figures::fig06)),
         ("fig07_l15_bandwidth", Box::new(figures::fig07)),
@@ -66,7 +69,7 @@ fn main() {
     }
 
     // Raw per-run data for downstream analysis.
-    let mut csv = String::from(mcm_gpu::RunReport::csv_header());
+    let mut csv = mcm_gpu::RunReport::csv_header();
     csv.push('\n');
     for report in memo.reports() {
         csv.push_str(&report.to_csv_row());

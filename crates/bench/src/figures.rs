@@ -590,46 +590,6 @@ pub fn fig17(memo: &mut Memo) -> String {
     )
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn static_tables_render() {
-        for text in [table1(), table2(), table3(), table4()] {
-            assert!(text.lines().count() > 5, "table too short:\n{text}");
-        }
-        assert!(table1().contains("Pascal"));
-        assert!(table2().contains("pJ/bit"));
-        assert!(table3().contains("768"));
-        assert!(table4().contains("5430"));
-    }
-
-    #[test]
-    #[cfg_attr(
-        debug_assertions,
-        ignore = "slow without optimizations; run with --release"
-    )]
-    fn fig04_runs_at_tiny_scale() {
-        let mut memo = Memo::new(0.01);
-        let text = fig04(&mut memo);
-        assert!(text.contains("384 GB/s"));
-        assert!(text.lines().count() >= 7);
-    }
-
-    #[test]
-    #[cfg_attr(
-        debug_assertions,
-        ignore = "slow without optimizations; run with --release"
-    )]
-    fn fig16_runs_at_tiny_scale() {
-        let mut memo = Memo::new(0.01);
-        let text = fig16(&mut memo);
-        assert!(text.contains("Proposed MCM-GPU"));
-        assert!(text.contains("Monolithic"));
-    }
-}
-
 // ---------------------------------------------------------------------
 // Extensions beyond the paper's exhibits: the ablations DESIGN.md calls
 // out (the §5.4 future-work schedulers, the §3.2 topology question) and
@@ -898,4 +858,44 @@ pub fn ablation_alloc_policy(memo: &mut Memo) -> String {
          §5.1.2)\n\n{}",
         t.render()
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_tables_render() {
+        for text in [table1(), table2(), table3(), table4()] {
+            assert!(text.lines().count() > 5, "table too short:\n{text}");
+        }
+        assert!(table1().contains("Pascal"));
+        assert!(table2().contains("pJ/bit"));
+        assert!(table3().contains("768"));
+        assert!(table4().contains("5430"));
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow without optimizations; run with --release"
+    )]
+    fn fig04_runs_at_tiny_scale() {
+        let mut memo = Memo::new(0.01);
+        let text = fig04(&mut memo);
+        assert!(text.contains("384 GB/s"));
+        assert!(text.lines().count() >= 7);
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow without optimizations; run with --release"
+    )]
+    fn fig16_runs_at_tiny_scale() {
+        let mut memo = Memo::new(0.01);
+        let text = fig16(&mut memo);
+        assert!(text.contains("Proposed MCM-GPU"));
+        assert!(text.contains("Monolithic"));
+    }
 }

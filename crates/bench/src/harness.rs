@@ -2,9 +2,11 @@
 //! memoized simulation runs and plain-text table rendering.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 
 use mcm_engine::stats::geomean;
 use mcm_gpu::{RunReport, Simulator, SystemConfig};
+use mcm_probe::{ChromeTraceProbe, MetricsProbe};
 use mcm_workloads::{Category, WorkloadSpec};
 
 /// The workload scale factor used by the harness: multiplies per-warp
@@ -47,12 +49,15 @@ impl Memo {
     }
 
     /// Runs `spec` (scaled) on `cfg`, memoized.
+    ///
+    /// Fresh (non-memoized) runs honour the observability environment
+    /// variables: see [`run_instrumented`].
     pub fn run(&mut self, cfg: &SystemConfig, spec: &WorkloadSpec) -> RunReport {
         let key = (cfg.name.clone(), spec.name.to_string());
         if let Some(r) = self.cache.get(&key) {
             return r.clone();
         }
-        let report = Simulator::run(cfg, &spec.scaled(self.scale));
+        let report = run_instrumented(cfg, &spec.scaled(self.scale));
         self.cache.insert(key, report.clone());
         report
     }
@@ -69,6 +74,67 @@ impl Memo {
         all.sort_by(|a, b| (&a.config, &a.workload).cmp(&(&b.config, &b.workload)));
         all
     }
+}
+
+/// The time-series bucket width in cycles, read from
+/// `MCM_METRICS_BUCKET` (default [`mcm_probe::metrics::DEFAULT_BUCKET`]).
+pub fn metrics_bucket() -> u64 {
+    std::env::var("MCM_METRICS_BUCKET")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&b| b > 0)
+        .unwrap_or(mcm_probe::metrics::DEFAULT_BUCKET)
+}
+
+/// Turns a configuration or workload name into a filename-safe stem:
+/// every non-alphanumeric character becomes `-` (config names contain
+/// `/`, `(`, `+`).
+pub fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect()
+}
+
+/// Runs one (already scaled) workload on `cfg`, attaching observability
+/// sinks selected by the environment:
+///
+/// - `MCM_TRACE=<dir>` — write a Chrome trace-event JSON per run to
+///   `<dir>/<config>__<workload>.trace.json` (load in Perfetto).
+/// - `MCM_METRICS=<dir>` — write a utilization time-series CSV per run
+///   to `<dir>/<config>__<workload>.metrics.csv`; bucket width from
+///   `MCM_METRICS_BUCKET` (cycles).
+///
+/// With neither variable set this is exactly [`Simulator::run`]: the
+/// [`mcm_probe::NullProbe`] path monomorphizes to no instrumentation.
+///
+/// # Panics
+///
+/// Panics if an artifact directory cannot be created or written.
+pub fn run_instrumented(cfg: &SystemConfig, spec: &WorkloadSpec) -> RunReport {
+    let trace_dir = std::env::var_os("MCM_TRACE").map(PathBuf::from);
+    let metrics_dir = std::env::var_os("MCM_METRICS").map(PathBuf::from);
+    if trace_dir.is_none() && metrics_dir.is_none() {
+        return Simulator::run(cfg, spec);
+    }
+    let mut probe = (
+        trace_dir.as_ref().map(|_| ChromeTraceProbe::new()),
+        metrics_dir
+            .as_ref()
+            .map(|_| MetricsProbe::new(metrics_bucket(), cfg.topology.sms_per_module)),
+    );
+    let report = Simulator::run_probed(cfg, spec, &mut probe);
+    let stem = format!("{}__{}", sanitize(&cfg.name), sanitize(spec.name));
+    if let (Some(dir), Some(trace)) = (&trace_dir, &mut probe.0) {
+        std::fs::create_dir_all(dir).expect("create MCM_TRACE directory");
+        let path = dir.join(format!("{stem}.trace.json"));
+        trace.save(&path).expect("write Chrome trace");
+    }
+    if let (Some(dir), Some(metrics)) = (&metrics_dir, &probe.1) {
+        std::fs::create_dir_all(dir).expect("create MCM_METRICS directory");
+        let path = dir.join(format!("{stem}.metrics.csv"));
+        metrics.save(&path).expect("write metrics CSV");
+    }
+    report
 }
 
 /// Geometric-mean speedup of `cfg` over `baseline` for the workloads of

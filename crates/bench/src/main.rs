@@ -26,9 +26,10 @@ fn main() {
     let mut cats: Vec<Category> = Vec::new();
     let mut ring_base = 0u64;
     let mut ring_opt = 0u64;
+    let scale = mcm_bench::harness::scale();
     let t0 = std::time::Instant::now();
     for w in &all {
-        let spec = w.scaled(0.5);
+        let spec = w.scaled(scale);
         let base = Simulator::run(&configs[0].1, &spec);
         cats.push(w.category);
         ring_base += base.inter_module_bytes;

@@ -76,7 +76,126 @@ bin_smoke!(
     fig15_scurve,
     fig16_breakdown,
     fig17_multi_gpu,
+    profile,
     reproduce,
     scorecard,
     tables,
 );
+
+/// Structural well-formedness: balanced braces/brackets outside string
+/// literals, with escape handling. Not a full parser, but enough to
+/// catch truncated or mis-quoted output.
+fn assert_well_formed_json(text: &str, what: &str) {
+    let trimmed = text.trim();
+    assert!(
+        trimmed.starts_with('{') && trimmed.ends_with('}'),
+        "{what}: not a JSON object"
+    );
+    let mut depth: i64 = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in trimmed.chars() {
+        if in_str {
+            match (escaped, c) {
+                (true, _) => escaped = false,
+                (false, '\\') => escaped = true,
+                (false, '"') => in_str = false,
+                _ => {}
+            }
+        } else {
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => {
+                    depth -= 1;
+                    assert!(depth >= 0, "{what}: unbalanced closers");
+                }
+                _ => {}
+            }
+        }
+    }
+    assert!(!in_str, "{what}: unterminated string");
+    assert_eq!(depth, 0, "{what}: unbalanced braces/brackets");
+}
+
+fn assert_well_formed_csv(text: &str, what: &str) {
+    let mut lines = text.lines();
+    let header = lines.next().unwrap_or_else(|| panic!("{what}: empty CSV"));
+    assert_eq!(
+        header, "bucket_start,metric,unit,value",
+        "{what}: unexpected CSV header"
+    );
+    let cols = header.split(',').count();
+    let mut rows = 0usize;
+    for (i, line) in lines.enumerate() {
+        assert_eq!(
+            line.split(',').count(),
+            cols,
+            "{what}: ragged row {}: {line:?}",
+            i + 2
+        );
+        let first = line.split(',').next().unwrap();
+        assert!(
+            first.parse::<u64>().is_ok(),
+            "{what}: non-numeric bucket_start in row {}: {line:?}",
+            i + 2
+        );
+        rows += 1;
+    }
+    assert!(rows > 0, "{what}: CSV has a header but no data rows");
+}
+
+/// One artifact-writing run per entry point: a figure-harness binary
+/// (whose runs flow through `Memo::run`) and the `profile` bin. With
+/// `MCM_TRACE`/`MCM_METRICS` pointed at a scratch directory, both must
+/// leave behind well-formed trace JSON and metrics CSV for every
+/// simulated (config, workload) pair.
+#[test]
+fn observability_artifacts_are_written_and_well_formed() {
+    for (bin, exe, args) in [
+        (
+            "fig16_breakdown",
+            env!("CARGO_BIN_EXE_fig16_breakdown"),
+            &[][..],
+        ),
+        (
+            "profile",
+            env!("CARGO_BIN_EXE_profile"),
+            &["Stream", "baseline"][..],
+        ),
+    ] {
+        let dir = scratch_dir(&format!("artifacts-{bin}"));
+        let out = Command::new(exe)
+            .args(args)
+            .current_dir(&dir)
+            .env("MCM_SCALE", SMOKE_SCALE)
+            .env("MCM_TRACE", &dir)
+            .env("MCM_METRICS", &dir)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+        assert!(
+            out.status.success(),
+            "{bin} failed with artifacts enabled:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let mut traces = 0usize;
+        let mut csvs = 0usize;
+        for entry in std::fs::read_dir(&dir).expect("read scratch dir") {
+            let path = entry.expect("dir entry").path();
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let text =
+                std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {name}: {e}"));
+            if name.ends_with(".trace.json") {
+                assert_well_formed_json(&text, &name);
+                traces += 1;
+            } else if name.ends_with(".metrics.csv") {
+                assert_well_formed_csv(&text, &name);
+                csvs += 1;
+            }
+        }
+        assert!(traces > 0, "{bin} wrote no trace JSON files");
+        assert!(csvs > 0, "{bin} wrote no metrics CSV files");
+        assert_eq!(traces, csvs, "{bin}: trace/metrics file counts differ");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

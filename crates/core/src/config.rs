@@ -468,7 +468,7 @@ mod tests {
             let total = h.l15_bytes_total + h.l2_bytes_total;
             // 16 MB case keeps the vestigial 32 KB per partition.
             assert!(
-                total >= 16 * MIB && total <= 16 * MIB + 4 * 32 * KIB,
+                (16 * MIB..=16 * MIB + 4 * 32 * KIB).contains(&total),
                 "{mb} MB rebalance totals {total}"
             );
         }

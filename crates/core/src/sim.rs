@@ -25,6 +25,7 @@ use mcm_engine::{Cycle, EventQueue};
 use mcm_mem::addr::{AccessKind, LineAddr, Locality};
 use mcm_mem::cache::CacheOutcome;
 use mcm_mem::mshr::MshrLookup;
+use mcm_probe::{NullProbe, Probe, ReqStage, RequestMeta, WarpPhase};
 use mcm_sm::CtaPool;
 use mcm_workloads::stream::{WarpOp, WarpStream};
 use mcm_workloads::WorkloadSpec;
@@ -78,6 +79,11 @@ struct WarpRt {
     blocked: bool,
     /// Out of instructions, waiting for in-flight loads to drain.
     draining: bool,
+    /// Home locality of the warp's most recent outstanding miss — pure
+    /// probe bookkeeping (attributes memory-wait phases to local vs
+    /// remote); never consulted by the timing model, and not maintained
+    /// when the probe is inactive.
+    wait_loc: Locality,
 }
 
 struct CtaRt {
@@ -112,6 +118,9 @@ enum Stage {
 }
 
 struct Req {
+    /// Run-unique id, assigned at issue in creation order — the key the
+    /// probe layer correlates request lifecycle events by.
+    id: u64,
     line: LineAddr,
     sm: u32,
     module: u8,
@@ -136,8 +145,9 @@ impl Req {
     }
 }
 
-struct RunState<'a> {
+struct RunState<'a, P: Probe> {
     spec: &'a WorkloadSpec,
+    probe: &'a mut P,
     sys: McmSystem,
     queue: EventQueue<Ev>,
     warps: Vec<Option<WarpRt>>,
@@ -151,6 +161,8 @@ struct RunState<'a> {
     kernel: u32,
     /// Latest timestamp any event reached.
     horizon: Cycle,
+    /// Next request id to hand out (see [`Req::id`]).
+    next_req_id: u64,
 }
 
 impl Simulator {
@@ -161,6 +173,28 @@ impl Simulator {
     /// Panics if either the configuration or the workload fails
     /// validation.
     pub fn run(cfg: &SystemConfig, spec: &WorkloadSpec) -> RunReport {
+        Simulator::run_probed(cfg, spec, &mut NullProbe)
+    }
+
+    /// Runs `spec` to completion on `cfg`, streaming fine-grained
+    /// events to `probe`.
+    ///
+    /// Probes are passive observers: the timing model never consults
+    /// them, so an instrumented run is cycle-identical to
+    /// [`Simulator::run`]. With [`NullProbe`] (whose
+    /// [`Probe::ACTIVE`] is `false`) every hook call and every
+    /// argument-preparation branch monomorphizes away, so `run` pays
+    /// nothing for the instrumentation points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either the configuration or the workload fails
+    /// validation.
+    pub fn run_probed<P: Probe>(
+        cfg: &SystemConfig,
+        spec: &WorkloadSpec,
+        probe: &mut P,
+    ) -> RunReport {
         cfg.validate().expect("invalid system configuration");
         spec.validate().expect("invalid workload spec");
 
@@ -168,6 +202,7 @@ impl Simulator {
         let total_sms = sys.total_sms();
         let mut state = RunState {
             spec,
+            probe,
             sys,
             queue: EventQueue::with_capacity(4096),
             warps: Vec::new(),
@@ -179,6 +214,7 @@ impl Simulator {
             stalled: vec![Vec::new(); total_sms],
             kernel: 0,
             horizon: Cycle::ZERO,
+            next_req_id: 0,
         };
 
         // SMs in module-interleaved order: the centralized scheduler's
@@ -197,6 +233,9 @@ impl Simulator {
         for kernel in 0..spec.kernel_iters {
             state.kernel = kernel;
             state.horizon = now;
+            if P::ACTIVE {
+                state.probe.kernel_begin(kernel, now);
+            }
             let mut pool = CtaPool::new(cfg.scheduler, spec.ctas, modules as u32);
 
             // Initial placement: one CTA per SM per round until no SM
@@ -216,6 +255,9 @@ impl Simulator {
             // Drain the launch: warps, then their trailing stores.
             while let Some((t, ev)) = state.queue.pop() {
                 state.horizon = state.horizon.max(t);
+                if P::ACTIVE {
+                    state.probe.queue_depth(t, state.queue.len());
+                }
                 match ev {
                     Ev::Warp(widx) => state.advance_warp(&mut pool, widx, t),
                     Ev::Req(ridx) => state.advance_req(ridx, t),
@@ -224,6 +266,9 @@ impl Simulator {
 
             debug_assert!(pool.is_exhausted(), "kernel drained with unscheduled CTAs");
             now = state.horizon;
+            if P::ACTIVE {
+                state.probe.kernel_end(kernel, now);
+            }
             state.sys.flush_private_caches();
         }
 
@@ -249,7 +294,7 @@ impl Simulator {
     }
 }
 
-impl RunState<'_> {
+impl<P: Probe> RunState<'_, P> {
     fn alloc_req(&mut self, req: Req) -> u32 {
         match self.free_reqs.pop() {
             Some(slot) => {
@@ -300,6 +345,7 @@ impl RunState<'_> {
                 resume_at: now,
                 blocked: false,
                 draining: false,
+                wait_loc: Locality::Local,
             };
             let widx = match self.free_warps.pop() {
                 Some(slot) => {
@@ -311,6 +357,9 @@ impl RunState<'_> {
                     (self.warps.len() - 1) as u32
                 }
             };
+            if P::ACTIVE {
+                self.probe.warp_spawn(widx, sm as u32, now);
+            }
             self.queue.push(now, Ev::Warp(widx));
         }
         true
@@ -330,13 +379,31 @@ impl RunState<'_> {
             .take()
             .expect("event for dead warp");
         let mlp = self.sys.sm(warp.sm as usize).config().mlp_per_warp.max(1);
+        let sm = warp.sm;
         let mut t = t;
+
+        // The wake at `t` closes whatever wait phase the warp parked in
+        // (memory, MSHR-full, drain — or the initial issue slice).
+        if P::ACTIVE {
+            self.probe.warp_phase(widx, sm, t, WarpPhase::Issue);
+        }
+        // Phase the warp is in *locally*, to emit transitions only on
+        // change (the probe charges intervals to the phase being left).
+        let mut cur = WarpPhase::Issue;
 
         // A load stalled on a full MSHR replays first.
         if let Some(line) = warp.pending_load.take() {
             let keep_going = self.issue_load(&mut warp, widx, t, line);
             if !keep_going || warp.outstanding >= mlp {
                 warp.blocked = warp.outstanding >= mlp && warp.pending_load.is_none();
+                if P::ACTIVE {
+                    let phase = if warp.pending_load.is_some() {
+                        WarpPhase::MshrFull
+                    } else {
+                        WarpPhase::mem(warp.wait_loc.is_remote())
+                    };
+                    self.probe.warp_phase(widx, sm, t, phase);
+                }
                 self.warps[widx as usize] = Some(warp);
                 return;
             }
@@ -346,20 +413,35 @@ impl RunState<'_> {
         loop {
             match warp.stream.next() {
                 Some(WarpOp::Compute(n)) => {
+                    if P::ACTIVE && cur != WarpPhase::Compute {
+                        self.probe.warp_phase(widx, sm, t, WarpPhase::Compute);
+                        cur = WarpPhase::Compute;
+                    }
                     t = self.sys.compute(t, warp.sm as usize, n);
                 }
                 Some(WarpOp::Access { addr, kind }) => {
+                    if P::ACTIVE && cur != WarpPhase::Issue {
+                        self.probe.warp_phase(widx, sm, t, WarpPhase::Issue);
+                        cur = WarpPhase::Issue;
+                    }
                     if kind.is_write() {
                         t = self.issue_store(&warp, t, addr.line());
                     } else {
                         let keep_going = self.issue_load(&mut warp, widx, t, addr.line());
                         if !keep_going {
                             // MSHR full: warp parked on the stall list.
+                            if P::ACTIVE {
+                                self.probe.warp_phase(widx, sm, t, WarpPhase::MshrFull);
+                            }
                             self.warps[widx as usize] = Some(warp);
                             return;
                         }
                         if warp.outstanding >= mlp {
                             warp.blocked = true;
+                            if P::ACTIVE {
+                                let phase = WarpPhase::mem(warp.wait_loc.is_remote());
+                                self.probe.warp_phase(widx, sm, t, phase);
+                            }
                             self.warps[widx as usize] = Some(warp);
                             return;
                         }
@@ -367,6 +449,12 @@ impl RunState<'_> {
                         if reads_since_sync >= mlp {
                             // Use-sync: consume the oldest batch of
                             // resolved loads.
+                            if P::ACTIVE && warp.resume_at > t {
+                                let phase = WarpPhase::mem(warp.wait_loc.is_remote());
+                                self.probe.warp_phase(widx, sm, t, phase);
+                                self.probe
+                                    .warp_phase(widx, sm, warp.resume_at, WarpPhase::Issue);
+                            }
                             t = t.max(warp.resume_at);
                             reads_since_sync = 0;
                         }
@@ -375,10 +463,21 @@ impl RunState<'_> {
                 None => {
                     if warp.outstanding > 0 {
                         warp.draining = true;
+                        if P::ACTIVE {
+                            self.probe.warp_phase(widx, sm, t, WarpPhase::Drain);
+                        }
                         self.warps[widx as usize] = Some(warp);
                         return;
                     }
                     let end = t.max(warp.resume_at);
+                    if P::ACTIVE {
+                        if end > t {
+                            // The tail wait for already-resolved loads.
+                            let phase = WarpPhase::mem(warp.wait_loc.is_remote());
+                            self.probe.warp_phase(widx, sm, t, phase);
+                        }
+                        self.probe.warp_retire(widx, sm, end);
+                    }
                     self.horizon = self.horizon.max(end);
                     self.retire_warp(pool, warp, widx, end);
                     return;
@@ -392,7 +491,6 @@ impl RunState<'_> {
         let sm = warp.sm;
         let cta_slot = warp.cta_slot;
         self.free_warps.push(widx);
-        drop(warp);
         let cta = self.ctas[cta_slot as usize]
             .as_mut()
             .expect("warp retired into missing CTA");
@@ -415,7 +513,9 @@ impl RunState<'_> {
     /// only advance the warp's `resume_at`; misses raise `outstanding`.
     fn issue_load(&mut self, warp: &mut WarpRt, widx: u32, t: Cycle, line: LineAddr) -> bool {
         let sm = warp.sm as usize;
-        let (_, outcome) = self.sys.l1_access(t, sm, line, AccessKind::Read);
+        let (_, outcome) = self
+            .sys
+            .l1_access_probed(t, sm, line, AccessKind::Read, self.probe);
         match outcome {
             CacheOutcome::Hit { ready_at } => {
                 warp.resume_at = warp.resume_at.max(ready_at);
@@ -423,18 +523,23 @@ impl RunState<'_> {
             }
             CacheOutcome::Miss { ready_at, .. } => match self.sys.mshr_mut(sm).lookup(line) {
                 MshrLookup::InFlight(req) => {
-                    self.reqs[req as usize]
+                    let shared = self.reqs[req as usize]
                         .as_mut()
-                        .expect("MSHR points at freed request")
-                        .waiters
-                        .push(widx);
+                        .expect("MSHR points at freed request");
+                    shared.waiters.push(widx);
+                    if P::ACTIVE {
+                        warp.wait_loc = shared.locality;
+                    }
                     warp.outstanding += 1;
                     true
                 }
                 MshrLookup::CanIssue => {
                     let module = self.sys.module_of(sm);
                     let (home, locality) = self.sys.home_of(line, module);
+                    let id = self.next_req_id;
+                    self.next_req_id += 1;
                     let ridx = self.alloc_req(Req {
+                        id,
                         line,
                         sm: warp.sm,
                         module: module as u8,
@@ -445,7 +550,29 @@ impl RunState<'_> {
                         stage: Stage::Access,
                         waiters: vec![widx],
                     });
-                    self.sys.mshr_mut(sm).reserve(line, u64::from(ridx));
+                    self.sys.mshr_mut(sm).reserve_probed(
+                        line,
+                        u64::from(ridx),
+                        warp.sm,
+                        t,
+                        self.probe,
+                    );
+                    if P::ACTIVE {
+                        warp.wait_loc = locality;
+                        // Stamped at the departure event, so the trace
+                        // span opens no later than its first stage.
+                        self.probe.request_issued(
+                            id,
+                            ready_at,
+                            RequestMeta {
+                                sm: warp.sm,
+                                module: module as u8,
+                                home: home as u8,
+                                remote: locality.is_remote(),
+                                is_read: true,
+                            },
+                        );
+                    }
                     self.queue.push(ready_at, Ev::Req(ridx));
                     warp.outstanding += 1;
                     true
@@ -464,14 +591,19 @@ impl RunState<'_> {
     /// event chain. Returns the time at which the warp may continue.
     fn issue_store(&mut self, warp: &WarpRt, t: Cycle, line: LineAddr) -> Cycle {
         let sm = warp.sm as usize;
-        let (issued, outcome) = self.sys.l1_access(t, sm, line, AccessKind::Write);
+        let (issued, outcome) =
+            self.sys
+                .l1_access_probed(t, sm, line, AccessKind::Write, self.probe);
         let depart = match outcome {
             CacheOutcome::Hit { ready_at } | CacheOutcome::Miss { ready_at, .. } => ready_at,
             CacheOutcome::Bypass => issued,
         };
         let module = self.sys.module_of(sm);
         let (home, locality) = self.sys.home_of(line, module);
+        let id = self.next_req_id;
+        self.next_req_id += 1;
         let ridx = self.alloc_req(Req {
+            id,
             line,
             sm: warp.sm,
             module: module as u8,
@@ -482,6 +614,19 @@ impl RunState<'_> {
             stage: Stage::Access,
             waiters: Vec::new(),
         });
+        if P::ACTIVE {
+            self.probe.request_issued(
+                id,
+                depart,
+                RequestMeta {
+                    sm: warp.sm,
+                    module: module as u8,
+                    home: home as u8,
+                    remote: locality.is_remote(),
+                    is_read: false,
+                },
+            );
+        }
         self.queue.push(depart, Ev::Req(ridx));
         issued
     }
@@ -491,6 +636,15 @@ impl RunState<'_> {
         let mut req = self.reqs[ridx as usize]
             .take()
             .expect("event for freed request");
+        if P::ACTIVE {
+            let stage = match req.stage {
+                Stage::Access => ReqStage::Access,
+                Stage::ToHome { at, .. } => ReqStage::ToHome { at },
+                Stage::AtMem => ReqStage::Mem,
+                Stage::ToRequester { at, .. } => ReqStage::ToRequester { at },
+            };
+            self.probe.request_stage(req.id, now, stage);
+        }
         match req.stage {
             Stage::Access => {
                 let module = usize::from(req.module);
@@ -500,10 +654,14 @@ impl RunState<'_> {
                     AccessKind::Write
                 };
                 let mut t = now;
-                match self
-                    .sys
-                    .l15_access(now, module, req.line, kind, req.locality)
-                {
+                match self.sys.l15_access_probed(
+                    now,
+                    module,
+                    req.line,
+                    kind,
+                    req.locality,
+                    self.probe,
+                ) {
                     L15Outcome::Hit { ready_at } => {
                         if req.is_read {
                             self.complete_read(req, ridx, ready_at);
@@ -518,7 +676,7 @@ impl RunState<'_> {
                     }
                     L15Outcome::NotPresent => {}
                 }
-                let out = self.sys.fabric_out(t, module);
+                let out = self.sys.fabric_out_probed(t, module, self.probe);
                 if module == usize::from(req.home) {
                     req.stage = Stage::AtMem;
                 } else {
@@ -535,9 +693,14 @@ impl RunState<'_> {
             }
             Stage::ToHome { at, dir, left } => {
                 let bytes = req.request_bytes();
-                let (next, arrival) =
-                    self.sys
-                        .ring_hop(now, usize::from(at), usize::from(req.home), dir, bytes);
+                let (next, arrival) = self.sys.ring_hop_probed(
+                    now,
+                    usize::from(at),
+                    usize::from(req.home),
+                    dir,
+                    bytes,
+                    self.probe,
+                );
                 req.stage = if left == 1 {
                     debug_assert_eq!(next, usize::from(req.home));
                     Stage::AtMem
@@ -554,7 +717,9 @@ impl RunState<'_> {
             Stage::AtMem => {
                 let home = usize::from(req.home);
                 if req.is_read {
-                    let ready = self.sys.mem_read(now, home, req.line, req.locality);
+                    let ready =
+                        self.sys
+                            .mem_read_probed(now, home, req.line, req.locality, self.probe);
                     if req.locality.is_remote() {
                         let (dir, hops) = self.sys.ring_route(home, usize::from(req.module));
                         debug_assert!(hops > 0);
@@ -569,18 +734,23 @@ impl RunState<'_> {
                         self.complete_read(req, ridx, ready);
                     }
                 } else {
-                    self.sys.mem_write(now, home, req.line, req.locality);
+                    self.sys
+                        .mem_write_probed(now, home, req.line, req.locality, self.probe);
+                    if P::ACTIVE {
+                        self.probe.request_retired(req.id, now);
+                    }
                     self.horizon = self.horizon.max(now);
                     self.free_reqs.push(ridx);
                 }
             }
             Stage::ToRequester { at, dir, left } => {
-                let (next, arrival) = self.sys.ring_hop(
+                let (next, arrival) = self.sys.ring_hop_probed(
                     now,
                     usize::from(at),
                     usize::from(req.module),
                     dir,
                     mcm_mem::addr::LINE_BYTES,
+                    self.probe,
                 );
                 if left == 1 {
                     debug_assert_eq!(next, usize::from(req.module));
@@ -608,8 +778,14 @@ impl RunState<'_> {
             self.sys.l15_fill(usize::from(req.module), req.line, ready);
         }
         self.sys.l1_fill(sm, req.line, ready);
-        let released = self.sys.mshr_mut(sm).release(req.line);
+        let released = self
+            .sys
+            .mshr_mut(sm)
+            .release_probed(req.line, req.sm, ready, self.probe);
         debug_assert_eq!(released, Some(u64::from(ridx)));
+        if P::ACTIVE {
+            self.probe.request_retired(req.id, ready);
+        }
         for w in req.waiters {
             let warp = self.warps[w as usize]
                 .as_mut()

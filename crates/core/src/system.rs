@@ -33,6 +33,7 @@ use mcm_mem::cache::{AllocFilter, CacheConfig, CacheOutcome, SetAssocCache, Writ
 use mcm_mem::dram::{DramConfig, DramPartition};
 use mcm_mem::mshr::Mshr;
 use mcm_mem::page::PageMap;
+use mcm_probe::{NullProbe, Probe};
 use mcm_sm::SmCore;
 
 use crate::config::SystemConfig;
@@ -280,12 +281,28 @@ impl McmSystem {
         line: LineAddr,
         kind: AccessKind,
     ) -> (Cycle, CacheOutcome) {
+        self.l1_access_probed(now, sm, line, kind, &mut NullProbe)
+    }
+
+    /// [`McmSystem::l1_access`] reporting the L1 hit/miss to `probe`
+    /// (unit = global SM index).
+    pub fn l1_access_probed<P: Probe>(
+        &mut self,
+        now: Cycle,
+        sm: usize,
+        line: LineAddr,
+        kind: AccessKind,
+        probe: &mut P,
+    ) -> (Cycle, CacheOutcome) {
         match kind {
             AccessKind::Read => self.reads.inc(),
             AccessKind::Write => self.writes.inc(),
         }
         let t0 = self.sms[sm].issue_mem_op(now);
-        (t0, self.l1s[sm].access(t0, line, kind, Locality::Local))
+        (
+            t0,
+            self.l1s[sm].access_probed(t0, line, kind, Locality::Local, sm as u32, probe),
+        )
     }
 
     /// Installs a returned line into an SM's L1, available at `ready`.
@@ -302,10 +319,25 @@ impl McmSystem {
         kind: AccessKind,
         locality: Locality,
     ) -> L15Outcome {
+        self.l15_access_probed(now, module, line, kind, locality, &mut NullProbe)
+    }
+
+    /// [`McmSystem::l15_access`] reporting the L1.5 hit/miss to `probe`
+    /// (unit = module index; filtered and disabled accesses are
+    /// invisible).
+    pub fn l15_access_probed<P: Probe>(
+        &mut self,
+        now: Cycle,
+        module: usize,
+        line: LineAddr,
+        kind: AccessKind,
+        locality: Locality,
+        probe: &mut P,
+    ) -> L15Outcome {
         if self.l15s[module].is_disabled() {
             return L15Outcome::NotPresent;
         }
-        match self.l15s[module].access(now, line, kind, locality) {
+        match self.l15s[module].access_probed(now, line, kind, locality, module as u32, probe) {
             CacheOutcome::Bypass => L15Outcome::NotPresent,
             CacheOutcome::Hit { ready_at } => L15Outcome::Hit { ready_at },
             CacheOutcome::Miss { allocate, ready_at } => L15Outcome::Miss {
@@ -326,7 +358,18 @@ impl McmSystem {
     /// Stage 2: crosses the module's crossbar toward the memory side;
     /// returns when the message leaves the module's fabric.
     pub fn fabric_out(&mut self, now: Cycle, module: usize) -> Cycle {
-        self.xbars[module].transfer(now, LINE_BYTES)
+        self.fabric_out_probed(now, module, &mut NullProbe)
+    }
+
+    /// [`McmSystem::fabric_out`] reporting the crossbar traffic to
+    /// `probe`.
+    pub fn fabric_out_probed<P: Probe>(
+        &mut self,
+        now: Cycle,
+        module: usize,
+        probe: &mut P,
+    ) -> Cycle {
+        self.xbars[module].transfer_probed(now, LINE_BYTES, module as u32, probe)
     }
 
     /// The shortest ring route between two modules.
@@ -346,9 +389,23 @@ impl McmSystem {
         dir: RingDir,
         bytes: u64,
     ) -> (usize, Cycle) {
-        let (next, t) = self
-            .ring
-            .hop(now, NodeId(node as u8), NodeId(to as u8), dir, bytes);
+        self.ring_hop_probed(now, node, to, dir, bytes, &mut NullProbe)
+    }
+
+    /// [`McmSystem::ring_hop`] reporting the traversed link's identity
+    /// and bytes to `probe`.
+    pub fn ring_hop_probed<P: Probe>(
+        &mut self,
+        now: Cycle,
+        node: usize,
+        to: usize,
+        dir: RingDir,
+        bytes: u64,
+        probe: &mut P,
+    ) -> (usize, Cycle) {
+        let (next, t) =
+            self.ring
+                .hop_probed(now, NodeId(node as u8), NodeId(to as u8), dir, bytes, probe);
         (next.as_usize(), t)
     }
 
@@ -362,10 +419,25 @@ impl McmSystem {
         line: LineAddr,
         locality: Locality,
     ) -> Cycle {
-        match self.l2s[home].access(now, line, AccessKind::Read, locality) {
+        self.mem_read_probed(now, home, line, locality, &mut NullProbe)
+    }
+
+    /// [`McmSystem::mem_read`] reporting the L2 hit/miss and any DRAM
+    /// traffic (demand fill and dirty writeback) to `probe`.
+    pub fn mem_read_probed<P: Probe>(
+        &mut self,
+        now: Cycle,
+        home: usize,
+        line: LineAddr,
+        locality: Locality,
+        probe: &mut P,
+    ) -> Cycle {
+        let unit = home as u32;
+        match self.l2s[home].access_probed(now, line, AccessKind::Read, locality, unit, probe) {
             CacheOutcome::Hit { ready_at } => ready_at,
             CacheOutcome::Miss { allocate, ready_at } => {
-                let r = self.drams[home].access(ready_at, line, AccessKind::Read);
+                let r =
+                    self.drams[home].access_probed(ready_at, line, AccessKind::Read, unit, probe);
                 if allocate {
                     if let Some(ev) = self.l2s[home].fill(line, r, false) {
                         if ev.dirty {
@@ -374,7 +446,13 @@ impl McmSystem {
                             // lands: stamping it at the fill time would
                             // submit a future arrival to the DRAM queue
                             // and ratchet its next-free time.
-                            self.drams[home].access(ready_at, ev.line, AccessKind::Write);
+                            self.drams[home].access_probed(
+                                ready_at,
+                                ev.line,
+                                AccessKind::Write,
+                                unit,
+                                probe,
+                            );
                         }
                     }
                 }
@@ -388,17 +466,37 @@ impl McmSystem {
     /// The write-back L2 takes it (allocating without fetch on a miss,
     /// as coalesced full-line stores do); dirty evictions spill to DRAM.
     pub fn mem_write(&mut self, now: Cycle, home: usize, line: LineAddr, locality: Locality) {
-        match self.l2s[home].access(now, line, AccessKind::Write, locality) {
+        self.mem_write_probed(now, home, line, locality, &mut NullProbe);
+    }
+
+    /// [`McmSystem::mem_write`] reporting the L2 hit/miss and any DRAM
+    /// traffic to `probe`.
+    pub fn mem_write_probed<P: Probe>(
+        &mut self,
+        now: Cycle,
+        home: usize,
+        line: LineAddr,
+        locality: Locality,
+        probe: &mut P,
+    ) {
+        let unit = home as u32;
+        match self.l2s[home].access_probed(now, line, AccessKind::Write, locality, unit, probe) {
             CacheOutcome::Hit { .. } => {}
             CacheOutcome::Miss { allocate, ready_at } => {
                 if allocate {
                     if let Some(ev) = self.l2s[home].fill(line, ready_at, true) {
                         if ev.dirty {
-                            self.drams[home].access(ready_at, ev.line, AccessKind::Write);
+                            self.drams[home].access_probed(
+                                ready_at,
+                                ev.line,
+                                AccessKind::Write,
+                                unit,
+                                probe,
+                            );
                         }
                     }
                 } else {
-                    self.drams[home].access(ready_at, line, AccessKind::Write);
+                    self.drams[home].access_probed(ready_at, line, AccessKind::Write, unit, probe);
                 }
             }
             CacheOutcome::Bypass => unreachable!("L2 has no allocation filter"),

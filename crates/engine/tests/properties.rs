@@ -127,7 +127,7 @@ fn ratio_merge_associative() {
     check(
         "ratio_merge_associative",
         &(vecs(bools(), 0..64), vecs(bools(), 0..64)),
-        |&(ref xs, ref ys)| {
+        |(xs, ys)| {
             let mut merged = Ratio::new();
             let mut a = Ratio::new();
             let mut b = Ratio::new();

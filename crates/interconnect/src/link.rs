@@ -52,6 +52,23 @@ impl Link {
         self.bandwidth.service(now, bytes) + self.hop_latency
     }
 
+    /// Like [`Link::transfer`], additionally reporting the transfer to
+    /// `probe` under the caller-chosen link identity `id` with its
+    /// computed arrival time.
+    pub fn transfer_probed<P: mcm_probe::Probe>(
+        &mut self,
+        now: Cycle,
+        bytes: u64,
+        id: mcm_probe::LinkId,
+        probe: &mut P,
+    ) -> Cycle {
+        let arrival = self.transfer(now, bytes);
+        if P::ACTIVE {
+            probe.link_transfer(id, now, bytes, arrival);
+        }
+        arrival
+    }
+
     /// Total bytes that have crossed the link.
     pub fn total_bytes(&self) -> u64 {
         self.bandwidth.total_bytes()
@@ -91,6 +108,12 @@ impl Link {
     pub fn name(&self) -> &'static str {
         self.bandwidth.name()
     }
+
+    /// The cycle at which the link next becomes free (diagnostics).
+    #[doc(hidden)]
+    pub fn debug_next_free(&self) -> Cycle {
+        self.bandwidth.next_free()
+    }
 }
 
 #[cfg(test)]
@@ -123,18 +146,32 @@ mod tests {
     }
 
     #[test]
+    fn probed_transfer_reports_identity_and_arrival() {
+        #[derive(Default)]
+        struct Log(Vec<(mcm_probe::LinkId, u64, u64)>);
+        impl mcm_probe::Probe for Log {
+            fn link_transfer(
+                &mut self,
+                link: mcm_probe::LinkId,
+                _now: Cycle,
+                bytes: u64,
+                arrival: Cycle,
+            ) {
+                self.0.push((link, bytes, arrival.as_u64()));
+            }
+        }
+        let mut log = Log::default();
+        let mut l = Link::new("t", 128.0, Cycle::new(32), Tier::Package);
+        let t = l.transfer_probed(Cycle::ZERO, 256, mcm_probe::LinkId::RingCw(1), &mut log);
+        assert_eq!(t, Cycle::new(34));
+        assert_eq!(log.0, vec![(mcm_probe::LinkId::RingCw(1), 256, 34)]);
+    }
+
+    #[test]
     fn utilization_reflects_load() {
         let mut l = Link::new("t", 100.0, Cycle::ZERO, Tier::Package);
         l.transfer(Cycle::ZERO, 500); // busy 5 cycles
         assert!((l.utilization(Cycle::new(10)) - 0.5).abs() < 1e-9);
         assert!((l.achieved_gbps(Cycle::new(10)) - 50.0).abs() < 1e-9);
-    }
-}
-
-impl Link {
-    /// The cycle at which the link next becomes free (diagnostics).
-    #[doc(hidden)]
-    pub fn debug_next_free(&self) -> mcm_engine::Cycle {
-        self.bandwidth.next_free()
     }
 }

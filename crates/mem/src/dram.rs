@@ -103,6 +103,23 @@ impl DramPartition {
         served + self.config.latency
     }
 
+    /// Like [`DramPartition::access`], additionally reporting the
+    /// line's worth of DRAM traffic on `partition` to `probe`.
+    pub fn access_probed<P: mcm_probe::Probe>(
+        &mut self,
+        now: Cycle,
+        line: LineAddr,
+        kind: AccessKind,
+        partition: u32,
+        probe: &mut P,
+    ) -> Cycle {
+        let done = self.access(now, line, kind);
+        if P::ACTIVE {
+            probe.dram_access(partition, now, LINE_BYTES);
+        }
+        done
+    }
+
     /// Total bytes moved in or out of the partition.
     pub fn total_bytes(&self) -> u64 {
         self.channels.iter().map(Resource::total_bytes).sum()
@@ -130,6 +147,15 @@ impl DramPartition {
             .iter()
             .map(|c| c.utilization(elapsed))
             .fold(0.0, f64::max)
+    }
+
+    /// Per-channel next-free cycles (diagnostics).
+    #[doc(hidden)]
+    pub fn debug_channel_next_free(&self) -> Vec<u64> {
+        self.channels
+            .iter()
+            .map(|c| c.next_free().as_u64())
+            .collect()
     }
 }
 
@@ -228,15 +254,20 @@ mod tests {
     fn zero_channels_panics() {
         partition(100.0, 0);
     }
-}
 
-impl DramPartition {
-    /// Per-channel next-free cycles (diagnostics).
-    #[doc(hidden)]
-    pub fn debug_channel_next_free(&self) -> Vec<u64> {
-        self.channels
-            .iter()
-            .map(|c| c.next_free().as_u64())
-            .collect()
+    #[test]
+    fn probed_access_reports_line_traffic() {
+        #[derive(Default)]
+        struct Log(Vec<(u32, u64)>);
+        impl mcm_probe::Probe for Log {
+            fn dram_access(&mut self, partition: u32, _now: Cycle, bytes: u64) {
+                self.0.push((partition, bytes));
+            }
+        }
+        let mut log = Log::default();
+        let mut mp = partition(128.0, 1);
+        let done = mp.access_probed(Cycle::ZERO, LineAddr::new(0), AccessKind::Read, 2, &mut log);
+        assert_eq!(done, Cycle::new(101));
+        assert_eq!(log.0, vec![(2, LINE_BYTES)]);
     }
 }

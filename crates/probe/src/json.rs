@@ -1,0 +1,125 @@
+//! A minimal hand-rolled JSON writer — just enough to emit Chrome
+//! trace-event files without external crates.
+//!
+//! Only the constructs the trace sink needs exist: string escaping per
+//! RFC 8259 and a tiny object builder that writes into a growing
+//! buffer. Numbers are written as integers (trace timestamps are whole
+//! cycles), which sidesteps float-formatting portability questions.
+
+use std::fmt::Write as _;
+
+/// Appends `s` to `out` as a quoted JSON string, escaping the
+/// characters RFC 8259 requires (quote, backslash, and control
+/// characters).
+pub fn push_str_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builds one JSON object by appending `"key":value` pairs to a buffer.
+///
+/// # Example
+///
+/// ```
+/// use mcm_probe::json::Obj;
+///
+/// let mut buf = String::new();
+/// Obj::open(&mut buf)
+///     .str("ph", "X")
+///     .num("ts", 12)
+///     .close();
+/// assert_eq!(buf, r#"{"ph":"X","ts":12}"#);
+/// ```
+#[derive(Debug)]
+pub struct Obj<'a> {
+    buf: &'a mut String,
+    first: bool,
+}
+
+impl<'a> Obj<'a> {
+    /// Starts an object (writes the opening brace).
+    pub fn open(buf: &'a mut String) -> Self {
+        buf.push('{');
+        Obj { buf, first: true }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        push_str_escaped(self.buf, key);
+        self.buf.push(':');
+    }
+
+    /// Appends a string-valued field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        push_str_escaped(self.buf, value);
+        self
+    }
+
+    /// Appends an unsigned-integer-valued field.
+    pub fn num(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Finishes the object (writes the closing brace).
+    pub fn close(self) {
+        self.buf.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn escaped(s: &str) -> String {
+        let mut out = String::new();
+        push_str_escaped(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escaped("plain"), "\"plain\"");
+        assert_eq!(escaped("a\"b"), "\"a\\\"b\"");
+        assert_eq!(escaped("back\\slash"), "\"back\\\\slash\"");
+        assert_eq!(escaped("nl\ntab\t"), "\"nl\\ntab\\t\"");
+        assert_eq!(escaped("\u{1}"), "\"\\u0001\"");
+        assert_eq!(escaped("unicode ✓"), "\"unicode ✓\"");
+    }
+
+    #[test]
+    fn object_builds_in_order() {
+        let mut buf = String::new();
+        Obj::open(&mut buf)
+            .str("name", "req 1")
+            .num("id", 7)
+            .num("ts", 0)
+            .close();
+        assert_eq!(buf, r#"{"name":"req 1","id":7,"ts":0}"#);
+    }
+
+    #[test]
+    fn empty_object() {
+        let mut buf = String::new();
+        Obj::open(&mut buf).close();
+        assert_eq!(buf, "{}");
+    }
+}

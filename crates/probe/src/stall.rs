@@ -1,0 +1,169 @@
+//! Stall-attribution profiler: charges every warp-cycle to exactly one
+//! [`WarpPhase`] bucket — the measured analogue of the paper's Fig. 16
+//! speedup decomposition (issue vs. compute vs. local/remote memory
+//! time).
+//!
+//! Attribution is interval-based: a warp's clock advances monotonically
+//! from spawn to retire (non-monotone observations are clamped to zero
+//! length), and each transition charges the elapsed interval to the
+//! phase being left. The bucket totals therefore sum to the total
+//! warp-cycles by construction.
+
+use mcm_engine::Cycle;
+
+use crate::{Probe, WarpPhase};
+
+/// Accumulates per-phase warp-cycle totals across a run.
+#[derive(Debug, Clone, Default)]
+pub struct StallProfile {
+    /// Warp-cycles charged to each phase, indexed by `WarpPhase::ALL`
+    /// order.
+    cycles: [u64; 6],
+    /// Per warp slot: (last transition time, open phase).
+    warps: Vec<Option<(u64, WarpPhase)>>,
+    spawned: u64,
+    retired: u64,
+}
+
+const fn phase_index(phase: WarpPhase) -> usize {
+    match phase {
+        WarpPhase::Issue => 0,
+        WarpPhase::Compute => 1,
+        WarpPhase::LocalMem => 2,
+        WarpPhase::RemoteMem => 3,
+        WarpPhase::MshrFull => 4,
+        WarpPhase::Drain => 5,
+    }
+}
+
+impl StallProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        StallProfile::default()
+    }
+
+    /// Warp-cycles charged to `phase`.
+    pub fn cycles(&self, phase: WarpPhase) -> u64 {
+        self.cycles[phase_index(phase)]
+    }
+
+    /// Total warp-cycles across all phases (the sum of every bucket).
+    pub fn total_warp_cycles(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// `(phase, cycles)` pairs in display order.
+    pub fn phases(&self) -> impl Iterator<Item = (WarpPhase, u64)> + '_ {
+        WarpPhase::ALL.iter().map(|&p| (p, self.cycles(p)))
+    }
+
+    /// Warps observed spawning.
+    pub fn warps_spawned(&self) -> u64 {
+        self.spawned
+    }
+
+    /// Warps observed retiring.
+    pub fn warps_retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// The fraction of warp-cycles spent in `phase` (0 when empty).
+    pub fn fraction(&self, phase: WarpPhase) -> f64 {
+        let total = self.total_warp_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            self.cycles(phase) as f64 / total as f64
+        }
+    }
+
+    fn transition(&mut self, warp: u32, now: u64, next: Option<WarpPhase>) {
+        let idx = warp as usize;
+        if self.warps.len() <= idx {
+            self.warps.resize(idx + 1, None);
+        }
+        if let Some((last, phase)) = self.warps[idx] {
+            let now = now.max(last);
+            self.cycles[phase_index(phase)] += now - last;
+            self.warps[idx] = next.map(|p| (now, p));
+        } else {
+            self.warps[idx] = next.map(|p| (now, p));
+        }
+    }
+}
+
+impl Probe for StallProfile {
+    fn warp_spawn(&mut self, warp: u32, _sm: u32, now: Cycle) {
+        self.spawned += 1;
+        let idx = warp as usize;
+        if self.warps.len() <= idx {
+            self.warps.resize(idx + 1, None);
+        }
+        self.warps[idx] = Some((now.as_u64(), WarpPhase::Issue));
+    }
+
+    fn warp_phase(&mut self, warp: u32, _sm: u32, now: Cycle, phase: WarpPhase) {
+        self.transition(warp, now.as_u64(), Some(phase));
+    }
+
+    fn warp_retire(&mut self, warp: u32, _sm: u32, now: Cycle) {
+        self.retired += 1;
+        self.transition(warp, now.as_u64(), None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_sum_to_total_lifetime() {
+        let mut p = StallProfile::new();
+        p.warp_spawn(0, 0, Cycle::new(100));
+        p.warp_phase(0, 0, Cycle::new(130), WarpPhase::Compute);
+        p.warp_phase(0, 0, Cycle::new(200), WarpPhase::RemoteMem);
+        p.warp_phase(0, 0, Cycle::new(400), WarpPhase::Issue);
+        p.warp_retire(0, 0, Cycle::new(450));
+        assert_eq!(p.cycles(WarpPhase::Issue), 30 + 50);
+        assert_eq!(p.cycles(WarpPhase::Compute), 70);
+        assert_eq!(p.cycles(WarpPhase::RemoteMem), 200);
+        assert_eq!(p.total_warp_cycles(), 350); // = 450 - 100
+        assert_eq!(p.warps_spawned(), 1);
+        assert_eq!(p.warps_retired(), 1);
+        assert!((p.fraction(WarpPhase::RemoteMem) - 200.0 / 350.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_monotone_times_clamp_to_zero() {
+        let mut p = StallProfile::new();
+        p.warp_spawn(2, 0, Cycle::new(500));
+        // Observed "before" the previous transition: zero-length, and
+        // the warp clock stays at 500.
+        p.warp_phase(2, 0, Cycle::new(300), WarpPhase::LocalMem);
+        p.warp_retire(2, 0, Cycle::new(600));
+        assert_eq!(p.cycles(WarpPhase::Issue), 0);
+        assert_eq!(p.cycles(WarpPhase::LocalMem), 100);
+        assert_eq!(p.total_warp_cycles(), 100);
+    }
+
+    #[test]
+    fn warp_slots_are_reusable() {
+        let mut p = StallProfile::new();
+        p.warp_spawn(0, 0, Cycle::new(0));
+        p.warp_retire(0, 0, Cycle::new(10));
+        p.warp_spawn(0, 1, Cycle::new(50));
+        p.warp_retire(0, 1, Cycle::new(80));
+        assert_eq!(p.total_warp_cycles(), 40);
+        assert_eq!(p.warps_retired(), 2);
+    }
+
+    #[test]
+    fn same_phase_transitions_accumulate() {
+        let mut p = StallProfile::new();
+        p.warp_spawn(1, 0, Cycle::new(0));
+        p.warp_phase(1, 0, Cycle::new(10), WarpPhase::Issue);
+        p.warp_phase(1, 0, Cycle::new(25), WarpPhase::Issue);
+        p.warp_retire(1, 0, Cycle::new(30));
+        assert_eq!(p.cycles(WarpPhase::Issue), 30);
+    }
+}

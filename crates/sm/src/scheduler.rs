@@ -231,11 +231,12 @@ pub fn owning_gpm(cta: u32, total: u32, gpms: u32) -> usize {
     let big = u64::from(base + 1) * u64::from(extra);
     if u64::from(cta) < big {
         (cta / (base + 1)) as usize
-    } else if base == 0 {
-        // All CTAs live in the `extra` big chunks.
-        (gpms - 1) as usize
     } else {
-        (extra + (cta - big as u32) / base) as usize
+        match (cta - big as u32).checked_div(base) {
+            Some(offset) => (extra + offset) as usize,
+            // base == 0: all CTAs live in the `extra` big chunks.
+            None => (gpms - 1) as usize,
+        }
     }
 }
 

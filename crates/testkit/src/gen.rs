@@ -398,7 +398,7 @@ mod tests {
             let v = g.generate(&mut r);
             assert!((-2.0..3.0).contains(&v));
         }
-        assert!(g.shrink(&2.5).iter().all(|&c| c < 2.5 && c >= -2.0));
+        assert!(g.shrink(&2.5).iter().all(|&c| (-2.0..2.5).contains(&c)));
     }
 
     #[test]

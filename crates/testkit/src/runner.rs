@@ -253,8 +253,10 @@ mod tests {
 
     #[test]
     fn passing_property_runs_all_cases() {
-        let mut config = Config::default();
-        config.cases = 50;
+        let config = Config {
+            cases: 50,
+            ..Config::default()
+        };
         check_with(&config, "tautology", &u64s(0..100), |&v| assert!(v < 100));
     }
 
@@ -320,8 +322,10 @@ mod tests {
     #[test]
     fn discarded_cases_do_not_count_and_excess_discards_abort() {
         let hits = std::cell::Cell::new(0u32);
-        let mut config = Config::default();
-        config.cases = 10;
+        let config = Config {
+            cases: 10,
+            ..Config::default()
+        };
         check_with(&config, "assume_filters", &u64s(0..100), |&v| {
             crate::assume!(v % 2 == 0);
             hits.set(hits.get() + 1);

@@ -9,6 +9,8 @@
 //! * [`mem`] ([`mcm_mem`]) — caches, MSHRs, DRAM, page placement.
 //! * [`interconnect`] ([`mcm_interconnect`]) — links, ring, crossbar,
 //!   energy tiers.
+//! * [`probe`] ([`mcm_probe`]) — zero-overhead instrumentation: the
+//!   `Probe` trait, Chrome-trace, metrics, and stall-profile sinks.
 //! * [`sm`] ([`mcm_sm`]) — SM model and CTA schedulers.
 //! * [`workloads`] ([`mcm_workloads`]) — the 48-benchmark synthetic
 //!   suite.
@@ -32,5 +34,6 @@ pub use mcm_engine as engine;
 pub use mcm_gpu as gpu;
 pub use mcm_interconnect as interconnect;
 pub use mcm_mem as mem;
+pub use mcm_probe as probe;
 pub use mcm_sm as sm;
 pub use mcm_workloads as workloads;

@@ -1,0 +1,73 @@
+//! Observability determinism: the probe layer is a passive observer.
+//!
+//! Two guarantees are pinned here:
+//!
+//! 1. Attaching probes never perturbs the simulation — a probed run
+//!    reports exactly the same cycles as an unprobed run.
+//! 2. The sink artifacts themselves are deterministic — two probed
+//!    runs of the same (workload, configuration, scale) produce
+//!    byte-identical Chrome-trace JSON and metrics CSV.
+//!
+//! Plus the stall profiler's accounting identity: its phase buckets
+//! tile warp lifetimes exactly, so they sum to total warp-cycles.
+
+use mcm::gpu::{RunReport, Simulator, SystemConfig};
+use mcm::probe::{ChromeTraceProbe, MetricsProbe, StallProfile, WarpPhase};
+use mcm::workloads::suite;
+
+fn probed_run(cfg: &SystemConfig, workload: &str) -> (RunReport, String, String, StallProfile) {
+    let spec = suite::by_name(workload)
+        .expect("suite workload")
+        .scaled(0.02);
+    let mut probe = (
+        ChromeTraceProbe::new(),
+        (
+            MetricsProbe::new(1024, cfg.topology.sms_per_module),
+            StallProfile::new(),
+        ),
+    );
+    let report = Simulator::run_probed(cfg, &spec, &mut probe);
+    let (mut trace, (metrics, stalls)) = probe;
+    (report, trace.finish(), metrics.to_csv(), stalls)
+}
+
+#[test]
+fn probes_do_not_perturb_the_simulation() {
+    for cfg in [SystemConfig::baseline_mcm(), SystemConfig::optimized_mcm()] {
+        for workload in ["Stream", "Hotspot"] {
+            let spec = suite::by_name(workload)
+                .expect("suite workload")
+                .scaled(0.02);
+            let plain = Simulator::run(&cfg, &spec);
+            let (probed, _, _, _) = probed_run(&cfg, workload);
+            assert_eq!(
+                plain, probed,
+                "{workload} on {}: probed run diverged from unprobed",
+                cfg.name
+            );
+        }
+    }
+}
+
+#[test]
+fn artifacts_are_byte_identical_across_runs() {
+    let cfg = SystemConfig::optimized_mcm();
+    let (_, trace_a, csv_a, _) = probed_run(&cfg, "Stream");
+    let (_, trace_b, csv_b, _) = probed_run(&cfg, "Stream");
+    assert!(!trace_a.is_empty() && !csv_a.is_empty());
+    assert_eq!(trace_a, trace_b, "Chrome trace JSON differs between runs");
+    assert_eq!(csv_a, csv_b, "metrics CSV differs between runs");
+}
+
+#[test]
+fn stall_buckets_sum_to_warp_lifetimes() {
+    let cfg = SystemConfig::baseline_mcm();
+    let (_, _, _, stalls) = probed_run(&cfg, "DWT");
+    assert_eq!(stalls.warps_spawned(), stalls.warps_retired());
+    assert!(stalls.warps_retired() > 0);
+    let by_phase: u64 = WarpPhase::ALL.iter().map(|&p| stalls.cycles(p)).sum();
+    assert_eq!(by_phase, stalls.total_warp_cycles());
+    assert!(stalls.total_warp_cycles() > 0);
+    // Warps do real work, so attribution can't be all-drain.
+    assert!(stalls.cycles(WarpPhase::Compute) > 0);
+}
