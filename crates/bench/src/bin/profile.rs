@@ -3,14 +3,16 @@
 //! the paper's Fig. 16 decomposition.
 //!
 //! Usage: `profile [WORKLOAD] [CONFIG]` (defaults: `CFD` on
-//! `optimized`). Honors `MCM_SCALE` (default 0.5) and the
-//! observability variables `MCM_TRACE` / `MCM_METRICS` /
-//! `MCM_METRICS_BUCKET` (see the README's Observability section).
+//! `optimized`). Honors `MCM_SCALE` (default 0.5), the observability
+//! variables `MCM_TRACE` / `MCM_METRICS` / `MCM_METRICS_BUCKET` (see
+//! the README's Observability section), and the fault knobs
+//! `MCM_FAULT_RATE` / `MCM_FAULT_SEED` (see the Resilience section) —
+//! useful for seeing where a degraded machine's warp-cycles go.
 
 use std::path::PathBuf;
 
 use mcm_bench::harness::{self, TextTable};
-use mcm_gpu::{Simulator, SystemConfig};
+use mcm_gpu::SystemConfig;
 use mcm_probe::{ChromeTraceProbe, MetricsProbe, StallProfile};
 use mcm_workloads::suite;
 
@@ -64,7 +66,7 @@ fn main() {
                 .map(|_| MetricsProbe::new(harness::metrics_bucket(), cfg.topology.sms_per_module)),
         ),
     );
-    let report = Simulator::run_probed(&cfg, &spec, &mut probe);
+    let report = harness::run_probed_env_faults(&cfg, &spec, &mut probe);
     let (profile, (mut trace, metrics)) = probe;
 
     let stem = format!(

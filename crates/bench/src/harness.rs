@@ -5,19 +5,75 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 
 use mcm_engine::stats::geomean;
+use mcm_fault::{FaultConfig, FaultPlan, NullFaultPlan, SeededFaultPlan};
 use mcm_gpu::{RunReport, Simulator, SystemConfig};
-use mcm_probe::{ChromeTraceProbe, MetricsProbe};
+use mcm_probe::{ChromeTraceProbe, MetricsProbe, NullProbe, Probe};
 use mcm_workloads::{Category, WorkloadSpec};
+
+/// Parses `raw` (the value of environment variable `var`) or panics
+/// naming both the variable and the offending value — a typo in a knob
+/// must abort the run, not silently fall back to a default.
+fn parse_checked<T: std::str::FromStr>(var: &str, raw: &str) -> T {
+    raw.trim().parse().unwrap_or_else(|_| {
+        panic!(
+            "{var} must be a valid {}, got {raw:?}",
+            std::any::type_name::<T>()
+        )
+    })
+}
+
+/// Reads and parses environment variable `var`; `None` when unset.
+///
+/// # Panics
+///
+/// Panics (naming the variable and the value) when the value is set but
+/// unparsable.
+fn env_parsed<T: std::str::FromStr>(var: &str) -> Option<T> {
+    std::env::var(var).ok().map(|raw| parse_checked(var, &raw))
+}
 
 /// The workload scale factor used by the harness: multiplies per-warp
 /// instruction counts. Read from `MCM_SCALE` (default 0.5 — bandwidth
 /// shapes are stable down to ~0.1, but cache-warm-up effects need the
 /// longer streams; use 1.0 for full-length runs).
+///
+/// # Panics
+///
+/// Panics when `MCM_SCALE` is set but not a finite positive number.
 pub fn scale() -> f64 {
-    std::env::var("MCM_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.5)
+    let s: f64 = env_parsed("MCM_SCALE").unwrap_or(0.5);
+    assert!(
+        s.is_finite() && s > 0.0,
+        "MCM_SCALE must be finite and positive, got {s}"
+    );
+    s
+}
+
+/// The fault-injection seed, read from `MCM_FAULT_SEED` (default: the
+/// [`FaultConfig`] default seed). A fixed seed makes every faulted run
+/// byte-reproducible.
+///
+/// # Panics
+///
+/// Panics when `MCM_FAULT_SEED` is set but not a valid `u64`.
+pub fn fault_seed() -> u64 {
+    env_parsed("MCM_FAULT_SEED").unwrap_or_else(|| FaultConfig::default().seed)
+}
+
+/// The fault-injection rate, read from `MCM_FAULT_RATE` (default 0.0 =
+/// no injection). Applied as the per-site probability for link errors,
+/// DRAM throttle windows, and MSHR poisoning alike.
+///
+/// # Panics
+///
+/// Panics when `MCM_FAULT_RATE` is set but not a number in `[0, 1]`.
+pub fn fault_rate() -> f64 {
+    let r: f64 = env_parsed("MCM_FAULT_RATE").unwrap_or(0.0);
+    assert!(
+        r.is_finite() && (0.0..=1.0).contains(&r),
+        "MCM_FAULT_RATE must be in [0, 1], got {r}"
+    );
+    r
 }
 
 /// A memoizing runner: each `(configuration, workload)` pair is
@@ -78,12 +134,14 @@ impl Memo {
 
 /// The time-series bucket width in cycles, read from
 /// `MCM_METRICS_BUCKET` (default [`mcm_probe::metrics::DEFAULT_BUCKET`]).
+///
+/// # Panics
+///
+/// Panics when `MCM_METRICS_BUCKET` is set but not a positive integer.
 pub fn metrics_bucket() -> u64 {
-    std::env::var("MCM_METRICS_BUCKET")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|&b| b > 0)
-        .unwrap_or(mcm_probe::metrics::DEFAULT_BUCKET)
+    let b = env_parsed("MCM_METRICS_BUCKET").unwrap_or(mcm_probe::metrics::DEFAULT_BUCKET);
+    assert!(b > 0, "MCM_METRICS_BUCKET must be positive, got {b}");
+    b
 }
 
 /// Turns a configuration or workload name into a filename-safe stem:
@@ -107,14 +165,68 @@ pub fn sanitize(name: &str) -> String {
 /// With neither variable set this is exactly [`Simulator::run`]: the
 /// [`mcm_probe::NullProbe`] path monomorphizes to no instrumentation.
 ///
+/// Fault injection is selected by `MCM_FAULT_RATE` (see
+/// [`fault_rate`]): a positive rate runs under a
+/// [`SeededFaultPlan`] seeded from `MCM_FAULT_SEED`; the default 0.0
+/// keeps the zero-overhead [`NullFaultPlan`] path.
+///
+/// # Panics
+///
+/// Panics if an artifact directory cannot be created or written, or if
+/// one of the environment knobs holds an invalid value.
+pub fn run_instrumented(cfg: &SystemConfig, spec: &WorkloadSpec) -> RunReport {
+    let rate = fault_rate();
+    if rate > 0.0 {
+        let mut plan = SeededFaultPlan::new(FaultConfig::with_rate(fault_seed(), rate));
+        run_instrumented_faulted(cfg, spec, &mut plan)
+    } else {
+        run_instrumented_faulted(cfg, spec, &mut NullFaultPlan)
+    }
+}
+
+/// Runs one (already scaled) workload on `cfg` under a caller-supplied
+/// probe, with fault injection selected by the environment exactly as
+/// in [`run_instrumented`]: a positive `MCM_FAULT_RATE` runs under a
+/// [`SeededFaultPlan`] seeded from `MCM_FAULT_SEED`, otherwise the
+/// zero-overhead [`NullFaultPlan`] path. For binaries (like `profile`)
+/// that assemble their own sink stacks instead of using the
+/// `MCM_TRACE`/`MCM_METRICS` plumbing.
+///
+/// # Panics
+///
+/// Panics if a fault environment knob holds an invalid value.
+pub fn run_probed_env_faults<P: Probe>(
+    cfg: &SystemConfig,
+    spec: &WorkloadSpec,
+    probe: &mut P,
+) -> RunReport {
+    let rate = fault_rate();
+    if rate > 0.0 {
+        let mut plan = SeededFaultPlan::new(FaultConfig::with_rate(fault_seed(), rate));
+        Simulator::run_faulted(cfg, spec, probe, &mut plan)
+    } else {
+        Simulator::run_faulted(cfg, spec, probe, &mut NullFaultPlan)
+    }
+}
+
+/// [`run_instrumented`] under an explicit fault plan (the `resilience`
+/// harness sweeps plans directly; everything else goes through the
+/// environment-selected plan). Trace and metrics sinks attach exactly
+/// as for `run_instrumented`, so fault windows show up in the
+/// artifacts.
+///
 /// # Panics
 ///
 /// Panics if an artifact directory cannot be created or written.
-pub fn run_instrumented(cfg: &SystemConfig, spec: &WorkloadSpec) -> RunReport {
+pub fn run_instrumented_faulted<F: FaultPlan>(
+    cfg: &SystemConfig,
+    spec: &WorkloadSpec,
+    plan: &mut F,
+) -> RunReport {
     let trace_dir = std::env::var_os("MCM_TRACE").map(PathBuf::from);
     let metrics_dir = std::env::var_os("MCM_METRICS").map(PathBuf::from);
     if trace_dir.is_none() && metrics_dir.is_none() {
-        return Simulator::run(cfg, spec);
+        return Simulator::run_faulted(cfg, spec, &mut NullProbe, plan);
     }
     let mut probe = (
         trace_dir.as_ref().map(|_| ChromeTraceProbe::new()),
@@ -122,7 +234,7 @@ pub fn run_instrumented(cfg: &SystemConfig, spec: &WorkloadSpec) -> RunReport {
             .as_ref()
             .map(|_| MetricsProbe::new(metrics_bucket(), cfg.topology.sms_per_module)),
     );
-    let report = Simulator::run_probed(cfg, spec, &mut probe);
+    let report = Simulator::run_faulted(cfg, spec, &mut probe, plan);
     let stem = format!("{}__{}", sanitize(&cfg.name), sanitize(spec.name));
     if let (Some(dir), Some(trace)) = (&trace_dir, &mut probe.0) {
         std::fs::create_dir_all(dir).expect("create MCM_TRACE directory");
@@ -290,5 +402,25 @@ mod tests {
     fn pct_formats_like_the_paper() {
         assert_eq!(pct(1.228), "+22.8%");
         assert_eq!(pct(0.953), "-4.7%");
+    }
+
+    #[test]
+    fn parse_checked_accepts_valid_values() {
+        assert_eq!(parse_checked::<f64>("MCM_SCALE", "0.25"), 0.25);
+        assert_eq!(parse_checked::<u64>("MCM_FAULT_SEED", " 42 "), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "MCM_SCALE must be a valid")]
+    fn parse_checked_names_the_variable_and_value() {
+        parse_checked::<f64>("MCM_SCALE", "fast");
+    }
+
+    #[test]
+    fn fault_knobs_default_sanely() {
+        // The harness process does not set the fault variables, so the
+        // defaults apply: no injection, reproducible seed.
+        assert_eq!(fault_rate(), 0.0);
+        assert_eq!(fault_seed(), FaultConfig::default().seed);
     }
 }

@@ -14,3 +14,4 @@
 
 pub mod figures;
 pub mod harness;
+pub mod resilience;

@@ -1,0 +1,177 @@
+//! Degradation-curve sweep: how gracefully the optimized MCM-GPU
+//! absorbs runtime faults.
+//!
+//! For one representative workload per category (§4's taxonomy), the
+//! sweep runs the healthy machine, then a ladder of seeded transient
+//! fault rates (link CRC errors, DRAM thermal-throttle windows, MSHR
+//! fill poisoning, all at the same per-site probability), then a hard
+//! single-GPM loss. Every run completes — the fault layer degrades
+//! throughput, never correctness — and the output quantifies the cost:
+//! cycle slowdown and inter-module (ring) traffic inflation over the
+//! healthy run.
+
+use mcm_fault::{DeadModule, FaultConfig, SeededFaultPlan};
+use mcm_gpu::{RunReport, SystemConfig};
+use mcm_workloads::{suite, WorkloadSpec};
+
+use crate::harness::{self, TextTable};
+
+/// The transient fault rates swept, from fault-free to aggressively
+/// noisy. Per-site probabilities: each link transfer, DRAM throttle
+/// window, and MSHR fill draws independently.
+pub const RATES: [f64; 4] = [0.0, 5e-4, 2e-3, 1e-2];
+
+/// The GPM hard-degraded in the loss scenario.
+pub const DEAD_GPM: u8 = 1;
+
+/// One representative workload per category (the golden-determinism
+/// trio): Stream is memory-intensive, Hotspot compute-intensive, DWT
+/// limited-parallelism.
+pub fn representatives() -> Vec<WorkloadSpec> {
+    ["Stream", "Hotspot", "DWT"]
+        .iter()
+        .map(|n| suite::by_name(n).expect("representative workload"))
+        .collect()
+}
+
+/// One measured point of the degradation curve.
+#[derive(Debug, Clone)]
+pub struct CurvePoint {
+    /// Workload category label.
+    pub category: &'static str,
+    /// Workload name.
+    pub workload: &'static str,
+    /// Scenario label (`healthy`, `transient`, `gpm-loss`).
+    pub scenario: &'static str,
+    /// The per-site transient fault rate (0 for healthy and gpm-loss).
+    pub fault_rate: f64,
+    /// The run's report.
+    pub report: RunReport,
+    /// Cycle slowdown over the healthy run (1.0 for healthy).
+    pub slowdown: f64,
+    /// Inter-module traffic inflation over the healthy run.
+    pub remote_inflation: f64,
+}
+
+/// Runs the full sweep at `scale` with fault seed `seed` on the
+/// optimized MCM-GPU; deterministic for fixed `(scale, seed)`.
+pub fn sweep(scale: f64, seed: u64) -> Vec<CurvePoint> {
+    let cfg = SystemConfig::optimized_mcm();
+    let mut points = Vec::new();
+    for spec in representatives() {
+        let scaled = spec.scaled(scale);
+        let healthy =
+            harness::run_instrumented_faulted(&cfg, &scaled, &mut mcm_fault::NullFaultPlan);
+        let base_cycles = healthy.cycles.as_u64().max(1) as f64;
+        let base_ring = healthy.inter_module_bytes.max(1) as f64;
+        let mut push = |scenario, fault_rate, report: RunReport| {
+            let slowdown = report.cycles.as_u64() as f64 / base_cycles;
+            let remote_inflation = report.inter_module_bytes as f64 / base_ring;
+            points.push(CurvePoint {
+                category: spec.category.label(),
+                workload: spec.name,
+                scenario,
+                fault_rate,
+                report,
+                slowdown,
+                remote_inflation,
+            });
+        };
+        push("healthy", 0.0, healthy.clone());
+        for rate in RATES.into_iter().filter(|&r| r > 0.0) {
+            let mut plan = SeededFaultPlan::new(FaultConfig::with_rate(seed, rate));
+            let report = harness::run_instrumented_faulted(&cfg, &scaled, &mut plan);
+            push("transient", rate, report);
+        }
+        let mut lossy = FaultConfig {
+            seed,
+            ..FaultConfig::default()
+        };
+        lossy.dead_module = Some(DeadModule {
+            module: DEAD_GPM,
+            from_kernel: 0,
+        });
+        let mut plan = SeededFaultPlan::new(lossy);
+        let report = harness::run_instrumented_faulted(&cfg, &scaled, &mut plan);
+        push("gpm-loss", 0.0, report);
+    }
+    points
+}
+
+/// Renders the sweep as an aligned text table.
+pub fn render(points: &[CurvePoint]) -> String {
+    let mut table = TextTable::new(vec![
+        "category",
+        "workload",
+        "scenario",
+        "rate",
+        "cycles",
+        "slowdown",
+        "ring-bytes",
+        "ring-infl",
+    ]);
+    for p in points {
+        table.row(vec![
+            p.category.to_string(),
+            p.workload.to_string(),
+            p.scenario.to_string(),
+            format!("{:.0e}", p.fault_rate),
+            p.report.cycles.as_u64().to_string(),
+            format!("{:.3}x", p.slowdown),
+            p.report.inter_module_bytes.to_string(),
+            format!("{:.3}x", p.remote_inflation),
+        ]);
+    }
+    table.render()
+}
+
+/// Serializes the sweep as the degradation-curve CSV. Byte-identical
+/// across runs for a fixed `(scale, seed)` pair.
+pub fn to_csv(points: &[CurvePoint]) -> String {
+    let mut csv = String::from(
+        "category,workload,scenario,fault_rate,cycles,instructions,\
+         slowdown,inter_module_bytes,remote_inflation\n",
+    );
+    for p in points {
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{:.6},{},{:.6}\n",
+            p.category,
+            p.workload,
+            p.scenario,
+            p.fault_rate,
+            p.report.cycles.as_u64(),
+            p.report.instructions,
+            p.slowdown,
+            p.report.inter_module_bytes,
+            p.remote_inflation,
+        ));
+    }
+    csv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_deterministic_and_complete() {
+        let a = sweep(0.01, 7);
+        let b = sweep(0.01, 7);
+        assert_eq!(to_csv(&a), to_csv(&b));
+        // 1 healthy + 3 transient + 1 gpm-loss per representative.
+        assert_eq!(a.len(), 3 * (RATES.len() + 1));
+        for p in &a {
+            assert!(p.slowdown >= 1.0 || p.scenario != "healthy");
+            assert!(p.report.cycles.as_u64() > 0);
+        }
+    }
+
+    #[test]
+    fn rendered_outputs_agree_on_row_count() {
+        let points = sweep(0.01, 7);
+        let table_rows = render(&points).lines().count();
+        let csv_rows = to_csv(&points).lines().count();
+        // Table has header + rule; CSV has header.
+        assert_eq!(table_rows - 2, csv_rows - 1);
+    }
+}

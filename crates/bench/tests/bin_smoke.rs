@@ -78,6 +78,7 @@ bin_smoke!(
     fig17_multi_gpu,
     profile,
     reproduce,
+    resilience,
     scorecard,
     tables,
 );
@@ -143,6 +144,41 @@ fn assert_well_formed_csv(text: &str, what: &str) {
         rows += 1;
     }
     assert!(rows > 0, "{what}: CSV has a header but no data rows");
+}
+
+/// The acceptance bar for the fault layer's determinism: two `resilience`
+/// runs with the same `MCM_FAULT_SEED` (and scale) must write
+/// byte-identical degradation-curve CSVs.
+#[test]
+fn resilience_csv_is_byte_identical_across_seeded_runs() {
+    let exe = env!("CARGO_BIN_EXE_resilience");
+    let mut csvs = Vec::new();
+    for run in 0..2 {
+        let dir = scratch_dir(&format!("resilience-determinism-{run}"));
+        let out = Command::new(exe)
+            .current_dir(&dir)
+            .env("MCM_SCALE", SMOKE_SCALE)
+            .env("MCM_FAULT_SEED", "42")
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn resilience: {e}"));
+        assert!(
+            out.status.success(),
+            "resilience run {run} failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let csv = std::fs::read_to_string(dir.join("results/resilience.csv"))
+            .expect("read results/resilience.csv");
+        assert!(
+            csv.lines().count() > 1,
+            "resilience.csv has a header but no data rows"
+        );
+        csvs.push(csv);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert_eq!(
+        csvs[0], csvs[1],
+        "same MCM_FAULT_SEED must reproduce the degradation CSV byte-for-byte"
+    );
 }
 
 /// One artifact-writing run per entry point: a figure-harness binary

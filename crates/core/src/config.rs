@@ -195,11 +195,33 @@ impl SystemConfig {
         if self.topology.modules == 0 || self.topology.sms_per_module == 0 {
             return Err("topology must have modules and SMs".into());
         }
-        if self.dram_total_gbps <= 0.0 {
-            return Err("DRAM bandwidth must be positive".into());
+        if !self.dram_total_gbps.is_finite() || self.dram_total_gbps <= 0.0 {
+            return Err(format!(
+                "DRAM bandwidth must be finite and positive, got {}",
+                self.dram_total_gbps
+            ));
         }
-        if self.topology.modules > 1 && self.topology.link_gbps <= 0.0 {
-            return Err("multi-module topologies need positive link bandwidth".into());
+        // The link fields must be sane even for a monolithic machine (a
+        // NaN would poison any later multi-module derivation of the
+        // config), and a multi-module machine with free infinite links
+        // and zero hop latency is a degenerate non-machine.
+        if !self.topology.link_gbps.is_finite() || self.topology.link_gbps <= 0.0 {
+            return Err(format!(
+                "link bandwidth must be finite and positive, got {}",
+                self.topology.link_gbps
+            ));
+        }
+        if self.topology.modules > 1
+            && self.topology.hop_cycles == 0
+            && self.topology.link_gbps >= 1e9
+        {
+            return Err("multi-module links need either hop latency or finite bandwidth".into());
+        }
+        if !self.sm.issue_ipc.is_finite() || self.sm.issue_ipc <= 0.0 {
+            return Err(format!(
+                "SM issue rate must be finite and positive, got {}",
+                self.sm.issue_ipc
+            ));
         }
         if self.caches.l1_bytes_per_sm == 0 {
             return Err("SMs need an L1 (the model assumes one)".into());
@@ -552,5 +574,43 @@ mod tests {
         let mut cfg = SystemConfig::baseline_mcm();
         cfg.caches.l2_bytes_total = 0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_non_finite_floats() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0] {
+            let mut cfg = SystemConfig::baseline_mcm();
+            cfg.dram_total_gbps = bad;
+            assert!(cfg.validate().is_err(), "DRAM bandwidth {bad} accepted");
+
+            let mut cfg = SystemConfig::baseline_mcm();
+            cfg.topology.link_gbps = bad;
+            assert!(cfg.validate().is_err(), "link bandwidth {bad} accepted");
+
+            let mut cfg = SystemConfig::baseline_mcm();
+            cfg.sm.issue_ipc = bad;
+            assert!(cfg.validate().is_err(), "issue IPC {bad} accepted");
+        }
+        // Monolithic machines keep their don't-care link defaults, and
+        // even a single-module NaN is rejected (it would poison derived
+        // configs).
+        assert!(SystemConfig::monolithic(32).validate().is_ok());
+        let mut cfg = SystemConfig::monolithic(32);
+        cfg.topology.link_gbps = f64::NAN;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_free_infinite_fabric() {
+        // A multi-module machine whose links are both latency-free and
+        // effectively infinite is a monolithic die in disguise.
+        let mut cfg = SystemConfig::baseline_mcm();
+        cfg.topology.hop_cycles = 0;
+        cfg.topology.link_gbps = 1e12;
+        assert!(cfg.validate().is_err());
+        // Either a real hop latency or a finite link budget is fine.
+        let mut cfg = SystemConfig::baseline_mcm();
+        cfg.topology.hop_cycles = 0;
+        assert!(cfg.validate().is_ok());
     }
 }

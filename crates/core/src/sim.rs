@@ -22,10 +22,11 @@
 //! §5.3.
 
 use mcm_engine::{Cycle, EventQueue};
+use mcm_fault::{FaultPlan, NullFaultPlan};
 use mcm_mem::addr::{AccessKind, LineAddr, Locality};
 use mcm_mem::cache::CacheOutcome;
 use mcm_mem::mshr::MshrLookup;
-use mcm_probe::{NullProbe, Probe, ReqStage, RequestMeta, WarpPhase};
+use mcm_probe::{FaultEvent, NullProbe, Probe, ReqStage, RequestMeta, WarpPhase};
 use mcm_sm::CtaPool;
 use mcm_workloads::stream::{WarpOp, WarpStream};
 use mcm_workloads::WorkloadSpec;
@@ -131,6 +132,9 @@ struct Req {
     stage: Stage,
     /// Warps blocked on this fill (reads only; includes the initiator).
     waiters: Vec<u32>,
+    /// Whether a poisoned fill already forced one replay — bounds the
+    /// fault layer's MSHR-poison penalty to a single round trip.
+    replayed: bool,
 }
 
 impl Req {
@@ -145,9 +149,10 @@ impl Req {
     }
 }
 
-struct RunState<'a, P: Probe> {
+struct RunState<'a, P: Probe, F: FaultPlan> {
     spec: &'a WorkloadSpec,
     probe: &'a mut P,
+    plan: &'a mut F,
     sys: McmSystem,
     queue: EventQueue<Ev>,
     warps: Vec<Option<WarpRt>>,
@@ -158,6 +163,9 @@ struct RunState<'a, P: Probe> {
     free_reqs: Vec<u32>,
     /// Per-SM warps stalled on a full MSHR.
     stalled: Vec<Vec<u32>>,
+    /// Per-module hard-degradation mask, refreshed at each kernel
+    /// launch from the fault plan; only consulted when `F::ACTIVE`.
+    disabled: Vec<bool>,
     kernel: u32,
     /// Latest timestamp any event reached.
     horizon: Cycle,
@@ -195,14 +203,42 @@ impl Simulator {
         spec: &WorkloadSpec,
         probe: &mut P,
     ) -> RunReport {
+        Simulator::run_faulted(cfg, spec, probe, &mut NullFaultPlan)
+    }
+
+    /// Runs `spec` to completion on `cfg` under a fault plan, streaming
+    /// fine-grained events (including [`FaultEvent`]s) to `probe`.
+    ///
+    /// The plan is consulted at every link traversal (transient CRC
+    /// errors → retransmit with backoff), every DRAM access (thermal
+    /// throttle windows), every read completion (poisoned MSHR fill →
+    /// one bounded replay), and every kernel launch (hard GPM loss →
+    /// the CTA scheduler resteals the dead modules' work onto
+    /// survivors). With [`NullFaultPlan`] (whose
+    /// [`FaultPlan::ACTIVE`] is `false`) every consultation
+    /// monomorphizes away and the run is cycle-identical to
+    /// [`Simulator::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration or workload fails validation, or if
+    /// the plan disables every module of the machine.
+    pub fn run_faulted<P: Probe, F: FaultPlan>(
+        cfg: &SystemConfig,
+        spec: &WorkloadSpec,
+        probe: &mut P,
+        plan: &mut F,
+    ) -> RunReport {
         cfg.validate().expect("invalid system configuration");
         spec.validate().expect("invalid workload spec");
 
         let sys = McmSystem::new(cfg);
         let total_sms = sys.total_sms();
+        let module_count = sys.modules();
         let mut state = RunState {
             spec,
             probe,
+            plan,
             sys,
             queue: EventQueue::with_capacity(4096),
             warps: Vec::new(),
@@ -212,6 +248,7 @@ impl Simulator {
             reqs: Vec::new(),
             free_reqs: Vec::new(),
             stalled: vec![Vec::new(); total_sms],
+            disabled: vec![false; module_count],
             kernel: 0,
             horizon: Cycle::ZERO,
             next_req_id: 0,
@@ -237,6 +274,35 @@ impl Simulator {
                 state.probe.kernel_begin(kernel, now);
             }
             let mut pool = CtaPool::new(cfg.scheduler, spec.ctas, modules as u32);
+
+            if F::ACTIVE {
+                // Refresh the hard-degradation mask at the launch
+                // boundary (a GPM cannot die mid-kernel under the
+                // paper's software-coherence model) and move the dead
+                // modules' queued CTAs onto survivors. First-touch page
+                // mappings stay put, so restolen CTAs pay the true NUMA
+                // failover penalty for their remote data.
+                let mut any_dead = false;
+                for m in 0..modules {
+                    let dead = state.plan.module_disabled(m, kernel);
+                    state.disabled[m] = dead;
+                    if dead {
+                        any_dead = true;
+                        if P::ACTIVE {
+                            state.probe.fault(
+                                now,
+                                FaultEvent::ModuleDisabled {
+                                    module: m as u32,
+                                    kernel,
+                                },
+                            );
+                        }
+                    }
+                }
+                if any_dead {
+                    pool.resteal_disabled(&state.disabled);
+                }
+            }
 
             // Initial placement: one CTA per SM per round until no SM
             // can take more (or the pool runs dry).
@@ -294,7 +360,7 @@ impl Simulator {
     }
 }
 
-impl<P: Probe> RunState<'_, P> {
+impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
     fn alloc_req(&mut self, req: Req) -> u32 {
         match self.free_reqs.pop() {
             Some(slot) => {
@@ -318,6 +384,11 @@ impl<P: Probe> RunState<'_, P> {
             return false;
         }
         let module = self.sys.module_of(sm);
+        // A hard-degraded GPM admits nothing; its share of the pool was
+        // restolen to survivors at the launch boundary.
+        if F::ACTIVE && self.disabled[module] {
+            return false;
+        }
         let Some(cta) = pool.next_cta(module) else {
             return false;
         };
@@ -549,6 +620,7 @@ impl<P: Probe> RunState<'_, P> {
                         l15_fill: false,
                         stage: Stage::Access,
                         waiters: vec![widx],
+                        replayed: false,
                     });
                     self.sys.mshr_mut(sm).reserve_probed(
                         line,
@@ -613,6 +685,7 @@ impl<P: Probe> RunState<'_, P> {
             l15_fill: false,
             stage: Stage::Access,
             waiters: Vec::new(),
+            replayed: false,
         });
         if P::ACTIVE {
             self.probe.request_issued(
@@ -693,13 +766,14 @@ impl<P: Probe> RunState<'_, P> {
             }
             Stage::ToHome { at, dir, left } => {
                 let bytes = req.request_bytes();
-                let (next, arrival) = self.sys.ring_hop_probed(
+                let (next, arrival) = self.sys.ring_hop_faulted(
                     now,
                     usize::from(at),
                     usize::from(req.home),
                     dir,
                     bytes,
                     self.probe,
+                    self.plan,
                 );
                 req.stage = if left == 1 {
                     debug_assert_eq!(next, usize::from(req.home));
@@ -717,9 +791,14 @@ impl<P: Probe> RunState<'_, P> {
             Stage::AtMem => {
                 let home = usize::from(req.home);
                 if req.is_read {
-                    let ready =
-                        self.sys
-                            .mem_read_probed(now, home, req.line, req.locality, self.probe);
+                    let ready = self.sys.mem_read_faulted(
+                        now,
+                        home,
+                        req.line,
+                        req.locality,
+                        self.probe,
+                        self.plan,
+                    );
                     if req.locality.is_remote() {
                         let (dir, hops) = self.sys.ring_route(home, usize::from(req.module));
                         debug_assert!(hops > 0);
@@ -734,8 +813,14 @@ impl<P: Probe> RunState<'_, P> {
                         self.complete_read(req, ridx, ready);
                     }
                 } else {
-                    self.sys
-                        .mem_write_probed(now, home, req.line, req.locality, self.probe);
+                    self.sys.mem_write_faulted(
+                        now,
+                        home,
+                        req.line,
+                        req.locality,
+                        self.probe,
+                        self.plan,
+                    );
                     if P::ACTIVE {
                         self.probe.request_retired(req.id, now);
                     }
@@ -744,13 +829,14 @@ impl<P: Probe> RunState<'_, P> {
                 }
             }
             Stage::ToRequester { at, dir, left } => {
-                let (next, arrival) = self.sys.ring_hop_probed(
+                let (next, arrival) = self.sys.ring_hop_faulted(
                     now,
                     usize::from(at),
                     usize::from(req.module),
                     dir,
                     mcm_mem::addr::LINE_BYTES,
                     self.probe,
+                    self.plan,
                 );
                 if left == 1 {
                     debug_assert_eq!(next, usize::from(req.module));
@@ -772,7 +858,23 @@ impl<P: Probe> RunState<'_, P> {
     /// the load for every waiting warp (waking those blocked at the MLP
     /// limit or draining to retirement), and lets one MSHR-stalled warp
     /// replay.
-    fn complete_read(&mut self, req: Req, ridx: u32, ready: Cycle) {
+    fn complete_read(&mut self, mut req: Req, ridx: u32, ready: Cycle) {
+        // A poisoned fill: the line arrived corrupt past the link CRC,
+        // so the MSHR discards it and replays the whole request once.
+        // The entry stays reserved and the waiters stay attached, so no
+        // warp instruction is re-issued — the penalty is exactly one
+        // extra memory round trip.
+        if F::ACTIVE && !req.replayed && self.plan.poison_fill(req.id) {
+            req.replayed = true;
+            if P::ACTIVE {
+                self.probe
+                    .fault(ready, FaultEvent::MshrPoison { request: req.id });
+            }
+            req.stage = Stage::Access;
+            self.reqs[ridx as usize] = Some(req);
+            self.queue.push(ready, Ev::Req(ridx));
+            return;
+        }
         let sm = req.sm as usize;
         if req.l15_fill {
             self.sys.l15_fill(usize::from(req.module), req.line, ready);
@@ -995,6 +1097,100 @@ mod tests {
         let report = Simulator::run(&small_mcm(), &spec);
         assert_eq!(report.instructions, spec.approx_instructions());
         assert_eq!(report.reads, spec.approx_instructions());
+    }
+
+    #[test]
+    fn null_fault_plan_is_cycle_identical() {
+        let spec = quick_spec();
+        let cfg = small_mcm();
+        let plain = Simulator::run(&cfg, &spec);
+        let faulted = Simulator::run_faulted(&cfg, &spec, &mut NullProbe, &mut NullFaultPlan);
+        assert_eq!(plain, faulted);
+    }
+
+    #[test]
+    fn zero_rate_seeded_plan_matches_plain_run() {
+        // An *active* plan whose every rate is zero takes the faulted
+        // code paths but must reproduce the plain run bit-exactly
+        // (unit DRAM stretch, no link errors, no poison, no dead GPMs).
+        let spec = quick_spec();
+        let cfg = small_mcm();
+        let plain = Simulator::run(&cfg, &spec);
+        let mut plan =
+            mcm_fault::SeededFaultPlan::new(mcm_fault::FaultConfig::with_rate(0x5EED, 0.0));
+        let faulted = Simulator::run_faulted(&cfg, &spec, &mut NullProbe, &mut plan);
+        assert_eq!(plain, faulted);
+    }
+
+    #[test]
+    fn dead_module_survives_with_higher_cycles() {
+        // Compute-bound so the lost SMs are the bottleneck: a
+        // memory-bound spec on the interleaved baseline can even speed
+        // up (the dead module's DRAM stays reachable while contention
+        // drops).
+        let mut spec = quick_spec();
+        spec.mem_ratio = 0.05;
+        let cfg = small_mcm();
+        let healthy = Simulator::run(&cfg, &spec);
+        let fc = mcm_fault::FaultConfig {
+            dead_module: Some(mcm_fault::DeadModule {
+                module: 1,
+                from_kernel: 0,
+            }),
+            ..mcm_fault::FaultConfig::default()
+        };
+        let mut plan = mcm_fault::SeededFaultPlan::new(fc);
+        let degraded = Simulator::run_faulted(&cfg, &spec, &mut NullProbe, &mut plan);
+        assert_eq!(degraded.instructions, spec.approx_instructions());
+        assert!(
+            degraded.cycles > healthy.cycles,
+            "losing a GPM must cost cycles ({} vs {})",
+            degraded.cycles,
+            healthy.cycles
+        );
+    }
+
+    #[test]
+    fn restealing_drains_distributed_queues_under_gpm_loss() {
+        // The distributed scheduler owns per-module queues; a dead
+        // module's queue must be restolen or the kernel never drains.
+        let spec = quick_spec();
+        let mut cfg = small_mcm();
+        cfg.scheduler = SchedulerPolicy::Distributed;
+        cfg.placement = PlacementPolicy::FirstTouch;
+        cfg.name = "dsft-degraded".into();
+        let healthy = Simulator::run(&cfg, &spec);
+        let fc = mcm_fault::FaultConfig {
+            dead_module: Some(mcm_fault::DeadModule {
+                module: 2,
+                from_kernel: 0,
+            }),
+            ..mcm_fault::FaultConfig::default()
+        };
+        let mut plan = mcm_fault::SeededFaultPlan::new(fc);
+        let degraded = Simulator::run_faulted(&cfg, &spec, &mut NullProbe, &mut plan);
+        assert_eq!(degraded.instructions, spec.approx_instructions());
+        assert!(degraded.cycles > healthy.cycles);
+    }
+
+    #[test]
+    fn poisoned_fills_replay_without_reissuing_instructions() {
+        /// Poisons every fill's first arrival.
+        struct PoisonAll;
+        impl FaultPlan for PoisonAll {
+            fn poison_fill(&mut self, _id: u64) -> bool {
+                true
+            }
+        }
+        let mut spec = quick_spec();
+        spec.kernel_iters = 1;
+        let cfg = small_mcm();
+        let healthy = Simulator::run(&cfg, &spec);
+        let poisoned = Simulator::run_faulted(&cfg, &spec, &mut NullProbe, &mut PoisonAll);
+        // The MSHR entry survives the replay, so no warp re-issues: the
+        // instruction count is exact, only the cycles grow.
+        assert_eq!(poisoned.instructions, spec.approx_instructions());
+        assert!(poisoned.cycles > healthy.cycles);
     }
 
     #[test]

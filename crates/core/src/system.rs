@@ -403,9 +403,40 @@ impl McmSystem {
         bytes: u64,
         probe: &mut P,
     ) -> (usize, Cycle) {
-        let (next, t) =
-            self.ring
-                .hop_probed(now, NodeId(node as u8), NodeId(to as u8), dir, bytes, probe);
+        self.ring_hop_faulted(
+            now,
+            node,
+            to,
+            dir,
+            bytes,
+            probe,
+            &mut mcm_fault::NullFaultPlan,
+        )
+    }
+
+    /// [`McmSystem::ring_hop_probed`] additionally consulting `plan`
+    /// for transient link errors (CRC retransmit with backoff). With an
+    /// inactive plan this is exactly `ring_hop_probed`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn ring_hop_faulted<P: Probe, F: mcm_fault::FaultPlan>(
+        &mut self,
+        now: Cycle,
+        node: usize,
+        to: usize,
+        dir: RingDir,
+        bytes: u64,
+        probe: &mut P,
+        plan: &mut F,
+    ) -> (usize, Cycle) {
+        let (next, t) = self.ring.hop_faulted(
+            now,
+            NodeId(node as u8),
+            NodeId(to as u8),
+            dir,
+            bytes,
+            probe,
+            plan,
+        );
         (next.as_usize(), t)
     }
 
@@ -432,12 +463,40 @@ impl McmSystem {
         locality: Locality,
         probe: &mut P,
     ) -> Cycle {
+        self.mem_read_faulted(
+            now,
+            home,
+            line,
+            locality,
+            probe,
+            &mut mcm_fault::NullFaultPlan,
+        )
+    }
+
+    /// [`McmSystem::mem_read_probed`] additionally consulting `plan`
+    /// for DRAM thermal-throttle windows. With an inactive plan this is
+    /// exactly `mem_read_probed`.
+    pub fn mem_read_faulted<P: Probe, F: mcm_fault::FaultPlan>(
+        &mut self,
+        now: Cycle,
+        home: usize,
+        line: LineAddr,
+        locality: Locality,
+        probe: &mut P,
+        plan: &mut F,
+    ) -> Cycle {
         let unit = home as u32;
         match self.l2s[home].access_probed(now, line, AccessKind::Read, locality, unit, probe) {
             CacheOutcome::Hit { ready_at } => ready_at,
             CacheOutcome::Miss { allocate, ready_at } => {
-                let r =
-                    self.drams[home].access_probed(ready_at, line, AccessKind::Read, unit, probe);
+                let r = self.drams[home].access_faulted(
+                    ready_at,
+                    line,
+                    AccessKind::Read,
+                    unit,
+                    probe,
+                    plan,
+                );
                 if allocate {
                     if let Some(ev) = self.l2s[home].fill(line, r, false) {
                         if ev.dirty {
@@ -446,12 +505,13 @@ impl McmSystem {
                             // lands: stamping it at the fill time would
                             // submit a future arrival to the DRAM queue
                             // and ratchet its next-free time.
-                            self.drams[home].access_probed(
+                            self.drams[home].access_faulted(
                                 ready_at,
                                 ev.line,
                                 AccessKind::Write,
                                 unit,
                                 probe,
+                                plan,
                             );
                         }
                     }
@@ -479,6 +539,28 @@ impl McmSystem {
         locality: Locality,
         probe: &mut P,
     ) {
+        self.mem_write_faulted(
+            now,
+            home,
+            line,
+            locality,
+            probe,
+            &mut mcm_fault::NullFaultPlan,
+        );
+    }
+
+    /// [`McmSystem::mem_write_probed`] additionally consulting `plan`
+    /// for DRAM thermal-throttle windows. With an inactive plan this is
+    /// exactly `mem_write_probed`.
+    pub fn mem_write_faulted<P: Probe, F: mcm_fault::FaultPlan>(
+        &mut self,
+        now: Cycle,
+        home: usize,
+        line: LineAddr,
+        locality: Locality,
+        probe: &mut P,
+        plan: &mut F,
+    ) {
         let unit = home as u32;
         match self.l2s[home].access_probed(now, line, AccessKind::Write, locality, unit, probe) {
             CacheOutcome::Hit { .. } => {}
@@ -486,17 +568,25 @@ impl McmSystem {
                 if allocate {
                     if let Some(ev) = self.l2s[home].fill(line, ready_at, true) {
                         if ev.dirty {
-                            self.drams[home].access_probed(
+                            self.drams[home].access_faulted(
                                 ready_at,
                                 ev.line,
                                 AccessKind::Write,
                                 unit,
                                 probe,
+                                plan,
                             );
                         }
                     }
                 } else {
-                    self.drams[home].access_probed(ready_at, line, AccessKind::Write, unit, probe);
+                    self.drams[home].access_faulted(
+                        ready_at,
+                        line,
+                        AccessKind::Write,
+                        unit,
+                        probe,
+                        plan,
+                    );
                 }
             }
             CacheOutcome::Bypass => unreachable!("L2 has no allocation filter"),

@@ -89,6 +89,23 @@ impl Resource {
     /// A zero-byte request completes immediately at `now` and is not
     /// counted.
     pub fn service(&mut self, now: Cycle, bytes: u64) -> Cycle {
+        // Multiplying the duration by exactly 1.0 is a bit-exact IEEE
+        // identity, so the unstretched path stays cycle-identical.
+        self.service_stretched(now, bytes, 1.0)
+    }
+
+    /// Like [`service`](Resource::service), but the occupancy is
+    /// multiplied by `stretch` — the degraded-service primitive the
+    /// fault layer uses to model a thermally throttled facility.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `stretch` is not a finite factor `>= 1.0`.
+    pub fn service_stretched(&mut self, now: Cycle, bytes: u64, stretch: f64) -> Cycle {
+        debug_assert!(
+            stretch.is_finite() && stretch >= 1.0,
+            "stretch must be a finite factor >= 1.0, got {stretch}"
+        );
         if bytes == 0 {
             return now;
         }
@@ -102,7 +119,7 @@ impl Resource {
         let duration = if self.bytes_per_cycle.is_infinite() {
             0.0
         } else {
-            bytes as f64 / self.bytes_per_cycle
+            bytes as f64 / self.bytes_per_cycle * stretch
         };
         let end = start + duration;
         self.next_free = end;
@@ -261,5 +278,26 @@ mod tests {
     #[should_panic(expected = "positive bandwidth")]
     fn zero_bandwidth_panics() {
         let _ = Resource::new("bad", 0.0);
+    }
+
+    #[test]
+    fn stretched_service_takes_longer_and_queues() {
+        let mut r = Resource::new("r", 16.0);
+        // 64 bytes at ×2 occupy 8 cycles instead of 4.
+        assert_eq!(r.service_stretched(Cycle::new(0), 64, 2.0), Cycle::new(8));
+        // The stretched occupancy also delays the next request.
+        assert_eq!(r.service(Cycle::new(0), 64), Cycle::new(12));
+    }
+
+    #[test]
+    fn unit_stretch_matches_plain_service() {
+        let mut a = Resource::new("a", 7.0);
+        let mut b = Resource::new("b", 7.0);
+        for i in 0..32u64 {
+            let x = a.service(Cycle::new(i * 3), 13 + i);
+            let y = b.service_stretched(Cycle::new(i * 3), 13 + i, 1.0);
+            assert_eq!(x, y);
+        }
+        assert_eq!(a.queued_cycles(), b.queued_cycles());
     }
 }

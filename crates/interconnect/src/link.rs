@@ -48,7 +48,13 @@ impl Link {
 
     /// Sends `bytes` over the link starting at `now`; returns arrival
     /// time at the far side.
+    ///
+    /// A zero-byte transfer pays only the hop latency, without touching
+    /// the bandwidth queue.
     pub fn transfer(&mut self, now: Cycle, bytes: u64) -> Cycle {
+        if bytes == 0 {
+            return now + self.hop_latency;
+        }
         self.bandwidth.service(now, bytes) + self.hop_latency
     }
 
@@ -67,6 +73,42 @@ impl Link {
             probe.link_transfer(id, now, bytes, arrival);
         }
         arrival
+    }
+
+    /// Like [`Link::transfer_probed`], but consults `plan` for
+    /// transient CRC errors: an errored attempt occupies the link (the
+    /// corrupt flits really crossed the wire), then retransmits after a
+    /// capped exponential backoff, up to the plan's retry budget. Each
+    /// retry is reported to `probe` as a [`mcm_probe::FaultEvent`].
+    ///
+    /// With an inactive plan this is exactly `transfer_probed`.
+    pub fn transfer_faulted<P: mcm_probe::Probe, F: mcm_fault::FaultPlan>(
+        &mut self,
+        now: Cycle,
+        bytes: u64,
+        id: mcm_probe::LinkId,
+        probe: &mut P,
+        plan: &mut F,
+    ) -> Cycle {
+        if !F::ACTIVE {
+            return self.transfer_probed(now, bytes, id, probe);
+        }
+        let mut t = now;
+        let mut attempt = 0;
+        loop {
+            let arrival = self.transfer_probed(t, bytes, id, probe);
+            if attempt >= plan.link_max_retries() || !plan.link_error(id, attempt) {
+                return arrival;
+            }
+            if P::ACTIVE {
+                probe.fault(
+                    arrival,
+                    mcm_probe::FaultEvent::LinkRetry { link: id, attempt },
+                );
+            }
+            t = arrival + plan.link_backoff(attempt);
+            attempt += 1;
+        }
     }
 
     /// Total bytes that have crossed the link.
@@ -165,6 +207,67 @@ mod tests {
         let t = l.transfer_probed(Cycle::ZERO, 256, mcm_probe::LinkId::RingCw(1), &mut log);
         assert_eq!(t, Cycle::new(34));
         assert_eq!(log.0, vec![(mcm_probe::LinkId::RingCw(1), 256, 34)]);
+    }
+
+    #[test]
+    fn zero_byte_transfer_skips_the_bandwidth_queue() {
+        let mut l = Link::new("t", 64.0, Cycle::new(10), Tier::Package);
+        assert_eq!(l.transfer(Cycle::new(5), 0), Cycle::new(15));
+        assert_eq!(l.total_bytes(), 0);
+        // The queue was untouched: a real transfer starts immediately.
+        assert_eq!(l.transfer(Cycle::ZERO, 640), Cycle::new(20));
+    }
+
+    #[test]
+    fn faulted_transfer_with_null_plan_is_plain_transfer() {
+        let mut a = Link::new("a", 128.0, Cycle::new(32), Tier::Package);
+        let mut b = Link::new("b", 128.0, Cycle::new(32), Tier::Package);
+        let x = a.transfer_probed(
+            Cycle::ZERO,
+            256,
+            mcm_probe::LinkId::RingCw(0),
+            &mut mcm_probe::NullProbe,
+        );
+        let y = b.transfer_faulted(
+            Cycle::ZERO,
+            256,
+            mcm_probe::LinkId::RingCw(0),
+            &mut mcm_probe::NullProbe,
+            &mut mcm_fault::NullFaultPlan,
+        );
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn link_errors_retransmit_with_backoff() {
+        /// Always errors until the budget is spent.
+        struct AlwaysError;
+        impl mcm_fault::FaultPlan for AlwaysError {
+            fn link_error(&mut self, _link: mcm_probe::LinkId, _attempt: u32) -> bool {
+                true
+            }
+            fn link_backoff(&self, _attempt: u32) -> Cycle {
+                Cycle::new(100)
+            }
+            fn link_max_retries(&self) -> u32 {
+                2
+            }
+        }
+        let mut l = Link::new("t", 128.0, Cycle::new(32), Tier::Package);
+        let done = l.transfer_faulted(
+            Cycle::ZERO,
+            256,
+            mcm_probe::LinkId::RingCw(0),
+            &mut mcm_probe::NullProbe,
+            &mut AlwaysError,
+        );
+        // Three attempts (2 retries), each 2 cycles serialization + 32
+        // hop, with a 100-cycle backoff between them:
+        // 34 → +100+2+32 = 168 → +100+2+32 = 302. The third attempt is
+        // forced through (budget spent).
+        assert_eq!(done, Cycle::new(302));
+        // All three attempts really crossed the wire.
+        assert_eq!(l.total_bytes(), 3 * 256);
     }
 
     #[test]

@@ -115,6 +115,32 @@ impl FullMesh {
         (to, t)
     }
 
+    /// Like [`FullMesh::hop_probed`], additionally consulting `plan`
+    /// for transient link errors (see
+    /// [`Link::transfer_faulted`](crate::link::Link::transfer_faulted)).
+    pub fn hop_faulted<P: mcm_probe::Probe, F: mcm_fault::FaultPlan>(
+        &mut self,
+        now: Cycle,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+        probe: &mut P,
+        plan: &mut F,
+    ) -> (NodeId, Cycle) {
+        let n = usize::from(self.nodes);
+        let a = from.as_usize() % n;
+        let b = to.as_usize() % n;
+        if a == b {
+            return (to, now);
+        }
+        let id = mcm_probe::LinkId::Mesh {
+            from: a as u8,
+            to: b as u8,
+        };
+        let t = self.links[a * n + b].transfer_faulted(now, bytes, id, probe, plan);
+        (to, t)
+    }
+
     /// Total bytes carried across all links.
     pub fn total_bytes(&self) -> u64 {
         self.links.iter().map(Link::total_bytes).sum()
@@ -236,6 +262,25 @@ impl Fabric {
         match self {
             Fabric::Ring(ring) => ring.hop_probed(now, node, dir, bytes, probe),
             Fabric::FullyConnected(mesh) => mesh.hop_probed(now, node, to, bytes, probe),
+        }
+    }
+
+    /// Like [`Fabric::hop_probed`], additionally consulting `plan` for
+    /// transient link errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn hop_faulted<P: mcm_probe::Probe, F: mcm_fault::FaultPlan>(
+        &mut self,
+        now: Cycle,
+        node: NodeId,
+        to: NodeId,
+        dir: RingDir,
+        bytes: u64,
+        probe: &mut P,
+        plan: &mut F,
+    ) -> (NodeId, Cycle) {
+        match self {
+            Fabric::Ring(ring) => ring.hop_faulted(now, node, dir, bytes, probe, plan),
+            Fabric::FullyConnected(mesh) => mesh.hop_faulted(now, node, to, bytes, probe, plan),
         }
     }
 

@@ -200,6 +200,40 @@ impl RingNetwork {
         }
     }
 
+    /// Like [`RingNetwork::hop_probed`], additionally consulting `plan`
+    /// for transient link errors (see
+    /// [`Link::transfer_faulted`](crate::link::Link::transfer_faulted)).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a single-node ring (no segments to hop).
+    pub fn hop_faulted<P: mcm_probe::Probe, F: mcm_fault::FaultPlan>(
+        &mut self,
+        now: Cycle,
+        node: NodeId,
+        dir: RingDir,
+        bytes: u64,
+        probe: &mut P,
+        plan: &mut F,
+    ) -> (NodeId, Cycle) {
+        let n = u32::from(self.nodes);
+        assert!(n > 1, "cannot hop on a single-node ring");
+        let a = u32::from(node.0) % n;
+        match dir {
+            RingDir::Clockwise => {
+                let id = mcm_probe::LinkId::RingCw(a as u8);
+                let t = self.cw[a as usize].transfer_faulted(now, bytes, id, probe, plan);
+                (NodeId(((a + 1) % n) as u8), t)
+            }
+            RingDir::CounterClockwise => {
+                let prev = (a + n - 1) % n;
+                let id = mcm_probe::LinkId::RingCcw(prev as u8);
+                let t = self.ccw[prev as usize].transfer_faulted(now, bytes, id, probe, plan);
+                (NodeId(prev as u8), t)
+            }
+        }
+    }
+
     /// Sends `bytes` from `from` to `to` starting at `now`, traversing
     /// the shorter direction; returns arrival time. A self-transfer
     /// costs nothing and arrives immediately.

@@ -92,10 +92,26 @@ impl DramPartition {
     /// low bits, so a modulo channel index would alias and strand most
     /// of the partition's channels.
     pub fn access(&mut self, now: Cycle, line: LineAddr, kind: AccessKind) -> Cycle {
+        // Unit stretch is an exact IEEE identity, so this delegation
+        // does not perturb the unthrottled timing.
+        self.access_stretched(now, line, kind, 1.0)
+    }
+
+    /// Like [`DramPartition::access`] with the channel occupancy
+    /// multiplied by `stretch` — how the fault layer models a thermally
+    /// throttled stack (`stretch > 1.0` halves/quarters the effective
+    /// bandwidth without touching the configured one).
+    pub fn access_stretched(
+        &mut self,
+        now: Cycle,
+        line: LineAddr,
+        kind: AccessKind,
+        stretch: f64,
+    ) -> Cycle {
         let mut z = line.index().wrapping_mul(0xD6E8_FEB8_6659_FD93);
         z ^= z >> 32;
         let chan = (z % self.channels.len() as u64) as usize;
-        let served = self.channels[chan].service(now, LINE_BYTES);
+        let served = self.channels[chan].service_stretched(now, LINE_BYTES, stretch);
         match kind {
             AccessKind::Read => self.reads.inc(),
             AccessKind::Write => self.writes.inc(),
@@ -118,6 +134,40 @@ impl DramPartition {
             probe.dram_access(partition, now, LINE_BYTES);
         }
         done
+    }
+
+    /// Like [`DramPartition::access_probed`], additionally consulting
+    /// `plan` for a thermal-throttle stretch at `now`. Throttled
+    /// accesses are reported to `probe` as
+    /// [`mcm_probe::FaultEvent::DramThrottle`].
+    ///
+    /// With an inactive plan this is exactly `access_probed`.
+    pub fn access_faulted<P: mcm_probe::Probe, F: mcm_fault::FaultPlan>(
+        &mut self,
+        now: Cycle,
+        line: LineAddr,
+        kind: AccessKind,
+        partition: u32,
+        probe: &mut P,
+        plan: &mut F,
+    ) -> Cycle {
+        if !F::ACTIVE {
+            return self.access_probed(now, line, kind, partition, probe);
+        }
+        let stretch = plan.dram_stretch(partition, now);
+        if P::ACTIVE {
+            if stretch > 1.0 {
+                probe.fault(
+                    now,
+                    mcm_probe::FaultEvent::DramThrottle {
+                        module: partition,
+                        stretch,
+                    },
+                );
+            }
+            probe.dram_access(partition, now, LINE_BYTES);
+        }
+        self.access_stretched(now, line, kind, stretch)
     }
 
     /// Total bytes moved in or out of the partition.
@@ -253,6 +303,41 @@ mod tests {
     #[should_panic(expected = "needs channels")]
     fn zero_channels_panics() {
         partition(100.0, 0);
+    }
+
+    #[test]
+    fn stretched_access_slows_the_channel() {
+        let mut plain = partition(128.0, 1);
+        let mut hot = partition(128.0, 1);
+        let a = plain.access(Cycle::ZERO, LineAddr::new(0), AccessKind::Read);
+        let b = hot.access_stretched(Cycle::ZERO, LineAddr::new(0), AccessKind::Read, 4.0);
+        // 1 cycle of service becomes 4 under a ×4 stretch.
+        assert_eq!(b - a, Cycle::new(3));
+        assert_eq!(hot.total_bytes(), plain.total_bytes());
+    }
+
+    #[test]
+    fn faulted_access_with_null_plan_matches_probed() {
+        let mut a = partition(768.0, 8);
+        let mut b = partition(768.0, 8);
+        for i in 0..32u64 {
+            let x = a.access_probed(
+                Cycle::new(i),
+                LineAddr::new(i * 3),
+                AccessKind::Read,
+                0,
+                &mut mcm_probe::NullProbe,
+            );
+            let y = b.access_faulted(
+                Cycle::new(i),
+                LineAddr::new(i * 3),
+                AccessKind::Read,
+                0,
+                &mut mcm_probe::NullProbe,
+                &mut mcm_fault::NullFaultPlan,
+            );
+            assert_eq!(x, y);
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@ use std::collections::HashMap;
 use mcm_engine::Cycle;
 
 use crate::json::{push_str_escaped, Obj};
-use crate::{Probe, ReqStage, RequestMeta, WarpPhase};
+use crate::{FaultEvent, Probe, ReqStage, RequestMeta, WarpPhase};
 
 /// Records a Chrome trace of the run; call
 /// [`finish`](ChromeTraceProbe::finish) afterwards for the JSON.
@@ -205,6 +205,31 @@ impl Probe for ChromeTraceProbe {
             self.async_ev("e", id, &meta, &name, now.as_u64());
         }
     }
+
+    fn fault(&mut self, now: Cycle, event: FaultEvent) {
+        let name = match event {
+            FaultEvent::LinkRetry { link, attempt } => {
+                format!("link-retry {link} #{attempt}")
+            }
+            FaultEvent::DramThrottle { module, stretch } => {
+                format!("dram-throttle m{module} x{stretch}")
+            }
+            FaultEvent::MshrPoison { request } => format!("mshr-poison req{request}"),
+            FaultEvent::ModuleDisabled { module, kernel } => {
+                format!("module-disabled m{module} k{kernel}")
+            }
+        };
+        self.sep();
+        Obj::open(&mut self.buf)
+            .str("ph", "i")
+            .str("cat", "fault")
+            .str("name", &name)
+            .str("s", "g")
+            .num("pid", 0)
+            .num("tid", 0)
+            .num("ts", now.as_u64())
+            .close();
+    }
 }
 
 #[cfg(test)]
@@ -278,6 +303,31 @@ mod tests {
         assert!(json.contains(r#""name":"kernel0""#));
         assert!(json.contains(r#""name":"sm2""#));
         assert!(json.contains("process_name"));
+    }
+
+    #[test]
+    fn faults_become_instant_events() {
+        let mut tr = ChromeTraceProbe::new();
+        tr.fault(
+            Cycle::new(42),
+            FaultEvent::LinkRetry {
+                link: crate::LinkId::RingCw(1),
+                attempt: 0,
+            },
+        );
+        tr.fault(
+            Cycle::new(99),
+            FaultEvent::DramThrottle {
+                module: 2,
+                stretch: 2.0,
+            },
+        );
+        assert_eq!(tr.events(), 2);
+        let json = tr.finish();
+        assert!(json.contains(r#""ph":"i""#));
+        assert!(json.contains(r#""cat":"fault""#));
+        assert!(json.contains("link-retry cw1 #0"));
+        assert!(json.contains("dram-throttle m2 x2"));
     }
 
     #[test]

@@ -177,6 +177,53 @@ impl std::fmt::Display for LinkId {
     }
 }
 
+/// One injected fault, as reported to probes by the fault layer so
+/// sinks can render fault windows alongside ordinary traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// A transfer on `link` failed CRC and is retransmitting (0-based
+    /// `attempt` that failed).
+    LinkRetry {
+        /// The affected link.
+        link: LinkId,
+        /// The attempt that took the error.
+        attempt: u32,
+    },
+    /// DRAM partition `module` served an access under thermal throttle.
+    DramThrottle {
+        /// The throttled partition.
+        module: u32,
+        /// Service-time stretch applied (`> 1.0`).
+        stretch: f64,
+    },
+    /// Request `request`'s fill arrived poisoned and replays once.
+    MshrPoison {
+        /// The run-unique request id.
+        request: u64,
+    },
+    /// Module `module`'s SM pool is offline for `kernel`; its pending
+    /// CTAs were restolen to the survivors.
+    ModuleDisabled {
+        /// The disabled module.
+        module: u32,
+        /// The kernel during which it is offline.
+        kernel: u32,
+    },
+}
+
+impl FaultEvent {
+    /// Short kind label ("link-retry", "dram-throttle", ...), used as a
+    /// metric name and trace category.
+    pub const fn label(self) -> &'static str {
+        match self {
+            FaultEvent::LinkRetry { .. } => "link-retry",
+            FaultEvent::DramThrottle { .. } => "dram-throttle",
+            FaultEvent::MshrPoison { .. } => "mshr-poison",
+            FaultEvent::ModuleDisabled { .. } => "module-disabled",
+        }
+    }
+}
+
 /// Static facts about a memory request, captured at issue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RequestMeta {
@@ -285,6 +332,12 @@ pub trait Probe {
     fn queue_depth(&mut self, now: Cycle, depth: usize) {
         let _ = (now, depth);
     }
+
+    /// The fault layer injected `event` at `now`. Only fires when a
+    /// fault plan is active; fault-free runs never call it.
+    fn fault(&mut self, now: Cycle, event: FaultEvent) {
+        let _ = (now, event);
+    }
 }
 
 /// The do-nothing probe: every hook is an inlined empty default, so a
@@ -370,6 +423,11 @@ impl<A: Probe, B: Probe> Probe for (A, B) {
     fn queue_depth(&mut self, now: Cycle, depth: usize) {
         self.0.queue_depth(now, depth);
         self.1.queue_depth(now, depth);
+    }
+
+    fn fault(&mut self, now: Cycle, event: FaultEvent) {
+        self.0.fault(now, event);
+        self.1.fault(now, event);
     }
 }
 
@@ -462,6 +520,12 @@ impl<P: Probe> Probe for Option<P> {
             p.queue_depth(now, depth);
         }
     }
+
+    fn fault(&mut self, now: Cycle, event: FaultEvent) {
+        if let Some(p) = self {
+            p.fault(now, event);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -534,5 +598,30 @@ mod tests {
         assert_eq!(LinkId::Mesh { from: 1, to: 3 }.to_string(), "mesh1-3");
         assert_eq!(ReqStage::ToHome { at: 2 }.label(), "ring>@2");
         assert_eq!(WarpPhase::RemoteMem.to_string(), "remote-mem");
+        assert_eq!(FaultEvent::MshrPoison { request: 1 }.label(), "mshr-poison");
+    }
+
+    #[derive(Default)]
+    struct CountFaults(u64);
+
+    impl Probe for CountFaults {
+        fn fault(&mut self, _now: Cycle, _event: FaultEvent) {
+            self.0 += 1;
+        }
+    }
+
+    #[test]
+    fn fault_hook_forwards_through_combinators() {
+        let ev = FaultEvent::LinkRetry {
+            link: LinkId::RingCw(0),
+            attempt: 1,
+        };
+        let mut pair = (CountFaults::default(), Some(CountFaults::default()));
+        pair.fault(Cycle::new(10), ev);
+        assert_eq!(pair.0 .0, 1);
+        assert_eq!(pair.1.as_ref().unwrap().0, 1);
+        let mut none: Option<CountFaults> = None;
+        none.fault(Cycle::ZERO, ev);
+        NullProbe.fault(Cycle::ZERO, ev);
     }
 }

@@ -23,7 +23,7 @@ use std::collections::BTreeMap;
 use mcm_engine::stats::{to_csv, Tabular};
 use mcm_engine::Cycle;
 
-use crate::{LinkId, Probe, WarpPhase};
+use crate::{FaultEvent, LinkId, Probe, WarpPhase};
 
 /// Default bucket width in cycles.
 pub const DEFAULT_BUCKET: u64 = 1024;
@@ -77,6 +77,8 @@ pub struct MetricsProbe {
     mshr: BTreeMap<u32, OccupancySeries>,
     /// (module, phase) → warp-cycles per bucket.
     warp_cycles: BTreeMap<(u32, WarpPhase), Vec<u64>>,
+    /// Fault-kind label → injected-fault count per bucket.
+    faults: BTreeMap<&'static str, Vec<u64>>,
     /// Per warp slot: (open-phase start, phase, sm).
     warp_state: Vec<Option<(u64, WarpPhase, u32)>>,
     queue_depth_max: Vec<u64>,
@@ -112,6 +114,7 @@ impl MetricsProbe {
             cache: BTreeMap::new(),
             mshr: BTreeMap::new(),
             warp_cycles: BTreeMap::new(),
+            faults: BTreeMap::new(),
             warp_state: Vec::new(),
             queue_depth_max: Vec::new(),
             horizon: 0,
@@ -245,6 +248,9 @@ impl MetricsProbe {
                 &mut rows,
             );
         }
+        for (kind, series) in &self.faults {
+            push_counts("fault_count", (*kind).to_string(), series, &mut rows);
+        }
         push_counts(
             "queue_depth_max",
             "sim".to_string(),
@@ -339,6 +345,13 @@ impl Probe for MetricsProbe {
         let idx = self.idx(t);
         let cell = slot(&mut self.queue_depth_max, idx, 0);
         *cell = (*cell).max(depth as u64);
+    }
+
+    fn fault(&mut self, now: Cycle, event: FaultEvent) {
+        let t = now.as_u64();
+        self.see(t);
+        let idx = self.idx(t);
+        *slot(self.faults.entry(event.label()).or_default(), idx, 0) += 1;
     }
 }
 
@@ -441,5 +454,24 @@ mod tests {
     #[should_panic(expected = "bucket width")]
     fn zero_bucket_panics() {
         MetricsProbe::new(0, 4);
+    }
+
+    #[test]
+    fn faults_are_counted_per_bucket_per_kind() {
+        let mut m = MetricsProbe::new(100, 4);
+        let retry = FaultEvent::LinkRetry {
+            link: LinkId::RingCw(0),
+            attempt: 0,
+        };
+        m.fault(Cycle::new(10), retry);
+        m.fault(Cycle::new(20), retry);
+        m.fault(Cycle::new(150), FaultEvent::MshrPoison { request: 7 });
+        let rows = m.rows();
+        let faults: Vec<_> = rows.iter().filter(|r| r.metric == "fault_count").collect();
+        assert_eq!(faults.len(), 2);
+        assert_eq!(faults[0].unit, "link-retry");
+        assert_eq!(faults[0].value, "2");
+        assert_eq!(faults[1].unit, "mshr-poison");
+        assert_eq!(faults[1].bucket_start, 100);
     }
 }

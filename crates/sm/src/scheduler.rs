@@ -178,6 +178,50 @@ impl CtaPool {
         Some(())
     }
 
+    /// Redistributes the pending CTAs of every module flagged in
+    /// `disabled` round-robin onto the enabled modules' queue tails;
+    /// returns the number of CTAs moved. Used by the fault layer when a
+    /// GPM's SM pool goes offline: its unstarted work fails over to the
+    /// survivors (whose first-touch pages stay put, so the restolen
+    /// CTAs pay the real NUMA penalty).
+    ///
+    /// Under the centralized policy there is nothing to move (admission
+    /// simply skips the dead module's SMs and the global cursor drains
+    /// through the survivors), so this is a no-op returning 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disabled` does not have one entry per GPM, or if it
+    /// flags every module (the kernel could never finish).
+    pub fn resteal_disabled(&mut self, disabled: &[bool]) -> u32 {
+        assert_eq!(
+            disabled.len(),
+            self.queues.len(),
+            "disabled mask must have one entry per GPM"
+        );
+        assert!(
+            disabled.iter().any(|d| !d),
+            "fault plan disabled every module"
+        );
+        if self.policy == SchedulerPolicy::Centralized {
+            return 0;
+        }
+        let survivors: Vec<usize> = (0..self.queues.len()).filter(|&g| !disabled[g]).collect();
+        let mut moved = 0;
+        let mut next = 0usize;
+        for (dead, &is_dead) in disabled.iter().enumerate() {
+            if !is_dead {
+                continue;
+            }
+            while let Some((start, end)) = self.queues[dead].pop_front() {
+                self.queues[survivors[next]].push_back((start, end));
+                next = (next + 1) % survivors.len();
+                moved += end - start;
+            }
+        }
+        moved
+    }
+
     /// Whether every CTA has been handed out.
     pub fn is_exhausted(&self) -> bool {
         match self.policy {
@@ -400,6 +444,66 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), 100);
+    }
+
+    #[test]
+    fn resteal_moves_dead_modules_work_to_survivors() {
+        let mut pool = CtaPool::new(SchedulerPolicy::Distributed, 16, 4);
+        // Module 2 draws one CTA, then dies with 3 pending.
+        assert_eq!(pool.next_cta(2), Some(8));
+        let moved = pool.resteal_disabled(&[false, false, true, false]);
+        assert_eq!(moved, 3);
+        assert_eq!(pool.next_cta(2), None, "dead module's queue is empty");
+        // Every remaining CTA is still handed out exactly once.
+        let mut seen = std::collections::HashSet::from([8]);
+        for gpm in [0usize, 1, 3] {
+            while let Some(c) = pool.next_cta(gpm) {
+                assert!(seen.insert(c), "duplicate CTA {c}");
+            }
+        }
+        assert_eq!(seen.len(), 16);
+        assert!(pool.is_exhausted());
+    }
+
+    #[test]
+    fn resteal_on_centralized_is_a_noop() {
+        let mut pool = CtaPool::new(SchedulerPolicy::Centralized, 8, 4);
+        assert_eq!(pool.resteal_disabled(&[true, false, false, false]), 0);
+        // Survivors still drain the global cursor.
+        let mut all = Vec::new();
+        for gpm in [1usize, 2, 3].iter().cycle() {
+            match pool.next_cta(*gpm) {
+                Some(c) => all.push(c),
+                None => break,
+            }
+        }
+        assert_eq!(all.len(), 8);
+    }
+
+    #[test]
+    fn resteal_spreads_chunks_round_robin() {
+        // Chunked 12 CTAs in groups of 2 over 4 GPMs: GPM 0 and 1 die
+        // owning two groups each; those four groups split evenly
+        // between GPMs 2 and 3 (which own one group each already).
+        let mut pool = CtaPool::new(SchedulerPolicy::Chunked { group: 2 }, 12, 4);
+        let moved = pool.resteal_disabled(&[true, true, false, false]);
+        assert_eq!(moved, 8);
+        let count = |pool: &mut CtaPool, gpm: usize| {
+            let mut n = 0;
+            while pool.next_cta(gpm).is_some() {
+                n += 1;
+            }
+            n
+        };
+        assert_eq!(count(&mut pool, 2), 6);
+        assert_eq!(count(&mut pool, 3), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "disabled every module")]
+    fn resteal_rejects_total_loss() {
+        let mut pool = CtaPool::new(SchedulerPolicy::Distributed, 8, 2);
+        pool.resteal_disabled(&[true, true]);
     }
 
     #[test]

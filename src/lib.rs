@@ -11,6 +11,8 @@
 //!   energy tiers.
 //! * [`probe`] ([`mcm_probe`]) — zero-overhead instrumentation: the
 //!   `Probe` trait, Chrome-trace, metrics, and stall-profile sinks.
+//! * [`fault`] ([`mcm_fault`]) — deterministic runtime fault
+//!   injection: the `FaultPlan` trait and the seeded schedule.
 //! * [`sm`] ([`mcm_sm`]) — SM model and CTA schedulers.
 //! * [`workloads`] ([`mcm_workloads`]) — the 48-benchmark synthetic
 //!   suite.
@@ -31,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub use mcm_engine as engine;
+pub use mcm_fault as fault;
 pub use mcm_gpu as gpu;
 pub use mcm_interconnect as interconnect;
 pub use mcm_mem as mem;
