@@ -69,11 +69,7 @@ fn main() {
     let report = harness::run_probed_env_faults(&cfg, &spec, &mut probe);
     let (profile, (mut trace, metrics)) = probe;
 
-    let stem = format!(
-        "{}__{}",
-        harness::sanitize(&cfg.name),
-        harness::sanitize(spec.name)
-    );
+    let stem = harness::artifact_stem(&cfg, &spec);
     if let (Some(dir), Some(trace)) = (&trace_dir, &mut trace) {
         std::fs::create_dir_all(dir).expect("create MCM_TRACE directory");
         let path = dir.join(format!("{stem}.trace.json"));

@@ -46,6 +46,17 @@ fn main() {
     let mgpu_base = SystemConfig::multi_gpu_baseline();
     let mgpu_opt = SystemConfig::multi_gpu_optimized();
 
+    // Warm the whole 6-config x 48-workload grid across MCM_JOBS
+    // workers; every claim below then reads from the memo cache.
+    let configs = [
+        &baseline, &optimized, &mono128, &mono256, &mgpu_base, &mgpu_opt,
+    ];
+    let pairs: Vec<_> = configs
+        .iter()
+        .flat_map(|&c| all.iter().map(move |w| (c, w)))
+        .collect();
+    memo.warm(&pairs);
+
     let opt_vs_base = geomean_speedup(&mut memo, &all, &optimized, &baseline, None);
     let opt_vs_mono128 = geomean_speedup(&mut memo, &all, &optimized, &mono128, None);
     let opt_vs_mono256 = geomean_speedup(&mut memo, &all, &optimized, &mono256, None);

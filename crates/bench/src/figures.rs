@@ -23,6 +23,19 @@ fn full_suite() -> Vec<WorkloadSpec> {
     suite::suite()
 }
 
+/// Warms the memo with the whole `configs x workloads` grid across
+/// `MCM_JOBS` worker threads, so the serial reporting loops below run
+/// entirely from cache. Every figure calls this first: the figure text
+/// itself is assembled in a fixed order from memoized reports, which is
+/// what keeps the output byte-identical at any job count.
+fn warm_grid(memo: &mut Memo, configs: &[SystemConfig], workloads: &[WorkloadSpec]) {
+    let pairs: Vec<(&SystemConfig, &WorkloadSpec)> = configs
+        .iter()
+        .flat_map(|c| workloads.iter().map(move |w| (c, w)))
+        .collect();
+    memo.warm(&pairs);
+}
+
 /// Table 1: key characteristics of recent NVIDIA GPUs.
 pub fn table1() -> String {
     let mut t = TextTable::new(vec!["", "Fermi", "Kepler", "Maxwell", "Pascal"]);
@@ -204,6 +217,11 @@ pub fn fig02(memo: &mut Memo) -> String {
     let sm_counts = [32u32, 64, 96, 128, 160, 192, 224, 256, 288];
     let all = full_suite();
     let base_cfg = SystemConfig::monolithic(32);
+    let grid: Vec<SystemConfig> = sm_counts
+        .iter()
+        .map(|&s| SystemConfig::monolithic(s))
+        .collect();
+    warm_grid(memo, &grid, &all);
     let mut t = TextTable::new(vec![
         "SM count",
         "linear",
@@ -254,6 +272,11 @@ pub fn fig04(memo: &mut Memo) -> String {
     let links = [6144.0, 3072.0, 1536.0, 768.0, 384.0];
     let reference = SystemConfig::mcm_with_link(6144.0);
     let all = full_suite();
+    let grid: Vec<SystemConfig> = links
+        .iter()
+        .map(|&g| SystemConfig::mcm_with_link(g))
+        .collect();
+    warm_grid(memo, &grid, &all);
     let mut t = TextTable::new(vec![
         "link BW",
         "M-Intensive",
@@ -294,6 +317,9 @@ fn fig06_configs() -> Vec<SystemConfig> {
 pub fn fig06(memo: &mut Memo) -> String {
     let baseline = SystemConfig::baseline_mcm();
     let configs = fig06_configs();
+    let mut grid = configs.clone();
+    grid.push(baseline.clone());
+    warm_grid(memo, &grid, &full_suite());
     let mut t = TextTable::new(vec![
         "workload", "8MB", "8MB RO", "16MB", "16MB RO", "32MB", "32MB RO",
     ]);
@@ -339,6 +365,7 @@ pub fn fig07(memo: &mut Memo) -> String {
 pub fn fig09(memo: &mut Memo) -> String {
     let baseline = SystemConfig::baseline_mcm();
     let cfg = SystemConfig::mcm_l15_ds();
+    warm_grid(memo, &[baseline.clone(), cfg.clone()], &full_suite());
     let mut t = TextTable::new(vec!["workload", "speedup"]);
     for w in m_intensive() {
         let s = memo.run(&cfg, &w).speedup_over(&memo.run(&baseline, &w));
@@ -377,6 +404,11 @@ pub fn fig13(memo: &mut Memo) -> String {
     let baseline = SystemConfig::baseline_mcm();
     let ft16 = SystemConfig::optimized_mcm_16mb_l15();
     let ft8 = SystemConfig::optimized_mcm();
+    warm_grid(
+        memo,
+        &[baseline.clone(), ft16.clone(), ft8.clone()],
+        &full_suite(),
+    );
     let mut t = TextTable::new(vec!["workload", "16MB L1.5+DS+FT", "8MB L1.5+DS+FT"]);
     for w in m_intensive() {
         let base = memo.run(&baseline, &w);
@@ -423,6 +455,8 @@ fn bandwidth_figure(
     title: &str,
     configs: Vec<(&'static str, SystemConfig)>,
 ) -> String {
+    let grid: Vec<SystemConfig> = configs.iter().map(|(_, c)| c.clone()).collect();
+    warm_grid(memo, &grid, &full_suite());
     let mut header = vec!["workload".to_string()];
     header.extend(configs.iter().map(|(label, _)| label.to_string()));
     let mut t = TextTable::new(header);
@@ -475,6 +509,7 @@ fn bandwidth_figure(
 pub fn fig15(memo: &mut Memo) -> String {
     let baseline = SystemConfig::baseline_mcm();
     let optimized = SystemConfig::optimized_mcm();
+    warm_grid(memo, &[baseline.clone(), optimized.clone()], &full_suite());
     let mut curve: Vec<(String, f64)> = full_suite()
         .iter()
         .map(|w| {
@@ -524,6 +559,20 @@ pub fn fig16(memo: &mut Memo) -> String {
     let mono = SystemConfig::hypothetical_monolithic_256();
 
     let all = full_suite();
+    warm_grid(
+        memo,
+        &[
+            baseline.clone(),
+            l15_alone.clone(),
+            ds_alone.clone(),
+            ft_alone.clone(),
+            combined.clone(),
+            six_tb.clone(),
+            mono.clone(),
+            SystemConfig::largest_buildable_monolithic(),
+        ],
+        &all,
+    );
     let mut t = TextTable::new(vec!["configuration", "speedup over baseline"]);
     for (label, cfg) in [
         ("Remote-only L1.5 alone (16MB)", &l15_alone),
@@ -570,6 +619,17 @@ pub fn fig17(memo: &mut Memo) -> String {
     let mono = SystemConfig::hypothetical_monolithic_256();
 
     let all = full_suite();
+    warm_grid(
+        memo,
+        &[
+            mgpu_base.clone(),
+            mgpu_opt.clone(),
+            mcm.clone(),
+            mcm_6tb.clone(),
+            mono.clone(),
+        ],
+        &all,
+    );
     let mut t = TextTable::new(vec!["configuration", "speedup over baseline multi-GPU"]);
     for (label, cfg) in [
         ("Optimized multi-GPU", &mgpu_opt),
@@ -621,6 +681,10 @@ pub fn ablation_scheduler(memo: &mut Memo) -> String {
     imbalanced.imbalance = 0.8;
     workloads.push(imbalanced);
 
+    let mut grid: Vec<SystemConfig> = configs.iter().map(|(_, c)| c.clone()).collect();
+    grid.push(baseline.clone());
+    warm_grid(memo, &grid, &workloads);
+
     let mut header = vec!["workload".to_string()];
     header.extend(configs.iter().map(|(l, _)| l.to_string()));
     let mut t = TextTable::new(header);
@@ -652,6 +716,16 @@ pub fn ablation_topology(memo: &mut Memo) -> String {
     baseline_mesh.topology.network = mcm_interconnect::mesh::NetworkKind::FullyConnected;
 
     let all = full_suite();
+    warm_grid(
+        memo,
+        &[
+            baseline.clone(),
+            baseline_mesh.clone(),
+            ring.clone(),
+            mesh.clone(),
+        ],
+        &all,
+    );
     let mut t = TextTable::new(vec![
         "configuration",
         "M-Intensive",
@@ -694,6 +768,8 @@ pub fn efficiency(memo: &mut Memo) -> String {
         ),
     ];
     let all = full_suite();
+    let grid: Vec<SystemConfig> = configs.iter().map(|(_, c)| c.clone()).collect();
+    warm_grid(memo, &grid, &all);
     let mut t = TextTable::new(vec![
         "configuration",
         "interconnect mJ",
@@ -780,6 +856,9 @@ pub fn ablation_gpm_count(memo: &mut Memo) -> String {
         "optimized 8 GPMs (fully connected)".to_string(),
         optimized_of(8, NetworkKind::FullyConnected),
     ));
+    let mut grid: Vec<SystemConfig> = rows.iter().map(|(_, c)| c.clone()).collect();
+    grid.push(reference.clone());
+    warm_grid(memo, &grid, &all);
     for (label, cfg) in rows {
         let mut cells = vec![label];
         for cat in Category::ALL {
@@ -802,6 +881,14 @@ pub fn ablation_gpm_count(memo: &mut Memo) -> String {
 pub fn ablation_page_size(memo: &mut Memo) -> String {
     let baseline = SystemConfig::baseline_mcm();
     let all = full_suite();
+    let mut grid = vec![baseline.clone()];
+    for kib in [4u64, 16, 64, 256, 2048] {
+        let mut cfg = SystemConfig::optimized_mcm();
+        cfg.name = format!("MCM-GPU optimized (FT {kib} KiB pages)");
+        cfg.ft_page_bytes = kib * 1024;
+        grid.push(cfg);
+    }
+    warm_grid(memo, &grid, &all);
     let mut t = TextTable::new(vec![
         "FT page size",
         "M-Intensive",
@@ -832,6 +919,13 @@ pub fn ablation_page_size(memo: &mut Memo) -> String {
 pub fn ablation_alloc_policy(memo: &mut Memo) -> String {
     let baseline = SystemConfig::baseline_mcm();
     let all = full_suite();
+    let grid = [
+        baseline.clone(),
+        SystemConfig::mcm_with_l15(16, AllocFilter::All),
+        SystemConfig::mcm_with_l15(16, AllocFilter::RemoteOnly),
+        SystemConfig::mcm_with_l15(16, AllocFilter::Adaptive),
+    ];
+    warm_grid(memo, &grid, &all);
     let mut t = TextTable::new(vec![
         "L1.5 policy (16MB iso-transistor)",
         "M-Intensive",

@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 
+use mcm_engine::rng::StableHasher;
 use mcm_engine::stats::geomean;
 use mcm_fault::{FaultConfig, FaultPlan, NullFaultPlan, SeededFaultPlan};
 use mcm_gpu::{RunReport, Simulator, SystemConfig};
@@ -79,10 +80,22 @@ pub fn fault_rate() -> f64 {
 /// A memoizing runner: each `(configuration, workload)` pair is
 /// simulated once per process, so figures that share configurations
 /// (e.g. every figure needs the baseline) don't re-run it.
+///
+/// The cache keys on the configuration's full
+/// [`fingerprint`](SystemConfig::fingerprint) — not its display name —
+/// so two configurations that share a name but differ in any tuned
+/// parameter are simulated (and cached) separately.
+///
+/// Independent runs can execute in parallel: [`Memo::warm`] (and the
+/// [`Memo::run_grid`] / [`Memo::run_suite_parallel`] wrappers) plan the
+/// unique uncached pairs of a grid up front and dispatch them across
+/// `MCM_JOBS` worker threads via [`mcm_exec`], merging results back in
+/// grid order so every figure, table, and artifact is byte-identical
+/// regardless of the job count.
 #[derive(Debug)]
 pub struct Memo {
     scale: f64,
-    cache: HashMap<(String, String), RunReport>,
+    cache: HashMap<(u64, String), RunReport>,
 }
 
 impl Memo {
@@ -104,12 +117,16 @@ impl Memo {
         self.scale
     }
 
+    fn key(cfg: &SystemConfig, spec: &WorkloadSpec) -> (u64, String) {
+        (cfg.fingerprint(), spec.name.to_string())
+    }
+
     /// Runs `spec` (scaled) on `cfg`, memoized.
     ///
     /// Fresh (non-memoized) runs honour the observability environment
     /// variables: see [`run_instrumented`].
     pub fn run(&mut self, cfg: &SystemConfig, spec: &WorkloadSpec) -> RunReport {
-        let key = (cfg.name.clone(), spec.name.to_string());
+        let key = Memo::key(cfg, spec);
         if let Some(r) = self.cache.get(&key) {
             return r.clone();
         }
@@ -121,6 +138,96 @@ impl Memo {
     /// Runs every workload in `suite` on `cfg`.
     pub fn run_suite(&mut self, cfg: &SystemConfig, suite: &[WorkloadSpec]) -> Vec<RunReport> {
         suite.iter().map(|w| self.run(cfg, w)).collect()
+    }
+
+    /// Simulates every uncached `(configuration, workload)` pair in
+    /// `pairs` across `MCM_JOBS` worker threads (default: the machine's
+    /// available parallelism) and memoizes the results. Subsequent
+    /// [`Memo::run`] calls for those pairs are cache hits, so a figure
+    /// can `warm` its whole grid first and keep its serial reporting
+    /// loop untouched.
+    ///
+    /// Planning happens up front in grid order: duplicates and
+    /// already-cached pairs are dropped, artifact stems are checked for
+    /// collisions (see [`artifact_stem`]), and results are merged back
+    /// in plan order — output never depends on thread scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two planned pairs would write the same artifact stem,
+    /// or if a worker thread panics.
+    pub fn warm(&mut self, pairs: &[(&SystemConfig, &WorkloadSpec)]) {
+        self.warm_with_jobs(mcm_exec::jobs(), pairs);
+    }
+
+    /// [`Memo::warm`] with an explicit worker count (tests compare
+    /// job counts in-process without touching the `MCM_JOBS`
+    /// environment variable, which would race across test threads).
+    pub fn warm_with_jobs(&mut self, jobs: usize, pairs: &[(&SystemConfig, &WorkloadSpec)]) {
+        let mut planned: Vec<(&SystemConfig, WorkloadSpec)> = Vec::new();
+        let mut stems: HashMap<String, (String, &str)> = HashMap::new();
+        for &(cfg, spec) in pairs {
+            let key = Memo::key(cfg, spec);
+            if self.cache.contains_key(&key) {
+                continue;
+            }
+            let stem = artifact_stem(cfg, spec);
+            match stems.get(&stem) {
+                // The same pair appearing twice in the grid is planned
+                // once; a *different* pair mapping to the same stem
+                // would silently overwrite artifacts.
+                Some((c, w)) if *c == cfg.name && *w == spec.name => continue,
+                Some((c, w)) => panic!(
+                    "artifact stem {stem:?} collides: ({c:?}, {w:?}) vs ({:?}, {:?})",
+                    cfg.name, spec.name
+                ),
+                None => {
+                    stems.insert(stem, (cfg.name.clone(), spec.name));
+                }
+            }
+            planned.push((cfg, spec.scaled(self.scale)));
+        }
+        let reports = mcm_exec::pool::run_grid(
+            &planned,
+            jobs,
+            mcm_exec::DEFAULT_SEED,
+            |_, (cfg, scaled)| run_instrumented(cfg, scaled),
+        );
+        for ((cfg, scaled), report) in planned.iter().zip(reports) {
+            self.cache
+                .insert((cfg.fingerprint(), scaled.name.to_string()), report);
+        }
+    }
+
+    /// Runs every pair of `pairs` (scaled, memoized), executing the
+    /// uncached ones in parallel across `MCM_JOBS` workers, and returns
+    /// the reports in grid order.
+    pub fn run_grid(&mut self, pairs: &[(&SystemConfig, &WorkloadSpec)]) -> Vec<RunReport> {
+        self.run_grid_with_jobs(mcm_exec::jobs(), pairs)
+    }
+
+    /// [`Memo::run_grid`] with an explicit worker count.
+    pub fn run_grid_with_jobs(
+        &mut self,
+        jobs: usize,
+        pairs: &[(&SystemConfig, &WorkloadSpec)],
+    ) -> Vec<RunReport> {
+        self.warm_with_jobs(jobs, pairs);
+        pairs
+            .iter()
+            .map(|(cfg, spec)| self.run(cfg, spec))
+            .collect()
+    }
+
+    /// Runs every workload in `suite` on `cfg`, the uncached ones in
+    /// parallel; results come back in suite order.
+    pub fn run_suite_parallel(
+        &mut self,
+        cfg: &SystemConfig,
+        suite: &[WorkloadSpec],
+    ) -> Vec<RunReport> {
+        let pairs: Vec<(&SystemConfig, &WorkloadSpec)> = suite.iter().map(|w| (cfg, w)).collect();
+        self.run_grid(&pairs)
     }
 
     /// All reports produced so far, sorted by (configuration, workload)
@@ -144,13 +251,57 @@ pub fn metrics_bucket() -> u64 {
     b
 }
 
+/// Collapses every run of non-alphanumeric characters into a single
+/// `-` and trims the ends (config names contain `/`, `(`, `+`, spaces).
+fn collapse(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else if !out.is_empty() && !out.ends_with('-') {
+            out.push('-');
+        }
+    }
+    while out.ends_with('-') {
+        out.pop();
+    }
+    out
+}
+
+/// The low 32 bits of the stable FNV-1a hash of `name`, as 8 hex
+/// digits.
+fn short_hash(h: StableHasher) -> String {
+    format!("{:08x}", h.finish() as u32)
+}
+
 /// Turns a configuration or workload name into a filename-safe stem:
-/// every non-alphanumeric character becomes `-` (config names contain
-/// `/`, `(`, `+`).
+/// runs of non-alphanumeric characters collapse to a single `-`, and
+/// the stable hash of the *raw* name is appended so distinct names
+/// never share a stem (`"4-GPM (FT)"` and `"4-GPM +FT"` used to both
+/// sanitize to `4-GPM--FT-` and overwrite each other's artifacts).
 pub fn sanitize(name: &str) -> String {
-    name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
-        .collect()
+    let mut h = StableHasher::new();
+    h.write_str(name);
+    format!("{}-{}", collapse(name), short_hash(h))
+}
+
+/// The artifact-file stem for one `(configuration, workload)` run:
+/// human-readable collapsed names plus a stable hash over the
+/// configuration's full [`fingerprint`](SystemConfig::fingerprint) and
+/// the workload name. Two runs share a stem only if they would simulate
+/// identically, so parallel workers never race on an artifact file —
+/// even for configs that share a display name but differ in a
+/// parameter.
+pub fn artifact_stem(cfg: &SystemConfig, spec: &WorkloadSpec) -> String {
+    let mut h = StableHasher::new();
+    h.write_u64(cfg.fingerprint());
+    h.write_str(spec.name);
+    format!(
+        "{}__{}-{}",
+        collapse(&cfg.name),
+        collapse(spec.name),
+        short_hash(h)
+    )
 }
 
 /// Runs one (already scaled) workload on `cfg`, attaching observability
@@ -223,6 +374,26 @@ pub fn run_instrumented_faulted<F: FaultPlan>(
     spec: &WorkloadSpec,
     plan: &mut F,
 ) -> RunReport {
+    let stem = artifact_stem(cfg, spec);
+    run_instrumented_faulted_stemmed(cfg, spec, plan, &stem)
+}
+
+/// [`run_instrumented_faulted`] writing artifacts under an explicit
+/// `stem` instead of the default [`artifact_stem`]. Sweeps that run the
+/// *same* `(configuration, workload)` pair under several fault
+/// scenarios (the `resilience` harness) append a scenario tag so the
+/// scenarios don't overwrite each other's trace/metrics files — which
+/// also makes those writes safe to run in parallel.
+///
+/// # Panics
+///
+/// Panics if an artifact directory cannot be created or written.
+pub fn run_instrumented_faulted_stemmed<F: FaultPlan>(
+    cfg: &SystemConfig,
+    spec: &WorkloadSpec,
+    plan: &mut F,
+    stem: &str,
+) -> RunReport {
     let trace_dir = std::env::var_os("MCM_TRACE").map(PathBuf::from);
     let metrics_dir = std::env::var_os("MCM_METRICS").map(PathBuf::from);
     if trace_dir.is_none() && metrics_dir.is_none() {
@@ -235,7 +406,6 @@ pub fn run_instrumented_faulted<F: FaultPlan>(
             .map(|_| MetricsProbe::new(metrics_bucket(), cfg.topology.sms_per_module)),
     );
     let report = Simulator::run_faulted(cfg, spec, &mut probe, plan);
-    let stem = format!("{}__{}", sanitize(&cfg.name), sanitize(spec.name));
     if let (Some(dir), Some(trace)) = (&trace_dir, &mut probe.0) {
         std::fs::create_dir_all(dir).expect("create MCM_TRACE directory");
         let path = dir.join(format!("{stem}.trace.json"));
@@ -251,6 +421,13 @@ pub fn run_instrumented_faulted<F: FaultPlan>(
 
 /// Geometric-mean speedup of `cfg` over `baseline` for the workloads of
 /// one `category` within `suite` (or all categories when `None`).
+/// Uncached runs execute in parallel across `MCM_JOBS` workers.
+///
+/// # Panics
+///
+/// Panics, naming the category, when the filter selects zero workloads
+/// — the geometric mean of an empty set has no value, and a figure
+/// printing one would silently report garbage.
 pub fn geomean_speedup(
     memo: &mut Memo,
     suite: &[WorkloadSpec],
@@ -258,9 +435,24 @@ pub fn geomean_speedup(
     baseline: &SystemConfig,
     category: Option<Category>,
 ) -> f64 {
-    let speedups: Vec<f64> = suite
+    let selected: Vec<&WorkloadSpec> = suite
         .iter()
         .filter(|w| category.is_none_or(|c| w.category == c))
+        .collect();
+    assert!(
+        !selected.is_empty(),
+        "no workloads in the {}-entry suite match category {:?}; \
+         geomean speedup is undefined",
+        suite.len(),
+        category
+    );
+    let pairs: Vec<(&SystemConfig, &WorkloadSpec)> = selected
+        .iter()
+        .flat_map(|w| [(cfg, *w), (baseline, *w)])
+        .collect();
+    memo.warm(&pairs);
+    let speedups: Vec<f64> = selected
+        .iter()
         .map(|w| {
             let r = memo.run(cfg, w);
             let b = memo.run(baseline, w);
@@ -323,7 +515,9 @@ impl TextTable {
             line
         };
         out.push_str(&fmt_row(&self.header));
-        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        // `saturating_sub` guards the degenerate zero-column table,
+        // which used to underflow here and abort the whole report.
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1);
         out.push_str(&"-".repeat(total));
         out.push('\n');
         for row in &self.rows {
@@ -368,6 +562,126 @@ mod tests {
         let b = memo.run(&cfg, &spec);
         assert_eq!(a, b);
         assert_eq!(memo.cache.len(), 1);
+    }
+
+    #[test]
+    fn memo_separates_same_name_different_params() {
+        // Regression: the cache used to key on `cfg.name` alone, so a
+        // tweaked config sharing a preset's name returned the preset's
+        // stale report.
+        let mut memo = Memo::new(0.01);
+        let a = SystemConfig::baseline_mcm();
+        let mut b = SystemConfig::baseline_mcm();
+        b.topology.link_gbps /= 4.0;
+        assert_eq!(a.name, b.name);
+        let spec = suite::by_name("CFD").unwrap();
+        let ra = memo.run(&a, &spec);
+        let rb = memo.run(&b, &spec);
+        assert_eq!(
+            memo.cache.len(),
+            2,
+            "distinct configs must cache separately"
+        );
+        assert_ne!(
+            ra.cycles, rb.cycles,
+            "quartering link bandwidth must change the simulated run"
+        );
+    }
+
+    #[test]
+    fn sanitize_distinguishes_colliding_names() {
+        // Regression: both of these used to sanitize to `4-GPM--FT--`
+        // (modulo trailing dashes) and overwrite each other's
+        // artifacts.
+        let a = sanitize("4-GPM (FT)");
+        let b = sanitize("4-GPM +FT");
+        assert_ne!(a, b);
+        assert!(a.starts_with("4-GPM-FT-"), "collapsed stem: {a}");
+        // Stems stay filename-safe.
+        for s in [&a, &b] {
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn artifact_stems_separate_same_name_configs() {
+        let a = SystemConfig::baseline_mcm();
+        let mut b = SystemConfig::baseline_mcm();
+        b.sm.mlp_per_warp += 1;
+        let spec = suite::by_name("CFD").unwrap();
+        assert_ne!(artifact_stem(&a, &spec), artifact_stem(&b, &spec));
+        assert_eq!(artifact_stem(&a, &spec), artifact_stem(&a, &spec));
+    }
+
+    #[test]
+    fn warm_plans_unique_pairs_and_fills_the_cache() {
+        let mut memo = Memo::new(0.01);
+        let cfg = SystemConfig::baseline_mcm();
+        let opt = SystemConfig::optimized_mcm();
+        let w1 = suite::by_name("CFD").unwrap();
+        let w2 = suite::by_name("Stream").unwrap();
+        // Duplicates in the grid plan once.
+        memo.warm_with_jobs(2, &[(&cfg, &w1), (&cfg, &w1), (&opt, &w2)]);
+        assert_eq!(memo.cache.len(), 2);
+        // Warm again: everything is a cache hit, nothing re-plans.
+        memo.warm_with_jobs(2, &[(&cfg, &w1), (&opt, &w2)]);
+        assert_eq!(memo.cache.len(), 2);
+    }
+
+    #[test]
+    fn run_grid_matches_serial_runs_in_grid_order() {
+        let cfg = SystemConfig::baseline_mcm();
+        let opt = SystemConfig::optimized_mcm();
+        let w1 = suite::by_name("CFD").unwrap();
+        let w2 = suite::by_name("Stream").unwrap();
+        let pairs = [(&cfg, &w1), (&cfg, &w2), (&opt, &w1), (&opt, &w2)];
+
+        let mut serial = Memo::new(0.01);
+        let expect: Vec<RunReport> = pairs.iter().map(|(c, w)| serial.run(c, w)).collect();
+
+        let mut parallel = Memo::new(0.01);
+        let got = parallel.run_grid_with_jobs(3, &pairs);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn run_suite_parallel_matches_run_suite() {
+        let cfg = SystemConfig::baseline_mcm();
+        let subset: Vec<WorkloadSpec> = ["CFD", "Stream", "Hotspot"]
+            .iter()
+            .map(|n| suite::by_name(n).unwrap())
+            .collect();
+        let mut a = Memo::new(0.01);
+        let mut b = Memo::new(0.01);
+        let pairs: Vec<(&SystemConfig, &WorkloadSpec)> = subset.iter().map(|w| (&cfg, w)).collect();
+        b.warm_with_jobs(4, &pairs);
+        assert_eq!(a.run_suite(&cfg, &subset), b.run_suite(&cfg, &subset));
+    }
+
+    #[test]
+    #[should_panic(expected = "match category")]
+    fn geomean_speedup_names_the_empty_category() {
+        // A suite with no limited-parallelism workloads must fail loud,
+        // not feed an empty slice to `geomean`.
+        let mut memo = Memo::new(0.01);
+        let suite: Vec<WorkloadSpec> = vec![suite::by_name("CFD").unwrap()];
+        let cfg = SystemConfig::optimized_mcm();
+        let base = SystemConfig::baseline_mcm();
+        geomean_speedup(
+            &mut memo,
+            &suite,
+            &cfg,
+            &base,
+            Some(Category::LimitedParallelism),
+        );
+    }
+
+    #[test]
+    fn zero_column_table_renders_without_underflow() {
+        // Regression: `2 * (cols - 1)` underflowed for an empty header.
+        let t = TextTable::new(Vec::<String>::new());
+        let s = t.render();
+        assert!(s.contains('\n'));
     }
 
     #[test]

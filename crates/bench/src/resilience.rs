@@ -53,47 +53,123 @@ pub struct CurvePoint {
     pub remote_inflation: f64,
 }
 
+/// One planned run of the sweep grid: a scaled representative under a
+/// fault scenario. The plan is laid out in the serial sweep's order
+/// (per workload: healthy, the transient ladder, then gpm-loss), so
+/// merging executor results in grid order reproduces the serial output
+/// exactly.
+#[derive(Debug, Clone)]
+struct PlannedRun {
+    spec: WorkloadSpec,
+    category: &'static str,
+    scenario: &'static str,
+    fault_rate: f64,
+    scenario_tag: String,
+}
+
+impl PlannedRun {
+    /// Executes this planned run; each scenario writes artifacts under
+    /// its own stem so parallel workers (and successive scenarios of
+    /// the same workload) never overwrite each other.
+    fn execute(&self, cfg: &SystemConfig, seed: u64) -> RunReport {
+        let stem = format!(
+            "{}__{}",
+            harness::artifact_stem(cfg, &self.spec),
+            self.scenario_tag
+        );
+        match self.scenario {
+            "healthy" => harness::run_instrumented_faulted_stemmed(
+                cfg,
+                &self.spec,
+                &mut mcm_fault::NullFaultPlan,
+                &stem,
+            ),
+            "transient" => {
+                let mut plan = SeededFaultPlan::new(FaultConfig::with_rate(seed, self.fault_rate));
+                harness::run_instrumented_faulted_stemmed(cfg, &self.spec, &mut plan, &stem)
+            }
+            _ => {
+                let mut lossy = FaultConfig {
+                    seed,
+                    ..FaultConfig::default()
+                };
+                lossy.dead_module = Some(DeadModule {
+                    module: DEAD_GPM,
+                    from_kernel: 0,
+                });
+                let mut plan = SeededFaultPlan::new(lossy);
+                harness::run_instrumented_faulted_stemmed(cfg, &self.spec, &mut plan, &stem)
+            }
+        }
+    }
+}
+
 /// Runs the full sweep at `scale` with fault seed `seed` on the
-/// optimized MCM-GPU; deterministic for fixed `(scale, seed)`.
+/// optimized MCM-GPU, executing the independent runs across `MCM_JOBS`
+/// worker threads; deterministic for fixed `(scale, seed)` at any job
+/// count.
 pub fn sweep(scale: f64, seed: u64) -> Vec<CurvePoint> {
+    sweep_with_jobs(mcm_exec::jobs(), scale, seed)
+}
+
+/// [`sweep`] with an explicit worker count (tests compare job counts
+/// in-process without racing on the `MCM_JOBS` environment variable).
+pub fn sweep_with_jobs(jobs: usize, scale: f64, seed: u64) -> Vec<CurvePoint> {
     let cfg = SystemConfig::optimized_mcm();
-    let mut points = Vec::new();
+    // Plan the whole grid up front, in the reporting order.
+    let mut planned = Vec::new();
     for spec in representatives() {
         let scaled = spec.scaled(scale);
-        let healthy =
-            harness::run_instrumented_faulted(&cfg, &scaled, &mut mcm_fault::NullFaultPlan);
+        let category = spec.category.label();
+        planned.push(PlannedRun {
+            spec: scaled.clone(),
+            category,
+            scenario: "healthy",
+            fault_rate: 0.0,
+            scenario_tag: "healthy".to_string(),
+        });
+        for rate in RATES.into_iter().filter(|&r| r > 0.0) {
+            planned.push(PlannedRun {
+                spec: scaled.clone(),
+                category,
+                scenario: "transient",
+                fault_rate: rate,
+                scenario_tag: format!("transient-{rate:e}"),
+            });
+        }
+        planned.push(PlannedRun {
+            spec: scaled,
+            category,
+            scenario: "gpm-loss",
+            fault_rate: 0.0,
+            scenario_tag: "gpm-loss".to_string(),
+        });
+    }
+    let reports = mcm_exec::pool::run_grid(&planned, jobs, mcm_exec::DEFAULT_SEED, |_, run| {
+        run.execute(&cfg, seed)
+    });
+    // Slowdowns are relative to each workload's healthy run, which
+    // leads its block of the grid.
+    let runs_per_spec = RATES.len() + 1;
+    let mut points = Vec::new();
+    for (chunk, run_chunk) in reports
+        .chunks(runs_per_spec)
+        .zip(planned.chunks(runs_per_spec))
+    {
+        let healthy = &chunk[0];
         let base_cycles = healthy.cycles.as_u64().max(1) as f64;
         let base_ring = healthy.inter_module_bytes.max(1) as f64;
-        let mut push = |scenario, fault_rate, report: RunReport| {
-            let slowdown = report.cycles.as_u64() as f64 / base_cycles;
-            let remote_inflation = report.inter_module_bytes as f64 / base_ring;
+        for (report, run) in chunk.iter().zip(run_chunk) {
             points.push(CurvePoint {
-                category: spec.category.label(),
-                workload: spec.name,
-                scenario,
-                fault_rate,
-                report,
-                slowdown,
-                remote_inflation,
+                category: run.category,
+                workload: run.spec.name,
+                scenario: run.scenario,
+                fault_rate: run.fault_rate,
+                report: report.clone(),
+                slowdown: report.cycles.as_u64() as f64 / base_cycles,
+                remote_inflation: report.inter_module_bytes as f64 / base_ring,
             });
-        };
-        push("healthy", 0.0, healthy.clone());
-        for rate in RATES.into_iter().filter(|&r| r > 0.0) {
-            let mut plan = SeededFaultPlan::new(FaultConfig::with_rate(seed, rate));
-            let report = harness::run_instrumented_faulted(&cfg, &scaled, &mut plan);
-            push("transient", rate, report);
         }
-        let mut lossy = FaultConfig {
-            seed,
-            ..FaultConfig::default()
-        };
-        lossy.dead_module = Some(DeadModule {
-            module: DEAD_GPM,
-            from_kernel: 0,
-        });
-        let mut plan = SeededFaultPlan::new(lossy);
-        let report = harness::run_instrumented_faulted(&cfg, &scaled, &mut plan);
-        push("gpm-loss", 0.0, report);
     }
     points
 }
@@ -164,6 +240,14 @@ mod tests {
             assert!(p.slowdown >= 1.0 || p.scenario != "healthy");
             assert!(p.report.cycles.as_u64() > 0);
         }
+    }
+
+    #[test]
+    fn sweep_is_job_count_invariant() {
+        let serial = sweep_with_jobs(1, 0.01, 7);
+        let parallel = sweep_with_jobs(4, 0.01, 7);
+        assert_eq!(to_csv(&serial), to_csv(&parallel));
+        assert_eq!(render(&serial), render(&parallel));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! System configurations: topologies, cache hierarchies, and the
 //! presets for every machine the paper evaluates.
 
+use mcm_engine::rng::StableHasher;
 use mcm_engine::Cycle;
 use mcm_interconnect::energy::Tier;
 use mcm_interconnect::mesh::NetworkKind;
@@ -175,10 +176,84 @@ pub struct SystemConfig {
     pub sm: SmConfig,
 }
 
+// Grid executors move configurations, workloads, and reports across
+// worker threads; keep that a compile-time guarantee rather than an
+// accident of today's field types.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SystemConfig>();
+    assert_send_sync::<Topology>();
+    assert_send_sync::<CacheHierarchy>();
+};
+
 impl SystemConfig {
     /// DRAM bandwidth of one module's local partition.
     pub fn dram_gbps_per_module(&self) -> f64 {
         self.dram_total_gbps / f64::from(self.topology.modules)
+    }
+
+    /// A stable 64-bit fingerprint over **every** field of the
+    /// configuration — name, topology, caches, bandwidths, policies,
+    /// and SM microarchitecture. Two configurations fingerprint equally
+    /// iff they would simulate identically *and* report under the same
+    /// name, so memo caches and artifact stems can key on this instead
+    /// of the display name alone (two presets tweaked apart but left
+    /// sharing a name no longer alias).
+    ///
+    /// The hash is [`StableHasher`] (FNV-1a): identical across runs,
+    /// builds, and machines, making it safe to embed in golden-compared
+    /// artifact filenames.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_str(&self.name);
+        h.write_u8(self.topology.modules);
+        h.write_u32(self.topology.sms_per_module);
+        h.write_f64(self.topology.link_gbps);
+        h.write_u64(self.topology.hop_cycles);
+        h.write_u8(match self.topology.link_tier {
+            Tier::Chip => 0,
+            Tier::Package => 1,
+            Tier::Board => 2,
+            Tier::System => 3,
+        });
+        h.write_u8(match self.topology.network {
+            NetworkKind::Ring => 0,
+            NetworkKind::FullyConnected => 1,
+        });
+        h.write_u64(self.caches.l1_bytes_per_sm);
+        h.write_u64(self.caches.l15_bytes_total);
+        h.write_u8(match self.caches.l15_filter {
+            AllocFilter::All => 0,
+            AllocFilter::RemoteOnly => 1,
+            AllocFilter::LocalOnly => 2,
+            AllocFilter::Adaptive => 3,
+        });
+        h.write_u64(self.caches.l2_bytes_total);
+        h.write_f64(self.dram_total_gbps);
+        h.write_u64(self.dram_latency_ns);
+        h.write_u8(match self.placement {
+            PlacementPolicy::Interleaved => 0,
+            PlacementPolicy::FirstTouch => 1,
+            PlacementPolicy::PageRoundRobin => 2,
+        });
+        match self.scheduler {
+            SchedulerPolicy::Centralized => h.write_u8(0),
+            SchedulerPolicy::Distributed => h.write_u8(1),
+            SchedulerPolicy::Chunked { group } => {
+                h.write_u8(2);
+                h.write_u32(group);
+            }
+            SchedulerPolicy::Dynamic { group } => {
+                h.write_u8(3);
+                h.write_u32(group);
+            }
+        }
+        h.write_u64(self.ft_page_bytes);
+        h.write_u32(self.sm.max_warps);
+        h.write_f64(self.sm.issue_ipc);
+        h.write_u64(self.sm.mshr_entries as u64);
+        h.write_u32(self.sm.mlp_per_warp);
+        h.finish()
     }
 
     /// DRAM latency as cycles at the 1 GHz core clock.
@@ -559,6 +634,56 @@ mod tests {
         let dynamic = SystemConfig::optimized_mcm_dynamic(16);
         assert_eq!(dynamic.caches, SystemConfig::optimized_mcm().caches);
         assert_eq!(dynamic.placement, SystemConfig::optimized_mcm().placement);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_equal_for_identical_configs() {
+        let a = SystemConfig::optimized_mcm();
+        let b = SystemConfig::optimized_mcm();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_separates_same_name_different_params() {
+        // The memo-cache bug class: two configs sharing a display name
+        // but differing in a tuned parameter must not alias.
+        let a = SystemConfig::optimized_mcm();
+        let mut b = SystemConfig::optimized_mcm();
+        b.topology.link_gbps *= 2.0;
+        assert_eq!(a.name, b.name);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+
+        let mut c = SystemConfig::optimized_mcm();
+        c.scheduler = SchedulerPolicy::Chunked { group: 32 };
+        assert_ne!(a.fingerprint(), c.fingerprint());
+
+        let mut d = SystemConfig::optimized_mcm();
+        d.sm.mshr_entries += 1;
+        assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn fingerprints_of_all_presets_are_distinct() {
+        let presets = [
+            SystemConfig::baseline_mcm(),
+            SystemConfig::mcm_with_link(384.0),
+            SystemConfig::mcm_with_l15(8, AllocFilter::RemoteOnly),
+            SystemConfig::mcm_l15_ds(),
+            SystemConfig::optimized_mcm(),
+            SystemConfig::monolithic(32),
+            SystemConfig::largest_buildable_monolithic(),
+            SystemConfig::hypothetical_monolithic_256(),
+            SystemConfig::multi_gpu_baseline(),
+            SystemConfig::multi_gpu_optimized(),
+            SystemConfig::optimized_mcm_dynamic(8),
+            SystemConfig::optimized_mcm_chunked(32),
+            SystemConfig::optimized_mcm_fully_connected(),
+        ];
+        let mut prints: Vec<u64> = presets.iter().map(SystemConfig::fingerprint).collect();
+        prints.sort_unstable();
+        prints.dedup();
+        assert_eq!(prints.len(), presets.len(), "preset fingerprints collide");
     }
 
     #[test]

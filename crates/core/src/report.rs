@@ -61,6 +61,14 @@ pub struct RunReport {
     pub modules: Vec<ModuleStats>,
 }
 
+// Reports are carried back from sweep-executor worker threads; keep the
+// thread-safety a compile-time guarantee.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RunReport>();
+    assert_send_sync::<ModuleStats>();
+};
+
 impl RunReport {
     /// Instructions per cycle over the whole run.
     pub fn ipc(&self) -> f64 {

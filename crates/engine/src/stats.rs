@@ -380,11 +380,13 @@ where
 /// Geometric mean of a slice of positive values — the aggregation the
 /// paper uses for cross-workload speedups ("GeoMean" in Figs. 6, 9, 13).
 ///
-/// Returns `0.0` for an empty slice.
-///
 /// # Panics
 ///
-/// Panics if any value is not strictly positive (a speedup of zero or a
+/// Panics on an empty slice — a geomean over zero members has no value,
+/// and silently printing `0.00x` for one (the old behaviour) disguises
+/// a harness bug as a catastrophic slowdown. Callers aggregating a
+/// filtered subset should check the filter, not the result. Also panics
+/// if any value is not strictly positive (a speedup of zero or a
 /// negative speedup indicates a harness bug).
 ///
 /// # Example
@@ -395,9 +397,11 @@ where
 /// assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
 /// ```
 pub fn geomean(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        return 0.0;
-    }
+    assert!(
+        !values.is_empty(),
+        "geomean of an empty set has no value; the caller's filter \
+         selected zero members"
+    );
     let log_sum: f64 = values
         .iter()
         .map(|&v| {
@@ -491,7 +495,6 @@ mod tests {
 
     #[test]
     fn geomean_matches_hand_computation() {
-        assert_eq!(geomean(&[]), 0.0);
         assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
         assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
     }
@@ -500,6 +503,14 @@ mod tests {
     #[should_panic(expected = "positive values")]
     fn geomean_rejects_zero() {
         geomean(&[1.0, 0.0]);
+    }
+
+    /// Regression: an empty category must fail loudly, not report a
+    /// phantom 0.00x speedup.
+    #[test]
+    #[should_panic(expected = "empty set has no value")]
+    fn geomean_rejects_the_empty_set() {
+        geomean(&[]);
     }
 
     struct Row(&'static str, u64);

@@ -1,0 +1,126 @@
+//! The bounded scoped thread pool and the grid-order merge.
+
+use crate::queue::{GridQueue, WorkerState};
+
+/// Runs `f` once per grid item across at most `jobs` worker threads and
+/// returns the results **in grid order** — element `i` of the returned
+/// vector is `f(i, &items[i])` no matter which worker computed it or
+/// when. `jobs <= 1` (or a grid of at most one item) runs serially in
+/// the caller's thread with no pool at all, so `MCM_JOBS=1` is
+/// bit-identical to the pre-parallel code path by construction.
+///
+/// `seed` drives steal-victim selection only; see [`crate::DEFAULT_SEED`].
+///
+/// # Panics
+///
+/// Panics if a worker closure panics (the panic is propagated), or if
+/// the merge finds a dropped or duplicated grid index — the queue makes
+/// that impossible, and the assert keeps it that way.
+pub fn run_grid<T, R, F>(items: &[T], jobs: usize, seed: u64, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let queue = GridQueue::new_balanced(items.len(), jobs);
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|w| {
+                let queue = &queue;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut state = WorkerState::seeded(seed, w);
+                    let mut out = Vec::new();
+                    while let Some(i) = queue.next_item(w, &mut state) {
+                        out.push((i, f(i, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("grid worker panicked"))
+            .collect()
+    });
+    merge_grid(buckets, items.len())
+}
+
+/// Merges per-worker `(index, result)` buckets into grid order,
+/// asserting every index appears exactly once.
+fn merge_grid<R>(buckets: Vec<Vec<(usize, R)>>, len: usize) -> Vec<R> {
+    let mut merged: Vec<(usize, R)> = buckets.into_iter().flatten().collect();
+    merged.sort_by_key(|&(i, _)| i);
+    assert_eq!(
+        merged.len(),
+        len,
+        "executor completed {} of {len} grid items — dropped or duplicated work",
+        merged.len()
+    );
+    for (pos, &(i, _)) in merged.iter().enumerate() {
+        assert_eq!(
+            pos, i,
+            "grid index {i} appears out of place (duplicate or gap)"
+        );
+    }
+    merged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_grid_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for jobs in [1, 2, 3, 8] {
+            let out = run_grid(&items, jobs, crate::DEFAULT_SEED, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * 3 + 1
+            });
+            assert_eq!(out, items.iter().map(|&x| x * 3 + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..57).collect();
+        let serial = run_grid(&items, 1, 7, |_, &x| x.wrapping_mul(0x9E37_79B9));
+        let parallel = run_grid(&items, 8, 7, |_, &x| x.wrapping_mul(0x9E37_79B9));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_singleton_grids() {
+        let none: Vec<u32> = Vec::new();
+        assert!(run_grid(&none, 8, 1, |_, &x| x).is_empty());
+        assert_eq!(run_grid(&[9u32], 8, 1, |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid worker panicked")]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..64).collect();
+        let _ = run_grid(&items, 4, 1, |_, &x| {
+            assert!(x != 13, "unlucky");
+            x
+        });
+    }
+
+    #[test]
+    fn merge_rejects_duplicates() {
+        let r =
+            std::panic::catch_unwind(|| merge_grid(vec![vec![(0, 1u32), (1, 2)], vec![(1, 2)]], 2));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn merge_rejects_gaps() {
+        let r = std::panic::catch_unwind(|| merge_grid(vec![vec![(0, 1u32), (2, 3)]], 3));
+        assert!(r.is_err());
+    }
+}

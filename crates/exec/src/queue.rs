@@ -1,0 +1,198 @@
+//! The chunked work-stealing queue over grid indices.
+//!
+//! Construction partitions `0..len` into contiguous chunks and deals
+//! them round-robin across per-worker deques. An owner pops chunks from
+//! the *front* of its deque (keeping its work contiguous and
+//! cache-friendly in the planned grid order); a starving worker steals
+//! a whole chunk from the *back* of a victim's deque, so owner and
+//! thief contend on opposite ends.
+//!
+//! The structural invariant — every index leaves the queue exactly once
+//! — holds under any interleaving because a chunk exists in exactly one
+//! place at a time (one deque, or one worker's hands) and indices never
+//! re-enter. The companion property suite drives randomized worker
+//! counts and steal orders against it.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::Mutex;
+
+use mcm_engine::rng::Xoshiro256;
+
+/// How many chunks each worker's deque starts with (before clamping to
+/// at least one item per chunk). More chunks = finer steal granularity
+/// at slightly more locking.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// The chunk size [`GridQueue::new_balanced`] picks for a grid of `len`
+/// items across `workers` workers.
+pub fn default_chunk(len: usize, workers: usize) -> usize {
+    (len / (workers.max(1) * CHUNKS_PER_WORKER)).max(1)
+}
+
+/// A chunked work-stealing queue over the grid indices `0..len`.
+#[derive(Debug)]
+pub struct GridQueue {
+    decks: Vec<Mutex<VecDeque<Range<usize>>>>,
+    len: usize,
+}
+
+/// One worker's private draining state: the chunk currently in its
+/// hands plus its seeded steal-order RNG.
+#[derive(Debug)]
+pub struct WorkerState {
+    current: Option<Range<usize>>,
+    rng: Xoshiro256,
+}
+
+impl WorkerState {
+    /// Creates the state for `worker` under the pool seed. Different
+    /// workers get decorrelated steal orders from the same seed.
+    pub fn seeded(seed: u64, worker: usize) -> Self {
+        WorkerState {
+            current: None,
+            rng: Xoshiro256::seeded(&[seed, worker as u64]),
+        }
+    }
+}
+
+impl GridQueue {
+    /// Builds a queue over `0..len` for `workers` workers with the
+    /// given chunk size (clamped to at least 1). Chunks are dealt
+    /// round-robin, so worker `w` starts out owning chunks
+    /// `w, w + workers, w + 2*workers, ...`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers` is zero.
+    pub fn new(len: usize, workers: usize, chunk: usize) -> Self {
+        assert!(workers > 0, "a grid queue needs at least one worker");
+        let chunk = chunk.max(1);
+        let mut decks: Vec<VecDeque<Range<usize>>> = vec![VecDeque::new(); workers];
+        let mut start = 0usize;
+        let mut i = 0usize;
+        while start < len {
+            let end = (start + chunk).min(len);
+            decks[i % workers].push_back(start..end);
+            start = end;
+            i += 1;
+        }
+        GridQueue {
+            decks: decks.into_iter().map(Mutex::new).collect(),
+            len,
+        }
+    }
+
+    /// [`GridQueue::new`] with the [`default_chunk`] size.
+    pub fn new_balanced(len: usize, workers: usize) -> Self {
+        GridQueue::new(len, workers, default_chunk(len, workers))
+    }
+
+    /// Number of worker deques.
+    pub fn workers(&self) -> usize {
+        self.decks.len()
+    }
+
+    /// Total grid length the queue was built over.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue was built over an empty grid.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Takes the front chunk of `worker`'s own deque.
+    pub fn pop_chunk(&self, worker: usize) -> Option<Range<usize>> {
+        self.decks[worker].lock().expect("queue lock").pop_front()
+    }
+
+    /// Steals the back chunk of `victim`'s deque.
+    pub fn steal_chunk(&self, victim: usize) -> Option<Range<usize>> {
+        self.decks[victim].lock().expect("queue lock").pop_back()
+    }
+
+    /// Produces `worker`'s next grid index: drains the chunk in hand,
+    /// then its own deque, then steals from the other workers in a
+    /// seeded-random rotation. `None` means every deque looked empty —
+    /// any chunk still unprocessed is in another worker's hands and
+    /// will be finished by that worker, so returning is always safe.
+    pub fn next_item(&self, worker: usize, state: &mut WorkerState) -> Option<usize> {
+        loop {
+            if let Some(range) = &mut state.current {
+                if range.start < range.end {
+                    let item = range.start;
+                    range.start += 1;
+                    return Some(item);
+                }
+                state.current = None;
+            }
+            if let Some(chunk) = self.pop_chunk(worker) {
+                state.current = Some(chunk);
+                continue;
+            }
+            let n = self.decks.len();
+            let offset = state.rng.next_range(n as u64) as usize;
+            let stolen = (0..n)
+                .map(|k| (offset + k) % n)
+                .filter(|&v| v != worker)
+                .find_map(|v| self.steal_chunk(v));
+            match stolen {
+                Some(chunk) => state.current = Some(chunk),
+                None => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deals_chunks_round_robin() {
+        let q = GridQueue::new(10, 2, 3);
+        // Chunks 0..3, 3..6, 6..9, 9..10 dealt alternately.
+        assert_eq!(q.pop_chunk(0), Some(0..3));
+        assert_eq!(q.pop_chunk(0), Some(6..9));
+        assert_eq!(q.pop_chunk(0), None);
+        assert_eq!(q.pop_chunk(1), Some(3..6));
+        assert_eq!(q.pop_chunk(1), Some(9..10));
+        assert_eq!(q.pop_chunk(1), None);
+    }
+
+    #[test]
+    fn steal_takes_the_back() {
+        let q = GridQueue::new(10, 2, 3);
+        // Worker 0 owns 0..3 (front) and 6..9 (back).
+        assert_eq!(q.steal_chunk(0), Some(6..9));
+        assert_eq!(q.pop_chunk(0), Some(0..3));
+    }
+
+    #[test]
+    fn single_worker_drains_in_grid_order() {
+        let q = GridQueue::new(7, 1, 2);
+        let mut state = WorkerState::seeded(1, 0);
+        let mut seen = Vec::new();
+        while let Some(i) = q.next_item(0, &mut state) {
+            seen.push(i);
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn empty_grid_yields_nothing() {
+        let q = GridQueue::new_balanced(0, 3);
+        assert!(q.is_empty());
+        let mut state = WorkerState::seeded(1, 0);
+        assert_eq!(q.next_item(0, &mut state), None);
+    }
+
+    #[test]
+    fn default_chunk_never_zero() {
+        assert_eq!(default_chunk(0, 4), 1);
+        assert_eq!(default_chunk(3, 4), 1);
+        assert!(default_chunk(1000, 4) >= 1);
+    }
+}

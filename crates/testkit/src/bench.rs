@@ -147,6 +147,20 @@ impl Group {
     pub fn finish(&mut self) {}
 }
 
+/// Times a single call of `f` — no calibration pass, no warmup, no
+/// batching — printing one result line and returning the closure's
+/// output with the elapsed wall-clock seconds. For closures that
+/// already run for seconds (whole-sweep comparisons, parallel-executor
+/// speedup measurements) where [`Group::bench`]'s calibration call
+/// would silently double the cost before the first timed sample.
+pub fn bench_once<R, F: FnOnce() -> R>(name: &str, f: F) -> (R, f64) {
+    let t = Instant::now();
+    let out = black_box(f());
+    let secs = t.elapsed().as_secs_f64();
+    println!("{name:<40} {} (single shot)", fmt_ns(secs * 1e9));
+    (out, secs)
+}
+
 /// The q-quantile of an ascending-sorted sample set (nearest rank).
 fn quantile(sorted: &[f64], q: f64) -> f64 {
     assert!(!sorted.is_empty(), "quantile of an empty sample set");
@@ -180,6 +194,19 @@ mod tests {
         g.sample_size(3);
         let m = g.bench("nop", || 1u64);
         assert!(m.batch > 1, "a ~1ns closure must batch, got {}", m.batch);
+    }
+
+    #[test]
+    fn bench_once_returns_the_result_and_a_positive_time() {
+        let (value, secs) = bench_once("selftest_once", || {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        assert_eq!(value, (0..1000u64).sum());
+        assert!(secs > 0.0);
     }
 
     #[test]

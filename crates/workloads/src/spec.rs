@@ -211,6 +211,14 @@ pub struct WorkloadSpec {
     pub seed: u64,
 }
 
+// Sweep executors hand specs to worker threads by reference; keep the
+// thread-safety a compile-time guarantee.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<WorkloadSpec>();
+    assert_send_sync::<LocalityProfile>();
+};
+
 impl WorkloadSpec {
     /// A template spec used by tests and as a starting point for custom
     /// workloads: 256 CTAs × 4 warps, 64 MiB footprint, 30 % memory

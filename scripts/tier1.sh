@@ -15,7 +15,17 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo build --workspace --release --offline =="
 cargo build --workspace --release --offline
 
-echo "== cargo test --workspace -q --offline =="
-cargo test --workspace -q --offline
+# MCM_JOBS=1 pins the golden-comparison runs to the serial execution
+# path: identical output is *guaranteed* by construction there, so a
+# golden diff can only mean simulated behaviour changed — never thread
+# scheduling. The parallel path's equivalence to this serial path is
+# itself under test (crates/bench/tests/parallel_determinism.rs).
+echo "== cargo test --workspace -q --offline (MCM_JOBS=1) =="
+MCM_JOBS=1 cargo test --workspace -q --offline
+
+# One smoke pass of every harness binary through the parallel executor,
+# so the MCM_JOBS>1 path stays in the canonical gate.
+echo "== bin_smoke under MCM_JOBS=4 =="
+MCM_JOBS=4 cargo test -p mcm-bench -q --offline --test bin_smoke
 
 echo "tier-1: all green"

@@ -6,6 +6,8 @@
 //! individual crates instead:
 //!
 //! * [`engine`] ([`mcm_engine`]) — discrete-event kernel.
+//! * [`exec`] ([`mcm_exec`]) — deterministic parallel sweep executor:
+//!   seeded bounded thread pool over a chunked work-stealing queue.
 //! * [`mem`] ([`mcm_mem`]) — caches, MSHRs, DRAM, page placement.
 //! * [`interconnect`] ([`mcm_interconnect`]) — links, ring, crossbar,
 //!   energy tiers.
@@ -33,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub use mcm_engine as engine;
+pub use mcm_exec as exec;
 pub use mcm_fault as fault;
 pub use mcm_gpu as gpu;
 pub use mcm_interconnect as interconnect;
