@@ -1,0 +1,55 @@
+//! Single-run hot-path benchmark: the per-run wall clock that the
+//! engine overhaul (calendar queue, zero-alloc loop, inlined request
+//! advancement) targets. Times whole `Simulator::run` calls for the
+//! golden-determinism workloads on both reference machines, plus an
+//! instrumented run to expose the probe layer's cost on the same path.
+//!
+//! Honors `MCM_SCALE` (default 0.02, the golden-test scale) so
+//! `scripts/tier1.sh` can smoke it quickly while a manual
+//! `MCM_SCALE=0.1 cargo bench -p mcm-bench --bench hotpath` measures a
+//! heavier point. Runs on the in-repo `mcm-testkit` wall-clock runner.
+
+use mcm_probe::NullProbe;
+use mcm_testkit::bench::{black_box, Group};
+
+use mcm_gpu::{Simulator, SystemConfig};
+use mcm_workloads::suite;
+
+fn scale() -> f64 {
+    match std::env::var("MCM_SCALE") {
+        Ok(s) => s
+            .parse()
+            .unwrap_or_else(|_| panic!("MCM_SCALE must be a number, got {s:?}")),
+        Err(_) => 0.02,
+    }
+}
+
+fn main() {
+    let scale = scale();
+    let mut group = Group::new("hotpath");
+    group.sample_size(10);
+
+    let baseline = SystemConfig::baseline_mcm();
+    let optimized = SystemConfig::optimized_mcm();
+    for wname in ["Stream", "Hotspot", "DWT"] {
+        let spec = suite::by_name(wname).expect("suite workload").scaled(scale);
+        group.bench(&format!("baseline/{wname}"), || {
+            black_box(Simulator::run(&baseline, &spec))
+        });
+        group.bench(&format!("optimized/{wname}"), || {
+            black_box(Simulator::run(&optimized, &spec))
+        });
+    }
+
+    // The same run through `run_probed` with the no-op probe must cost
+    // the same (ACTIVE = false monomorphizes every hook away); a gap
+    // here means the zero-overhead contract broke.
+    let spec = suite::by_name("Stream")
+        .expect("suite workload")
+        .scaled(scale);
+    group.bench("baseline/Stream_null_probed", || {
+        black_box(Simulator::run_probed(&baseline, &spec, &mut NullProbe))
+    });
+
+    group.finish();
+}

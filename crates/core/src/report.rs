@@ -71,12 +71,21 @@ const _: () = {
 
 impl RunReport {
     /// Instructions per cycle over the whole run.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-cycle report: IPC of a run that never advanced
+    /// time is undefined, and returning a silent 0.0 would poison
+    /// downstream averages. A real simulation always executes at least
+    /// one instruction, so this only fires on a malformed report.
     pub fn ipc(&self) -> f64 {
-        if self.cycles == Cycle::ZERO {
-            0.0
-        } else {
-            self.instructions as f64 / self.cycles.as_u64() as f64
-        }
+        assert!(
+            self.cycles > Cycle::ZERO,
+            "IPC of a zero-cycle run is undefined ({} on {})",
+            self.workload,
+            self.config
+        );
+        self.instructions as f64 / self.cycles.as_u64() as f64
     }
 
     /// Average inter-module bandwidth over the run, in TB/s — the
@@ -136,13 +145,22 @@ impl RunReport {
     /// # Panics
     ///
     /// Panics if the two reports are for different workloads — comparing
-    /// them would be meaningless.
+    /// them would be meaningless — or if either run is zero-cycle, for
+    /// which a speedup is undefined (the old `.max(1)` fallback silently
+    /// turned such a report into a nonsense ratio).
     pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
         assert_eq!(
             self.workload, baseline.workload,
             "speedup comparisons must use the same workload"
         );
-        baseline.cycles.as_u64() as f64 / self.cycles.as_u64().max(1) as f64
+        assert!(
+            self.cycles > Cycle::ZERO && baseline.cycles > Cycle::ZERO,
+            "speedup of a zero-cycle run is undefined ({} on {} vs {})",
+            self.workload,
+            self.config,
+            baseline.config
+        );
+        baseline.cycles.as_u64() as f64 / self.cycles.as_u64() as f64
     }
 }
 
@@ -260,11 +278,25 @@ mod tests {
     }
 
     #[test]
-    fn zero_cycles_is_not_a_division_crash() {
+    fn zero_cycle_bandwidths_are_zero() {
+        // The bandwidth averages stay defined (no traffic moved in no
+        // time); the undefined ratios (IPC, speedup) panic instead —
+        // see below.
         let r = report(0);
-        assert_eq!(r.ipc(), 0.0);
         assert_eq!(r.inter_module_tbps(), 0.0);
         assert_eq!(r.dram_tbps(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "IPC of a zero-cycle run is undefined (w on c)")]
+    fn zero_cycle_ipc_panics_naming_the_run() {
+        let _ = report(0).ipc();
+    }
+
+    #[test]
+    #[should_panic(expected = "speedup of a zero-cycle run is undefined (w on c vs c)")]
+    fn zero_cycle_speedup_panics_naming_the_run() {
+        let _ = report(500).speedup_over(&report(0));
     }
 
     #[test]

@@ -130,8 +130,6 @@ struct Req {
     is_read: bool,
     l15_fill: bool,
     stage: Stage,
-    /// Warps blocked on this fill (reads only; includes the initiator).
-    waiters: Vec<u32>,
     /// Whether a poisoned fill already forced one replay — bounds the
     /// fault layer's MSHR-poison penalty to a single round trip.
     replayed: bool,
@@ -161,6 +159,12 @@ struct RunState<'a, P: Probe, F: FaultPlan> {
     free_ctas: Vec<u32>,
     reqs: Vec<Option<Req>>,
     free_reqs: Vec<u32>,
+    /// Warps blocked on each request slot's fill (reads only; includes
+    /// the initiator). Parallel to `reqs` and pooled with it: a slot's
+    /// waiter list is drained with `clear()` at completion, so its
+    /// buffer is reused by the slot's next occupant instead of being
+    /// reallocated per request.
+    waiters: Vec<Vec<u32>>,
     /// Per-SM warps stalled on a full MSHR.
     stalled: Vec<Vec<u32>>,
     /// Per-module hard-degradation mask, refreshed at each kernel
@@ -235,18 +239,33 @@ impl Simulator {
         let sys = McmSystem::new(cfg);
         let total_sms = sys.total_sms();
         let module_count = sys.modules();
+        // Pre-size the slot arenas to their occupancy ceilings so the
+        // hot loop never regrows them: warps and CTAs are bounded by SM
+        // occupancy, read requests by total MSHR capacity. Fire-and-
+        // forget stores can exceed the MSHR bound, so `reqs` keeps a
+        // store-burst slack proportional to resident warps and may still
+        // grow once on a pathological store storm — after which the
+        // arena is at peak and stays allocation-free.
+        let warp_cap = (total_sms * cfg.sm.max_warps as usize).min(1 << 20);
+        let cta_cap = if spec.warps_per_cta == 0 {
+            spec.ctas as usize
+        } else {
+            (warp_cap / spec.warps_per_cta as usize + 1).min(spec.ctas as usize)
+        };
+        let req_cap = (total_sms * cfg.sm.mshr_entries + warp_cap).min(1 << 20);
         let mut state = RunState {
             spec,
             probe,
             plan,
             sys,
             queue: EventQueue::with_capacity(4096),
-            warps: Vec::new(),
-            free_warps: Vec::new(),
-            ctas: Vec::new(),
-            free_ctas: Vec::new(),
-            reqs: Vec::new(),
-            free_reqs: Vec::new(),
+            warps: Vec::with_capacity(warp_cap),
+            free_warps: Vec::with_capacity(warp_cap),
+            ctas: Vec::with_capacity(cta_cap),
+            free_ctas: Vec::with_capacity(cta_cap),
+            reqs: Vec::with_capacity(req_cap),
+            free_reqs: Vec::with_capacity(req_cap),
+            waiters: Vec::with_capacity(req_cap),
             stalled: vec![Vec::new(); total_sms],
             disabled: vec![false; module_count],
             kernel: 0,
@@ -266,6 +285,10 @@ impl Simulator {
             }
         }
 
+        // One pool for the whole run: later kernels rewind it in place
+        // (`reset` keeps queue capacity), so steady-state launches
+        // allocate nothing.
+        let mut pool = CtaPool::new(cfg.scheduler, spec.ctas, modules as u32);
         let mut now = Cycle::ZERO;
         for kernel in 0..spec.kernel_iters {
             state.kernel = kernel;
@@ -273,7 +296,9 @@ impl Simulator {
             if P::ACTIVE {
                 state.probe.kernel_begin(kernel, now);
             }
-            let mut pool = CtaPool::new(cfg.scheduler, spec.ctas, modules as u32);
+            if kernel > 0 {
+                pool.reset();
+            }
 
             if F::ACTIVE {
                 // Refresh the hard-degradation mask at the launch
@@ -364,11 +389,13 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
     fn alloc_req(&mut self, req: Req) -> u32 {
         match self.free_reqs.pop() {
             Some(slot) => {
+                debug_assert!(self.waiters[slot as usize].is_empty());
                 self.reqs[slot as usize] = Some(req);
                 slot
             }
             None => {
                 self.reqs.push(Some(req));
+                self.waiters.push(Vec::new());
                 (self.reqs.len() - 1) as u32
             }
         }
@@ -595,9 +622,9 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
             CacheOutcome::Miss { ready_at, .. } => match self.sys.mshr_mut(sm).lookup(line) {
                 MshrLookup::InFlight(req) => {
                     let shared = self.reqs[req as usize]
-                        .as_mut()
+                        .as_ref()
                         .expect("MSHR points at freed request");
-                    shared.waiters.push(widx);
+                    self.waiters[req as usize].push(widx);
                     if P::ACTIVE {
                         warp.wait_loc = shared.locality;
                     }
@@ -619,9 +646,9 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
                         is_read: true,
                         l15_fill: false,
                         stage: Stage::Access,
-                        waiters: vec![widx],
                         replayed: false,
                     });
+                    self.waiters[ridx as usize].push(widx);
                     self.sys.mshr_mut(sm).reserve_probed(
                         line,
                         u64::from(ridx),
@@ -684,7 +711,6 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
             is_read: false,
             l15_fill: false,
             stage: Stage::Access,
-            waiters: Vec::new(),
             replayed: false,
         });
         if P::ACTIVE {
@@ -704,153 +730,183 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
         issued
     }
 
-    /// Advances request `ridx` one stage at event time `now`.
+    /// Advances request `ridx` from event time `now` through one or
+    /// more stages.
+    ///
+    /// Each stage computes the request's next event time `t_next`. When
+    /// probes are inactive, the common `Stage::Access` → ring-hop →
+    /// memory chains are advanced **inline** whenever no other pending
+    /// event is due at or before `t_next` — i.e. exactly when popping
+    /// the queue would hand this request straight back. Skipping the
+    /// push/pop round trip is then observationally identical: the
+    /// global processing order (and with it every resource-model and
+    /// fault-plan consultation order) is unchanged, so runs stay
+    /// bit-exact. With an active probe the request is always re-queued,
+    /// because `Probe::queue_depth` observes every pop.
     fn advance_req(&mut self, ridx: u32, now: Cycle) {
         let mut req = self.reqs[ridx as usize]
             .take()
             .expect("event for freed request");
-        if P::ACTIVE {
-            let stage = match req.stage {
-                Stage::Access => ReqStage::Access,
-                Stage::ToHome { at, .. } => ReqStage::ToHome { at },
-                Stage::AtMem => ReqStage::Mem,
-                Stage::ToRequester { at, .. } => ReqStage::ToRequester { at },
-            };
-            self.probe.request_stage(req.id, now, stage);
-        }
-        match req.stage {
-            Stage::Access => {
-                let module = usize::from(req.module);
-                let kind = if req.is_read {
-                    AccessKind::Read
-                } else {
-                    AccessKind::Write
+        let mut now = now;
+        loop {
+            if P::ACTIVE {
+                let stage = match req.stage {
+                    Stage::Access => ReqStage::Access,
+                    Stage::ToHome { at, .. } => ReqStage::ToHome { at },
+                    Stage::AtMem => ReqStage::Mem,
+                    Stage::ToRequester { at, .. } => ReqStage::ToRequester { at },
                 };
-                let mut t = now;
-                match self.sys.l15_access_probed(
-                    now,
-                    module,
-                    req.line,
-                    kind,
-                    req.locality,
-                    self.probe,
-                ) {
-                    L15Outcome::Hit { ready_at } => {
-                        if req.is_read {
-                            self.complete_read(req, ridx, ready_at);
-                            return;
-                        }
-                        // Write-through: the store continues downstream.
-                        t = ready_at;
-                    }
-                    L15Outcome::Miss { ready_at, fill } => {
-                        req.l15_fill = fill;
-                        t = ready_at;
-                    }
-                    L15Outcome::NotPresent => {}
-                }
-                let out = self.sys.fabric_out_probed(t, module, self.probe);
-                if module == usize::from(req.home) {
-                    req.stage = Stage::AtMem;
-                } else {
-                    let (dir, hops) = self.sys.ring_route(module, usize::from(req.home));
-                    debug_assert!(hops > 0);
-                    req.stage = Stage::ToHome {
-                        at: req.module,
-                        dir,
-                        left: hops as u8,
+                self.probe.request_stage(req.id, now, stage);
+            }
+            let t_next = match req.stage {
+                Stage::Access => {
+                    let module = usize::from(req.module);
+                    let kind = if req.is_read {
+                        AccessKind::Read
+                    } else {
+                        AccessKind::Write
                     };
-                }
-                self.reqs[ridx as usize] = Some(req);
-                self.queue.push(out, Ev::Req(ridx));
-            }
-            Stage::ToHome { at, dir, left } => {
-                let bytes = req.request_bytes();
-                let (next, arrival) = self.sys.ring_hop_faulted(
-                    now,
-                    usize::from(at),
-                    usize::from(req.home),
-                    dir,
-                    bytes,
-                    self.probe,
-                    self.plan,
-                );
-                req.stage = if left == 1 {
-                    debug_assert_eq!(next, usize::from(req.home));
-                    Stage::AtMem
-                } else {
-                    Stage::ToHome {
-                        at: next as u8,
-                        dir,
-                        left: left - 1,
-                    }
-                };
-                self.reqs[ridx as usize] = Some(req);
-                self.queue.push(arrival, Ev::Req(ridx));
-            }
-            Stage::AtMem => {
-                let home = usize::from(req.home);
-                if req.is_read {
-                    let ready = self.sys.mem_read_faulted(
+                    let mut t = now;
+                    match self.sys.l15_access_probed(
                         now,
-                        home,
+                        module,
                         req.line,
+                        kind,
                         req.locality,
                         self.probe,
-                        self.plan,
-                    );
-                    if req.locality.is_remote() {
-                        let (dir, hops) = self.sys.ring_route(home, usize::from(req.module));
+                    ) {
+                        L15Outcome::Hit { ready_at } => {
+                            if req.is_read {
+                                self.complete_read(req, ridx, ready_at);
+                                return;
+                            }
+                            // Write-through: the store continues
+                            // downstream.
+                            t = ready_at;
+                        }
+                        L15Outcome::Miss { ready_at, fill } => {
+                            req.l15_fill = fill;
+                            t = ready_at;
+                        }
+                        L15Outcome::NotPresent => {}
+                    }
+                    let out = self.sys.fabric_out_probed(t, module, self.probe);
+                    if module == usize::from(req.home) {
+                        req.stage = Stage::AtMem;
+                    } else {
+                        let (dir, hops) = self.sys.ring_route(module, usize::from(req.home));
                         debug_assert!(hops > 0);
-                        req.stage = Stage::ToRequester {
-                            at: req.home,
+                        req.stage = Stage::ToHome {
+                            at: req.module,
                             dir,
                             left: hops as u8,
                         };
-                        self.reqs[ridx as usize] = Some(req);
-                        self.queue.push(ready, Ev::Req(ridx));
-                    } else {
-                        self.complete_read(req, ridx, ready);
                     }
-                } else {
-                    self.sys.mem_write_faulted(
+                    out
+                }
+                Stage::ToHome { at, dir, left } => {
+                    let bytes = req.request_bytes();
+                    let (next, arrival) = self.sys.ring_hop_faulted(
                         now,
-                        home,
-                        req.line,
-                        req.locality,
+                        usize::from(at),
+                        usize::from(req.home),
+                        dir,
+                        bytes,
                         self.probe,
                         self.plan,
                     );
-                    if P::ACTIVE {
-                        self.probe.request_retired(req.id, now);
-                    }
-                    self.horizon = self.horizon.max(now);
-                    self.free_reqs.push(ridx);
+                    req.stage = if left == 1 {
+                        debug_assert_eq!(next, usize::from(req.home));
+                        Stage::AtMem
+                    } else {
+                        Stage::ToHome {
+                            at: next as u8,
+                            dir,
+                            left: left - 1,
+                        }
+                    };
+                    arrival
                 }
-            }
-            Stage::ToRequester { at, dir, left } => {
-                let (next, arrival) = self.sys.ring_hop_faulted(
-                    now,
-                    usize::from(at),
-                    usize::from(req.module),
-                    dir,
-                    mcm_mem::addr::LINE_BYTES,
-                    self.probe,
-                    self.plan,
-                );
-                if left == 1 {
-                    debug_assert_eq!(next, usize::from(req.module));
-                    self.complete_read(req, ridx, arrival);
-                } else {
+                Stage::AtMem => {
+                    let home = usize::from(req.home);
+                    if req.is_read {
+                        let ready = self.sys.mem_read_faulted(
+                            now,
+                            home,
+                            req.line,
+                            req.locality,
+                            self.probe,
+                            self.plan,
+                        );
+                        if req.locality.is_remote() {
+                            let (dir, hops) = self.sys.ring_route(home, usize::from(req.module));
+                            debug_assert!(hops > 0);
+                            req.stage = Stage::ToRequester {
+                                at: req.home,
+                                dir,
+                                left: hops as u8,
+                            };
+                            ready
+                        } else {
+                            self.complete_read(req, ridx, ready);
+                            return;
+                        }
+                    } else {
+                        self.sys.mem_write_faulted(
+                            now,
+                            home,
+                            req.line,
+                            req.locality,
+                            self.probe,
+                            self.plan,
+                        );
+                        if P::ACTIVE {
+                            self.probe.request_retired(req.id, now);
+                        }
+                        self.horizon = self.horizon.max(now);
+                        self.free_reqs.push(ridx);
+                        return;
+                    }
+                }
+                Stage::ToRequester { at, dir, left } => {
+                    let (next, arrival) = self.sys.ring_hop_faulted(
+                        now,
+                        usize::from(at),
+                        usize::from(req.module),
+                        dir,
+                        mcm_mem::addr::LINE_BYTES,
+                        self.probe,
+                        self.plan,
+                    );
+                    if left == 1 {
+                        debug_assert_eq!(next, usize::from(req.module));
+                        self.complete_read(req, ridx, arrival);
+                        return;
+                    }
                     req.stage = Stage::ToRequester {
                         at: next as u8,
                         dir,
                         left: left - 1,
                     };
-                    self.reqs[ridx as usize] = Some(req);
-                    self.queue.push(arrival, Ev::Req(ridx));
+                    arrival
                 }
+            };
+            // Inline the next stage if this event would be the queue's
+            // next pop anyway (strictly earlier than everything
+            // pending — an equal-time pending event holds a smaller
+            // insertion seq and must run first).
+            if !P::ACTIVE
+                && self
+                    .queue
+                    .peek_time()
+                    .is_none_or(|pending| pending > t_next)
+            {
+                now = t_next;
+                continue;
             }
+            self.reqs[ridx as usize] = Some(req);
+            self.queue.push(t_next, Ev::Req(ridx));
+            return;
         }
     }
 
@@ -888,7 +944,12 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
         if P::ACTIVE {
             self.probe.request_retired(req.id, ready);
         }
-        for w in req.waiters {
+        // Detach the slot's waiter buffer while waking warps (the loop
+        // needs `&mut self`), then hand it back drained-but-capacious
+        // for the slot's next occupant. `mem::take` leaves an empty
+        // `Vec`, which does not allocate.
+        let mut waiters = std::mem::take(&mut self.waiters[ridx as usize]);
+        for &w in &waiters {
             let warp = self.warps[w as usize]
                 .as_mut()
                 .expect("waiter warp missing");
@@ -904,6 +965,8 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
                 self.queue.push(warp.resume_at, Ev::Warp(w));
             }
         }
+        waiters.clear();
+        self.waiters[ridx as usize] = waiters;
         self.horizon = self.horizon.max(ready);
         self.free_reqs.push(ridx);
         // One MSHR entry freed: wake one stalled warp to replay.

@@ -1,0 +1,88 @@
+//! Microbenchmarks for the calendar event queue — the single hottest
+//! structure in the simulator (every warp step and every request stage
+//! goes through one push and one pop). Patterns mirror the run loop:
+//! dense same-cycle bursts, short near-future latencies inside the
+//! bucket window, far-future pushes through the overflow heap, and a
+//! steady-state hold model. Runs on the in-repo `mcm-testkit`
+//! wall-clock runner (`cargo bench -p mcm-engine`).
+
+use mcm_engine::rng::Xoshiro256;
+use mcm_engine::{Cycle, EventQueue};
+use mcm_testkit::bench::{black_box, Group};
+
+fn main() {
+    let mut group = Group::new("event_queue");
+
+    // Same-cycle FIFO burst: N events at one timestamp, drained in
+    // insertion order — the kernel-launch placement pattern.
+    {
+        let mut q: EventQueue<u64> = EventQueue::with_capacity(256);
+        group.bench("same_cycle_burst_64", || {
+            let now = q.now();
+            for i in 0..64u64 {
+                q.push(now, i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        });
+    }
+
+    // Near-future uniform latencies (within the bucket window) at a
+    // steady hold of 256 in-flight events — the run loop's steady
+    // state.
+    {
+        let mut q: EventQueue<u64> = EventQueue::with_capacity(512);
+        let mut rng = Xoshiro256::new(0xBE7C);
+        let now = q.now();
+        for i in 0..256u64 {
+            q.push(now + Cycle::new(rng.next_range(900)), i);
+        }
+        group.bench("hold256_near_future", || {
+            let (t, v) = q.pop().expect("queue is held non-empty");
+            q.push(t + Cycle::new(1 + rng.next_range(900)), v);
+            black_box(t)
+        });
+    }
+
+    // Far-future pushes: latencies beyond the bucket window exercise
+    // the overflow heap and its migration into buckets.
+    {
+        let mut q: EventQueue<u64> = EventQueue::with_capacity(512);
+        let mut rng = Xoshiro256::new(0xFA2F);
+        let now = q.now();
+        for i in 0..256u64 {
+            q.push(now + Cycle::new(2000 + rng.next_range(50_000)), i);
+        }
+        group.bench("hold256_far_future", || {
+            let (t, v) = q.pop().expect("queue is held non-empty");
+            q.push(t + Cycle::new(2000 + rng.next_range(50_000)), v);
+            black_box(t)
+        });
+    }
+
+    // Mixed model: mostly short hops with an occasional long DRAM-ish
+    // latency, the closest microbenchmark to the simulator's event mix.
+    {
+        let mut q: EventQueue<u64> = EventQueue::with_capacity(512);
+        let mut rng = Xoshiro256::new(0x517E);
+        let now = q.now();
+        for i in 0..256u64 {
+            q.push(now + Cycle::new(rng.next_range(64)), i);
+        }
+        group.bench("hold256_mixed_latency", || {
+            let (t, v) = q.pop().expect("queue is held non-empty");
+            let dt = if rng.chance(0.05) {
+                1500 + rng.next_range(3000)
+            } else {
+                1 + rng.next_range(64)
+            };
+            q.push(t + Cycle::new(dt), v);
+            black_box(t)
+        });
+    }
+
+    group.finish();
+}

@@ -1,38 +1,67 @@
 //! A deterministic event calendar.
+//!
+//! The queue is a *bucketed calendar*: events scheduled within the near
+//! future land in a ring of per-cycle FIFO buckets (popping is a bitmap
+//! scan plus a linked-list head removal, both allocation-free in steady
+//! state), while far-future events wait in a small sorted overflow heap
+//! and migrate into the ring as the window advances. The pop order —
+//! nondecreasing time, FIFO among equal times — is identical to the
+//! naive sorted implementation; see the `EventQueue` docs for why the
+//! tie-break survives bucketing.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::Cycle;
 
-/// One pending entry in the calendar: ordered by time, then insertion
-/// sequence (FIFO among simultaneous events).
-struct Entry<E> {
+/// Width of the near-future window, in cycles. Power of two so the
+/// bucket index is a mask. One bucket per cycle: every bucket holds
+/// events of exactly one timestamp, so bucket order *is* time order
+/// and appending preserves the FIFO tie-break.
+const WINDOW: usize = 1024;
+/// Bucket-index mask (`at & MASK` is `at % WINDOW`).
+const MASK: u64 = WINDOW as u64 - 1;
+/// Words in the occupancy bitmap.
+const BITMAP_WORDS: usize = WINDOW / 64;
+/// Null link in the intrusive bucket lists.
+const NIL: u32 = u32::MAX;
+
+/// One far-future entry: ordered by time, then insertion sequence
+/// (FIFO among simultaneous events).
+struct Overflow<E> {
     at: Cycle,
     seq: u64,
     event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
+impl<E> PartialEq for Overflow<E> {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
 
-impl<E> Eq for Entry<E> {}
+impl<E> Eq for Overflow<E> {}
 
-impl<E> PartialOrd for Entry<E> {
+impl<E> PartialOrd for Overflow<E> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for Entry<E> {
+impl<E> Ord for Overflow<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so earliest (then lowest seq)
         // comes out first.
         (other.at, other.seq).cmp(&(self.at, self.seq))
     }
+}
+
+/// One pooled node of a bucket's FIFO list. Freed nodes keep their slot
+/// (`event` becomes `None`) and are recycled through a freelist, so
+/// steady-state push/pop cycles never touch the allocator.
+struct Node<E> {
+    next: u32,
+    event: Option<E>,
 }
 
 /// A time-ordered queue of simulation events.
@@ -42,6 +71,19 @@ impl<E> Ord for Entry<E> {
 /// they were pushed. That FIFO tie-break is what makes multi-component
 /// simulations reproducible: two runs with the same inputs interleave
 /// their events identically.
+///
+/// # Why the FIFO tie-break survives bucketing
+///
+/// The near-future window covers `[now, now + WINDOW)` where `now` is
+/// the last popped timestamp. Each cycle in the window maps to its own
+/// bucket, so a bucket only ever holds events of one timestamp and
+/// appending to its list preserves push order. Far-future events sit in
+/// a heap ordered by `(time, push sequence)` and migrate into buckets
+/// *inside `pop`*, the moment the window advances over their timestamp
+/// — before control ever returns to a caller. Any later direct push to
+/// that same cycle therefore appends *after* every already-migrated
+/// (older) entry, so the global FIFO order among equal timestamps is
+/// exactly the push order, bucketed or not.
 ///
 /// # Example
 ///
@@ -57,18 +99,37 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.pop(), Some((Cycle::new(5), "late-second")));
 /// assert_eq!(q.pop(), None);
 /// ```
-#[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Head node index per bucket (`NIL` when empty).
+    heads: Box<[u32; WINDOW]>,
+    /// Tail node index per bucket, for O(1) FIFO append.
+    tails: Box<[u32; WINDOW]>,
+    /// One bit per bucket: set iff the bucket is nonempty. Popping
+    /// scans this, 64 buckets per word.
+    occupied: [u64; BITMAP_WORDS],
+    /// Node pool backing every bucket list.
+    nodes: Vec<Node<E>>,
+    /// Freelist head into `nodes`.
+    free: u32,
+    /// Far-future events (at ≥ window end), ordered by (time, seq).
+    overflow: BinaryHeap<Overflow<E>>,
+    /// Events currently in buckets (as opposed to the overflow heap).
+    in_buckets: usize,
+    /// Total pending events.
+    len: usize,
     next_seq: u64,
     last_popped: Cycle,
+    /// Lower bound on the earliest bucketed timestamp (always at least
+    /// `last_popped`); the bitmap scan starts here.
+    scan: Cycle,
 }
 
-impl<E> std::fmt::Debug for Entry<E> {
+impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Entry")
-            .field("at", &self.at)
-            .field("seq", &self.seq)
+        f.debug_struct("EventQueue")
+            .field("len", &self.len)
+            .field("in_buckets", &self.in_buckets)
+            .field("last_popped", &self.last_popped)
             .finish_non_exhaustive()
     }
 }
@@ -77,57 +138,177 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heads: Box::new([NIL; WINDOW]),
+            tails: Box::new([NIL; WINDOW]),
+            occupied: [0; BITMAP_WORDS],
+            nodes: Vec::new(),
+            free: NIL,
+            overflow: BinaryHeap::new(),
+            in_buckets: 0,
+            len: 0,
             next_seq: 0,
             last_popped: Cycle::ZERO,
+            scan: Cycle::ZERO,
         }
     }
 
     /// Creates an empty queue pre-sized for `capacity` pending events.
     pub fn with_capacity(capacity: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
-            next_seq: 0,
-            last_popped: Cycle::ZERO,
+        let mut q = EventQueue::new();
+        q.nodes.reserve(capacity);
+        q
+    }
+
+    /// End of the near-future window (exclusive): events at or past it
+    /// go to the overflow heap.
+    #[inline]
+    fn window_end(&self) -> u64 {
+        self.last_popped.as_u64().saturating_add(WINDOW as u64)
+    }
+
+    /// Appends `event` to the FIFO list of the bucket for time `at`
+    /// (which must lie inside the near-future window).
+    #[inline]
+    fn bucket_append(&mut self, at: Cycle, event: E) {
+        debug_assert!(at >= self.last_popped && at.as_u64() < self.window_end());
+        let b = (at.as_u64() & MASK) as usize;
+        let idx = if self.free != NIL {
+            let idx = self.free;
+            let node = &mut self.nodes[idx as usize];
+            self.free = node.next;
+            node.next = NIL;
+            node.event = Some(event);
+            idx
+        } else {
+            self.nodes.push(Node {
+                next: NIL,
+                event: Some(event),
+            });
+            (self.nodes.len() - 1) as u32
+        };
+        if self.tails[b] == NIL {
+            self.heads[b] = idx;
+            self.occupied[b / 64] |= 1 << (b % 64);
+        } else {
+            self.nodes[self.tails[b] as usize].next = idx;
         }
+        self.tails[b] = idx;
+        self.in_buckets += 1;
+        if at < self.scan {
+            self.scan = at;
+        }
+    }
+
+    /// The earliest bucketed timestamp. Requires `in_buckets > 0`.
+    ///
+    /// Scans the occupancy bitmap forward from `scan`; because every
+    /// bucketed timestamp lies in `[scan, scan + WINDOW)`, the ring
+    /// offset from `scan`'s bucket recovers the absolute time.
+    fn earliest_bucket_time(&self) -> Cycle {
+        debug_assert!(self.in_buckets > 0);
+        let start = self.scan.as_u64();
+        let i0 = (start & MASK) as usize;
+        let mut word = i0 / 64;
+        let mut mask = !0u64 << (i0 % 64);
+        for _ in 0..=BITMAP_WORDS {
+            let bits = self.occupied[word] & mask;
+            if bits != 0 {
+                let b = word * 64 + bits.trailing_zeros() as usize;
+                let delta = (b.wrapping_sub(i0) as u64) & MASK;
+                return Cycle::new(start + delta);
+            }
+            word = (word + 1) % BITMAP_WORDS;
+            mask = !0;
+        }
+        unreachable!("in_buckets > 0 but no occupied bucket found");
     }
 
     /// Schedules `event` to fire at absolute time `at`.
     ///
     /// Scheduling in the past (before the last popped timestamp) is a
     /// simulation logic error; it is tolerated in release builds (the
-    /// event fires "now") but trips a debug assertion.
+    /// event is clamped to fire "now") but trips a debug assertion.
     pub fn push(&mut self, at: Cycle, event: E) {
         debug_assert!(
             at >= self.last_popped,
             "event scheduled at {at} which is before current time {}",
             self.last_popped
         );
+        // Release builds honour the documented "fires now" contract:
+        // without the clamp a stale timestamp would pop out of order
+        // and regress `now()`.
+        let at = at.max(self.last_popped);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        if at.as_u64() < self.window_end() {
+            self.bucket_append(at, event);
+        } else {
+            self.overflow.push(Overflow { at, seq, event });
+        }
+        self.len += 1;
     }
 
     /// Removes and returns the earliest event, or `None` when empty.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        let entry = self.heap.pop()?;
-        self.last_popped = entry.at;
-        Some((entry.at, entry.event))
+        if self.len == 0 {
+            return None;
+        }
+        // Bucketed events always precede overflow ones: buckets hold
+        // times below the window end, the overflow at or above it.
+        let at = if self.in_buckets > 0 {
+            self.earliest_bucket_time()
+        } else {
+            self.overflow.peek().expect("len > 0 with empty buckets").at
+        };
+        self.last_popped = at;
+        self.scan = at;
+        // The window just advanced: migrate every overflow entry it now
+        // covers, in (time, seq) order, so later direct pushes to those
+        // cycles append behind their older overflow peers.
+        let wend = self.window_end();
+        while let Some(head) = self.overflow.peek() {
+            if head.at.as_u64() >= wend {
+                break;
+            }
+            let entry = self.overflow.pop().expect("peeked entry");
+            self.bucket_append(entry.at, entry.event);
+        }
+        // `at`'s bucket is nonempty now: either it supplied `at`, or the
+        // first migrated entry (the overflow minimum) carried time `at`.
+        let b = (at.as_u64() & MASK) as usize;
+        let idx = self.heads[b];
+        debug_assert_ne!(idx, NIL);
+        let node = &mut self.nodes[idx as usize];
+        let event = node.event.take().expect("bucketed node holds an event");
+        self.heads[b] = node.next;
+        node.next = self.free;
+        self.free = idx;
+        if self.heads[b] == NIL {
+            self.tails[b] = NIL;
+            self.occupied[b / 64] &= !(1 << (b % 64));
+        }
+        self.in_buckets -= 1;
+        self.len -= 1;
+        Some((at, event))
     }
 
     /// The timestamp of the next event without removing it.
     pub fn peek_time(&self) -> Option<Cycle> {
-        self.heap.peek().map(|e| e.at)
+        if self.in_buckets > 0 {
+            Some(self.earliest_bucket_time())
+        } else {
+            self.overflow.peek().map(|e| e.at)
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// The timestamp of the most recently popped event — the simulation's
@@ -138,7 +319,15 @@ impl<E> EventQueue<E> {
 
     /// Drops all pending events, keeping the current time.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.heads.fill(NIL);
+        self.tails.fill(NIL);
+        self.occupied = [0; BITMAP_WORDS];
+        self.nodes.clear();
+        self.free = NIL;
+        self.overflow.clear();
+        self.in_buckets = 0;
+        self.len = 0;
+        self.scan = self.last_popped;
     }
 }
 
@@ -197,6 +386,10 @@ mod tests {
         assert_eq!(q.peek_time(), Some(Cycle::new(1)));
         q.clear();
         assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        // The pool survives a clear and keeps working.
+        q.push(Cycle::new(3), 'c');
+        assert_eq!(q.pop(), Some((Cycle::new(3), 'c')));
     }
 
     #[test]
@@ -210,5 +403,167 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, 3);
         assert_eq!(q.pop().unwrap().1, 4);
         assert_eq!(q.pop().unwrap().1, 5);
+    }
+
+    #[test]
+    fn far_future_events_cross_the_window() {
+        // Events far beyond the near-future window take the overflow
+        // path and must still pop in (time, push-order).
+        let w = WINDOW as u64;
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(5 * w), 50u64);
+        q.push(Cycle::new(2), 2);
+        q.push(Cycle::new(5 * w), 51);
+        q.push(Cycle::new(3 * w + 7), 30);
+        assert_eq!(q.pop(), Some((Cycle::new(2), 2)));
+        assert_eq!(q.pop(), Some((Cycle::new(3 * w + 7), 30)));
+        // A direct push at the same cycle as migrated overflow entries
+        // must come out after them (it was pushed later).
+        q.push(Cycle::new(5 * w), 52);
+        assert_eq!(q.pop(), Some((Cycle::new(5 * w), 50)));
+        assert_eq!(q.pop(), Some((Cycle::new(5 * w), 51)));
+        assert_eq!(q.pop(), Some((Cycle::new(5 * w), 52)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_bucket_different_epochs_do_not_mix() {
+        // Times t and t + WINDOW share a bucket index; the window
+        // machinery must keep their epochs ordered.
+        let w = WINDOW as u64;
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(10), 1u64);
+        q.push(Cycle::new(10 + w), 2);
+        q.push(Cycle::new(10 + 2 * w), 3);
+        assert_eq!(q.pop(), Some((Cycle::new(10), 1)));
+        assert_eq!(q.pop(), Some((Cycle::new(10 + w), 2)));
+        assert_eq!(q.pop(), Some((Cycle::new(10 + 2 * w), 3)));
+    }
+
+    #[test]
+    fn matches_a_reference_sorted_queue() {
+        // Drive calendar and reference implementations with the same
+        // deterministic push/pop script and demand identical outputs.
+        use crate::rng::Xoshiro256;
+        let mut rng = Xoshiro256::new(0xCAFE);
+        let mut cal = EventQueue::new();
+        let mut reference: Vec<(u64, u64)> = Vec::new(); // (at, seq)
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        let mut popped = Vec::new();
+        let mut expected = Vec::new();
+        for step in 0..20_000u64 {
+            if !rng.next_u64().is_multiple_of(3) || reference.is_empty() {
+                // Mix of near, boundary, and far-future offsets.
+                let off = match rng.next_u64() % 10 {
+                    0..=5 => rng.next_u64() % 64,
+                    6..=7 => WINDOW as u64 - 2 + rng.next_u64() % 4,
+                    _ => rng.next_u64() % (4 * WINDOW as u64),
+                };
+                cal.push(Cycle::new(now + off), step);
+                reference.push((now + off, seq));
+                seq += 1;
+            } else {
+                let (at, ev) = cal.pop().expect("reference nonempty");
+                popped.push((at.as_u64(), ev));
+                let min = reference
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &(t, s))| (t, s))
+                    .map(|(i, _)| i)
+                    .expect("nonempty");
+                let (t, _) = reference.remove(min);
+                expected.push(t);
+                now = t;
+            }
+        }
+        while let Some((at, ev)) = cal.pop() {
+            popped.push((at.as_u64(), ev));
+            let min = reference
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(t, s))| (t, s))
+                .map(|(i, _)| i)
+                .expect("nonempty");
+            let (t, _) = reference.remove(min);
+            expected.push(t);
+        }
+        assert!(reference.is_empty());
+        assert_eq!(popped.len(), expected.len());
+        for (i, ((at, _), want)) in popped.iter().zip(&expected).enumerate() {
+            assert_eq!(at, want, "pop {i} time mismatch");
+        }
+        // FIFO among equal times: the event payloads (push step ids)
+        // must be ascending within every run of equal timestamps.
+        for pair in popped.windows(2) {
+            if pair[0].0 == pair[1].0 {
+                assert!(pair[0].1 < pair[1].1, "FIFO violated at t={}", pair[0].0);
+            }
+        }
+    }
+
+    #[test]
+    fn steady_state_recycles_nodes() {
+        let mut q = EventQueue::with_capacity(8);
+        for round in 0..1000u64 {
+            q.push(Cycle::new(round + 1), round);
+            q.push(Cycle::new(round + 2), round);
+            q.pop();
+            q.pop();
+        }
+        assert!(q.is_empty());
+        // Two live events at a time: the pool never needed more nodes.
+        assert!(q.nodes.len() <= 2, "pool grew to {}", q.nodes.len());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn past_push_trips_debug_assertion() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(10), ());
+        q.pop();
+        q.push(Cycle::new(5), ());
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn past_push_clamps_to_now_in_release() {
+        // Satellite regression: a stale timestamp must not pop
+        // out-of-order or regress `now()`.
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(10), 0u64);
+        q.pop();
+        q.push(Cycle::new(5), 1); // in the past: fires "now" (t=10)
+        q.push(Cycle::new(10), 2);
+        assert_eq!(q.pop(), Some((Cycle::new(10), 1)));
+        assert_eq!(q.now(), Cycle::new(10));
+        assert_eq!(q.pop(), Some((Cycle::new(10), 2)));
+        assert_eq!(q.now(), Cycle::new(10));
+    }
+
+    #[test]
+    fn pop_monotonicity_holds_across_window_sizes() {
+        // Regression for the push-clamp bug: times handed out by `pop`
+        // never decrease, whatever the push pattern.
+        use crate::rng::Xoshiro256;
+        let mut rng = Xoshiro256::new(0xBEEF);
+        let mut q = EventQueue::new();
+        let mut now = Cycle::ZERO;
+        let mut last = Cycle::ZERO;
+        for i in 0..5000u64 {
+            let off = rng.next_u64() % (2 * WINDOW as u64);
+            q.push(Cycle::new(now.as_u64() + off), i);
+            if i % 2 == 1 {
+                let (at, _) = q.pop().expect("pushed more than popped");
+                assert!(at >= last, "pop regressed: {at} after {last}");
+                last = at;
+                now = at;
+            }
+        }
+        while let Some((at, _)) = q.pop() {
+            assert!(at >= last);
+            last = at;
+        }
     }
 }

@@ -88,6 +88,7 @@ impl Resource {
     ///
     /// A zero-byte request completes immediately at `now` and is not
     /// counted.
+    #[inline]
     pub fn service(&mut self, now: Cycle, bytes: u64) -> Cycle {
         // Multiplying the duration by exactly 1.0 is a bit-exact IEEE
         // identity, so the unstretched path stays cycle-identical.
@@ -101,6 +102,7 @@ impl Resource {
     /// # Panics
     ///
     /// Panics (debug) if `stretch` is not a finite factor `>= 1.0`.
+    #[inline]
     pub fn service_stretched(&mut self, now: Cycle, bytes: u64, stretch: f64) -> Cycle {
         debug_assert!(
             stretch.is_finite() && stretch >= 1.0,

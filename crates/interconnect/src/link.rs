@@ -51,6 +51,7 @@ impl Link {
     ///
     /// A zero-byte transfer pays only the hop latency, without touching
     /// the bandwidth queue.
+    #[inline]
     pub fn transfer(&mut self, now: Cycle, bytes: u64) -> Cycle {
         if bytes == 0 {
             return now + self.hop_latency;

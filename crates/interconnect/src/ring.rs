@@ -163,6 +163,7 @@ impl RingNetwork {
     /// # Panics
     ///
     /// Panics on a single-node ring (no segments to hop).
+    #[inline]
     pub fn hop(&mut self, now: Cycle, node: NodeId, dir: RingDir, bytes: u64) -> (NodeId, Cycle) {
         self.hop_probed(now, node, dir, bytes, &mut mcm_probe::NullProbe)
     }

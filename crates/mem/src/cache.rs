@@ -338,6 +338,7 @@ impl SetAssocCache {
     /// Accesses rejected by the allocation filter return
     /// [`CacheOutcome::Bypass`] without touching tag state or consuming
     /// bank bandwidth.
+    #[inline]
     pub fn access(
         &mut self,
         now: Cycle,
@@ -441,19 +442,22 @@ impl SetAssocCache {
         self.use_clock += 1;
         let clock = self.use_clock;
         let tag = line.index();
-        let range = self.set_range(line);
-        // Already present (e.g. racing fills): refresh.
-        if let Some(way) = self.sets[range.clone()]
+        let base = self.set_of(line) as usize * self.ways;
+        // Already present (e.g. racing fills): refresh. The line's data
+        // is usable as soon as the *first* fill lands — a second
+        // in-flight fill must not push availability back out, so keep
+        // the earlier ready time.
+        if let Some(way) = self.sets[base..base + self.ways]
             .iter_mut()
             .find(|w| w.valid && w.tag == tag)
         {
-            way.ready = way.ready.max(ready);
+            way.ready = way.ready.min(ready);
             way.dirty |= dirty;
             way.last_use = clock;
             return None;
         }
         self.stats.fills.inc();
-        let set = &mut self.sets[range];
+        let set = &mut self.sets[base..base + self.ways];
         let victim = match set.iter_mut().find(|w| !w.valid) {
             Some(w) => w,
             None => set
@@ -765,6 +769,29 @@ mod tests {
         let ev2 = c.fill(LineAddr::new(3), Cycle::ZERO, false).unwrap();
         assert_eq!(ev2.line, LineAddr::new(1));
         assert!(ev2.dirty);
+    }
+
+    #[test]
+    fn racing_fills_keep_the_earlier_ready_time() {
+        // Two in-flight fills for one line resolve with different data-
+        // ready times (e.g. an L1.5 fill racing a second miss's fill).
+        // The line is usable the moment the *earlier* data lands; a
+        // later-resolving duplicate must not push availability back.
+        // Regression: `fill` used to take `way.ready.max(ready)`,
+        // delaying already-delivered data.
+        for order in [[100u64, 50], [50, 100]] {
+            let mut c = small(2, 1);
+            c.fill(LineAddr::new(7), Cycle::new(order[0]), false);
+            c.fill(LineAddr::new(7), Cycle::new(order[1]), false);
+            match read(&mut c, 0, 7) {
+                CacheOutcome::Hit { ready_at } => assert_eq!(
+                    ready_at,
+                    Cycle::new(50),
+                    "fill order {order:?} must expose the earlier ready time"
+                ),
+                other => panic!("expected a hit, got {other:?}"),
+            }
+        }
     }
 
     #[test]

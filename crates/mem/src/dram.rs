@@ -91,6 +91,7 @@ impl DramPartition {
     /// bits): the machine already interleaves lines across partitions by
     /// low bits, so a modulo channel index would alias and strand most
     /// of the partition's channels.
+    #[inline]
     pub fn access(&mut self, now: Cycle, line: LineAddr, kind: AccessKind) -> Cycle {
         // Unit stretch is an exact IEEE identity, so this delegation
         // does not perturb the unthrottled timing.

@@ -75,6 +75,7 @@ impl Mshr {
     }
 
     /// Classifies a miss on `line` and updates statistics.
+    #[inline]
     pub fn lookup(&mut self, line: LineAddr) -> MshrLookup {
         if let Some(&req) = self.pending.get(&line) {
             self.coalesced.inc();
@@ -95,6 +96,7 @@ impl Mshr {
     ///
     /// Panics if the table is full or the line already has an entry —
     /// both indicate the caller skipped `lookup`.
+    #[inline]
     pub fn reserve(&mut self, line: LineAddr, request: u64) {
         assert!(self.pending.len() < self.capacity, "MSHR overfilled");
         let prev = self.pending.insert(line, request);
@@ -103,6 +105,7 @@ impl Mshr {
 
     /// Releases the entry for `line` when its fill completes; returns
     /// the request id it was bound to, if any.
+    #[inline]
     pub fn release(&mut self, line: LineAddr) -> Option<u64> {
         self.pending.remove(&line)
     }

@@ -457,6 +457,49 @@ mod tests {
     }
 
     #[test]
+    fn add_weighted_distributes_exact_per_bucket_overlaps() {
+        use mcm_testkit::prelude::*;
+        // For any span, bucket width and weight, each bucket receives
+        // exactly overlap([start, end), bucket_b) * weight — including
+        // spans that straddle bucket boundaries — and the per-bucket
+        // contributions therefore sum to (end - start) * weight.
+        let gen = (
+            u64s(1..257),    // bucket width
+            u64s(0..10_000), // span start
+            u64s(0..2_049),  // span length (0 → empty span)
+            u64s(0..100),    // weight (0 → no-op)
+        );
+        check(
+            "add_weighted_distributes_exact_per_bucket_overlaps",
+            &gen,
+            |&(bucket, start, len, weight)| {
+                let end = start + len;
+                let mut acc = Vec::new();
+                MetricsProbe::add_weighted(bucket, &mut acc, start, end, weight);
+                let total: u64 = acc.iter().sum();
+                assert_eq!(
+                    total,
+                    len * weight,
+                    "span [{start}, {end}) x{weight} at bucket {bucket}"
+                );
+                for (b, &got) in acc.iter().enumerate() {
+                    let b_start = b as u64 * bucket;
+                    let b_end = b_start + bucket;
+                    let overlap = end.min(b_end).saturating_sub(start.max(b_start));
+                    assert_eq!(
+                        got,
+                        overlap * weight,
+                        "bucket {b} of span [{start}, {end}) x{weight} at width {bucket}"
+                    );
+                }
+                if len == 0 || weight == 0 {
+                    assert!(acc.is_empty(), "degenerate spans must not touch acc");
+                }
+            },
+        );
+    }
+
+    #[test]
     fn faults_are_counted_per_bucket_per_kind() {
         let mut m = MetricsProbe::new(100, 4);
         let retry = FaultEvent::LinkRetry {

@@ -80,14 +80,42 @@ impl CtaPool {
     /// zero.
     pub fn new(policy: SchedulerPolicy, total: u32, gpms: u32) -> Self {
         assert!(gpms > 0, "CTA pool needs at least one GPM");
-        let mut queues = vec![VecDeque::new(); gpms as usize];
-        match policy {
+        let mut pool = CtaPool {
+            policy,
+            total,
+            next_global: 0,
+            queues: vec![VecDeque::new(); gpms as usize],
+            assigned_per_gpm: vec![0; gpms as usize],
+            steals: 0,
+        };
+        pool.fill_queues();
+        pool
+    }
+
+    /// Rewinds the pool to its freshly-constructed state for the next
+    /// kernel launch of the same grid. Queue capacity is retained, so a
+    /// multi-kernel run allocates its scheduling state once — part of
+    /// the allocation-free steady-state contract of the run loop.
+    pub fn reset(&mut self) {
+        self.next_global = 0;
+        self.steals = 0;
+        self.assigned_per_gpm.fill(0);
+        for queue in &mut self.queues {
+            queue.clear();
+        }
+        self.fill_queues();
+    }
+
+    /// Deals the CTA space into the per-GPM queues per the policy.
+    fn fill_queues(&mut self) {
+        let (total, gpms) = (self.total, self.queues.len() as u32);
+        match self.policy {
             SchedulerPolicy::Centralized => {}
             SchedulerPolicy::Distributed => {
                 let base = total / gpms;
                 let extra = total % gpms;
                 let mut start = 0;
-                for (g, queue) in queues.iter_mut().enumerate() {
+                for (g, queue) in self.queues.iter_mut().enumerate() {
                     let len = base + u32::from((g as u32) < extra);
                     if len > 0 {
                         queue.push_back((start, start + len));
@@ -101,19 +129,11 @@ impl CtaPool {
                 let mut g = 0usize;
                 while start < total {
                     let end = (start + group).min(total);
-                    queues[g].push_back((start, end));
+                    self.queues[g].push_back((start, end));
                     start = end;
                     g = (g + 1) % gpms as usize;
                 }
             }
-        }
-        CtaPool {
-            policy,
-            total,
-            next_global: 0,
-            queues,
-            assigned_per_gpm: vec![0; gpms as usize],
-            steals: 0,
         }
     }
 
@@ -497,6 +517,47 @@ mod tests {
         };
         assert_eq!(count(&mut pool, 2), 6);
         assert_eq!(count(&mut pool, 3), 6);
+    }
+
+    #[test]
+    fn reset_restores_the_fresh_pool_for_every_policy() {
+        for policy in [
+            SchedulerPolicy::Centralized,
+            SchedulerPolicy::Distributed,
+            SchedulerPolicy::Chunked { group: 3 },
+            SchedulerPolicy::Dynamic { group: 3 },
+        ] {
+            let mut pool = CtaPool::new(policy, 17, 4);
+            let fresh = pool.clone();
+            // Drain it fully (dynamic steals, distributed leaves dry
+            // modules dry), then reset and compare the replayed hand-out
+            // sequence against a pristine pool.
+            loop {
+                let mut any = false;
+                for gpm in 0..4 {
+                    any |= pool.next_cta(gpm).is_some();
+                }
+                if !any {
+                    break;
+                }
+            }
+            assert!(pool.is_exhausted());
+            pool.reset();
+            let mut pristine = fresh.clone();
+            loop {
+                let mut any = false;
+                for gpm in 0..4 {
+                    let a = pool.next_cta(gpm);
+                    let b = pristine.next_cta(gpm);
+                    assert_eq!(a, b, "{policy:?} diverged after reset");
+                    any |= a.is_some();
+                }
+                if !any {
+                    break;
+                }
+            }
+            assert_eq!(pool.assigned_per_gpm(), pristine.assigned_per_gpm());
+        }
     }
 
     #[test]

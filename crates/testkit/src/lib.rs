@@ -10,6 +10,8 @@
 //!   (`MCM_PROP_SEED=0x... cargo test <name>`).
 //! * [`bench`] — a wall-clock bench runner (warmup + N timed samples,
 //!   median/p95) for the workspace's `harness = false` bench targets.
+//! * [`alloc`] — a counting [`std::alloc::System`] wrapper for
+//!   allocation-freedom assertions over deterministic hot loops.
 //!
 //! # Writing a property
 //!
@@ -35,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod bench;
 pub mod gen;
 pub mod runner;

@@ -28,4 +28,15 @@ MCM_JOBS=1 cargo test --workspace -q --offline
 echo "== bin_smoke under MCM_JOBS=4 =="
 MCM_JOBS=4 cargo test -p mcm-bench -q --offline --test bin_smoke
 
+# Perf smoke: the engine-overhaul guarantees stay in the gate. The
+# counting-allocator test asserts the run loop makes literally zero
+# allocator calls in steady-state kernels (deterministic, so a
+# regression fails exactly, not statistically); the bench targets run
+# once at tiny scale so a future change cannot silently break them.
+echo "== perf smoke: hot-loop allocation freedom =="
+cargo test -p mcm-gpu -q --offline --test hot_loop_alloc
+echo "== perf smoke: engine + hotpath benches (tiny MCM_SCALE) =="
+cargo bench -p mcm-engine -q --offline --bench queue
+MCM_SCALE=0.01 cargo bench -p mcm-bench -q --offline --bench hotpath
+
 echo "tier-1: all green"
