@@ -84,13 +84,13 @@ fn bench_engine() {
         let mut q: EventQueue<u64> = EventQueue::with_capacity(4096);
         // Keep a standing population of 1024 events.
         for i in 0..1024u64 {
-            q.push(Cycle::new(i), i);
+            q.push(Cycle::new(i), i, i);
         }
         let mut t = 1024u64;
         group.bench("event_queue_push_pop", || {
             let (at, ev) = q.pop().expect("queue never drains");
             t += 1;
-            q.push(at + Cycle::new(t % 251 + 1), ev);
+            q.push(at + Cycle::new(t % 251 + 1), ev, ev);
             black_box(ev)
         });
     }

@@ -77,6 +77,21 @@ pub fn fault_rate() -> f64 {
     r
 }
 
+/// The shard count for single-simulation parallel execution, read from
+/// `MCM_SHARDS` (default 1 = the serial engine). Values above a
+/// configuration's usable parallelism are clamped per machine by
+/// [`mcm_gpu::effective_shards`], so one knob value works across a
+/// whole sweep; results are bit-identical at every setting.
+///
+/// # Panics
+///
+/// Panics when `MCM_SHARDS` is set but not a positive integer.
+pub fn shards() -> usize {
+    let s: usize = env_parsed("MCM_SHARDS").unwrap_or(1);
+    assert!(s > 0, "MCM_SHARDS must be positive, got {s}");
+    s
+}
+
 /// A memoizing runner: each `(configuration, workload)` pair is
 /// simulated once per process, so figures that share configurations
 /// (e.g. every figure needs the baseline) don't re-run it.
@@ -369,7 +384,7 @@ pub fn run_probed_env_faults<P: Probe>(
 /// # Panics
 ///
 /// Panics if an artifact directory cannot be created or written.
-pub fn run_instrumented_faulted<F: FaultPlan>(
+pub fn run_instrumented_faulted<F: FaultPlan + Clone + Send>(
     cfg: &SystemConfig,
     spec: &WorkloadSpec,
     plan: &mut F,
@@ -385,10 +400,16 @@ pub fn run_instrumented_faulted<F: FaultPlan>(
 /// scenarios don't overwrite each other's trace/metrics files — which
 /// also makes those writes safe to run in parallel.
 ///
+/// The uninstrumented path (neither `MCM_TRACE` nor `MCM_METRICS` set)
+/// honours `MCM_SHARDS` (see [`shards`]): the simulation itself is
+/// sharded across cores, with a bit-identical report at every shard
+/// count. Probe-attached runs stay on the serial engine so artifact
+/// event order is trivially canonical.
+///
 /// # Panics
 ///
 /// Panics if an artifact directory cannot be created or written.
-pub fn run_instrumented_faulted_stemmed<F: FaultPlan>(
+pub fn run_instrumented_faulted_stemmed<F: FaultPlan + Clone + Send>(
     cfg: &SystemConfig,
     spec: &WorkloadSpec,
     plan: &mut F,
@@ -397,7 +418,8 @@ pub fn run_instrumented_faulted_stemmed<F: FaultPlan>(
     let trace_dir = std::env::var_os("MCM_TRACE").map(PathBuf::from);
     let metrics_dir = std::env::var_os("MCM_METRICS").map(PathBuf::from);
     if trace_dir.is_none() && metrics_dir.is_none() {
-        return Simulator::run_faulted(cfg, spec, &mut NullProbe, plan);
+        let (report, _) = Simulator::run_faulted_sharded(cfg, spec, &mut NullProbe, plan, shards());
+        return report;
     }
     let mut probe = (
         trace_dir.as_ref().map(|_| ChromeTraceProbe::new()),

@@ -20,9 +20,9 @@ use mcm_workloads::{suite, WorkloadSpec};
 /// `tests/golden_determinism.rs`: (workload, baseline cycles, optimized
 /// cycles). The parallel path must reproduce these exactly.
 const GOLDEN: &[(&str, u64, u64)] = &[
-    ("Stream", 5032, 1794),
-    ("Hotspot", 1303, 1132),
-    ("DWT", 2671, 1870),
+    ("Stream", 5049, 1794),
+    ("Hotspot", 1303, 1225),
+    ("DWT", 2799, 1898),
 ];
 
 #[test]

@@ -1,0 +1,122 @@
+//! End-to-end `MCM_SHARDS` plumbing: a figure binary's output is
+//! byte-identical whether a simulation runs serially or sharded across
+//! cores, both with artifact sinks disabled (the genuinely sharded
+//! path) and enabled (the serial probed fallback, which the knob must
+//! leave untouched).
+//!
+//! In-process shard invariance is pinned exhaustively in
+//! `tests/shard_determinism.rs`; this suite exercises the environment
+//! variable end to end through a real subprocess, mirroring
+//! `parallel_determinism.rs`'s treatment of `MCM_JOBS`.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("mcm-shard-invariance-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Every regular file under `dir` (recursively), keyed by its path
+/// relative to `dir`, with full contents.
+fn snapshot_files(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    fn walk(root: &Path, dir: &Path, out: &mut BTreeMap<String, Vec<u8>>) {
+        for entry in std::fs::read_dir(dir).expect("read artifact dir") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                walk(root, &path, out);
+            } else {
+                let rel = path
+                    .strip_prefix(root)
+                    .expect("path under root")
+                    .to_string_lossy()
+                    .into_owned();
+                out.insert(rel, std::fs::read(&path).expect("read artifact"));
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    walk(dir, dir, &mut out);
+    out
+}
+
+/// Runs `exe` in a fresh scratch directory under the given
+/// `MCM_SHARDS`, optionally with artifact sinks pointed at the scratch
+/// directory, and returns (stdout, files).
+fn run_with_shards(
+    tag: &str,
+    exe: &str,
+    shards: &str,
+    artifacts: bool,
+) -> (Vec<u8>, BTreeMap<String, Vec<u8>>) {
+    let dir = scratch_dir(&format!("{tag}-shards{shards}"));
+    let mut cmd = Command::new(exe);
+    cmd.current_dir(&dir)
+        .env("MCM_SCALE", "0.01")
+        .env("MCM_JOBS", "1")
+        .env("MCM_SHARDS", shards);
+    if artifacts {
+        cmd.env("MCM_TRACE", &dir).env("MCM_METRICS", &dir);
+    }
+    let out = cmd
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {tag}: {e}"));
+    assert!(
+        out.status.success(),
+        "{tag} with MCM_SHARDS={shards} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let files = snapshot_files(&dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    (out.stdout, files)
+}
+
+/// With no artifact sinks configured, the harness routes every
+/// simulation through the sharded engine — the printed figure table
+/// must not move by a byte between one shard and two.
+#[test]
+fn fig09_stdout_is_shard_count_invariant() {
+    let exe = env!("CARGO_BIN_EXE_fig09_distributed_sched");
+    let (stdout_1, files_1) = run_with_shards("fig09-plain", exe, "1", false);
+    let (stdout_2, files_2) = run_with_shards("fig09-plain", exe, "2", false);
+    assert_eq!(
+        stdout_1, stdout_2,
+        "fig09 stdout differs between MCM_SHARDS=1 and MCM_SHARDS=2"
+    );
+    assert!(!stdout_1.is_empty(), "fig09 printed nothing");
+    assert!(
+        files_1.is_empty() && files_2.is_empty(),
+        "no artifacts were requested, yet some were written"
+    );
+}
+
+/// With trace/metrics sinks attached, probed runs fall back to the
+/// serial engine regardless of `MCM_SHARDS` — so stdout *and* every
+/// artifact byte must be identical, proving the knob cannot corrupt
+/// observability output.
+#[test]
+fn fig09_artifacts_are_untouched_by_the_shard_knob() {
+    let exe = env!("CARGO_BIN_EXE_fig09_distributed_sched");
+    let (stdout_1, files_1) = run_with_shards("fig09-probed", exe, "1", true);
+    let (stdout_2, files_2) = run_with_shards("fig09-probed", exe, "2", true);
+    assert_eq!(
+        stdout_1, stdout_2,
+        "fig09 stdout differs between MCM_SHARDS=1 and MCM_SHARDS=2"
+    );
+    assert!(!files_1.is_empty(), "fig09 wrote no artifacts");
+    assert_eq!(
+        files_1.keys().collect::<Vec<_>>(),
+        files_2.keys().collect::<Vec<_>>(),
+        "artifact file sets differ across shard counts"
+    );
+    for (name, bytes) in &files_1 {
+        assert_eq!(
+            bytes, &files_2[name],
+            "artifact {name} differs between MCM_SHARDS=1 and MCM_SHARDS=2"
+        );
+    }
+}

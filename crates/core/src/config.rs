@@ -310,6 +310,45 @@ impl SystemConfig {
         Ok(())
     }
 
+    /// Validates an explicit shard-count request against this
+    /// configuration, over and above [`SystemConfig::validate`].
+    ///
+    /// The environment path (`MCM_SHARDS`) deliberately *clamps* instead
+    /// — one knob value must work across a whole sweep of machines — via
+    /// [`crate::effective_shards`]. This is the loud variant for callers
+    /// who picked a shard count for one specific machine and want a
+    /// mistake rejected, not silently degraded.
+    ///
+    /// # Errors
+    ///
+    /// Returns a named description of the first violated constraint:
+    /// zero shards, more shards than modules (a shard owns at least one
+    /// whole GPM), or multi-shard execution on a zero-lookahead fabric
+    /// (`hop_cycles == 0` leaves no conservative window to run shards
+    /// concurrently in).
+    pub fn validate_shards(&self, shards: usize) -> Result<(), String> {
+        self.validate()?;
+        if shards == 0 {
+            return Err("shard count must be at least 1 (got 0)".into());
+        }
+        let modules = usize::from(self.topology.modules);
+        if shards > modules {
+            return Err(format!(
+                "shard count {shards} exceeds the {modules} module(s) of '{}': \
+                 each shard must own at least one whole module",
+                self.name
+            ));
+        }
+        if shards > 1 && self.topology.hop_cycles == 0 {
+            return Err(format!(
+                "cannot run '{}' with {shards} shards: zero inter-module hop \
+                 latency leaves no conservative lookahead window",
+                self.name
+            ));
+        }
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // Presets: every machine the paper evaluates.
     // ------------------------------------------------------------------
@@ -723,6 +762,57 @@ mod tests {
         let mut cfg = SystemConfig::monolithic(32);
         cfg.topology.link_gbps = f64::NAN;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn shard_validation_rejects_bad_counts_loudly() {
+        let cfg = SystemConfig::baseline_mcm(); // 4 modules, 32-cycle hops
+        assert!(cfg.validate_shards(1).is_ok());
+        assert!(cfg.validate_shards(4).is_ok());
+
+        let err = cfg.validate_shards(0).unwrap_err();
+        assert!(err.contains("at least 1"), "unhelpful error: {err}");
+
+        let err = cfg.validate_shards(5).unwrap_err();
+        assert!(
+            err.contains("exceeds the 4 module"),
+            "unhelpful error: {err}"
+        );
+
+        // A zero-lookahead fabric (still a valid *config* per
+        // validation_rejects_free_infinite_fabric's second half) cannot
+        // host more than one shard.
+        let mut flat = SystemConfig::baseline_mcm();
+        flat.topology.hop_cycles = 0;
+        assert!(flat.validate().is_ok());
+        assert!(flat.validate_shards(1).is_ok());
+        let err = flat.validate_shards(2).unwrap_err();
+        assert!(err.contains("lookahead"), "unhelpful error: {err}");
+
+        // Monolithic: one shard only, and the module bound fires first.
+        let mono = SystemConfig::monolithic(32);
+        assert!(mono.validate_shards(1).is_ok());
+        assert!(mono
+            .validate_shards(2)
+            .unwrap_err()
+            .contains("exceeds the 1 module"));
+
+        // An invalid base config is rejected before shard checks.
+        let mut bad = SystemConfig::baseline_mcm();
+        bad.dram_total_gbps = 0.0;
+        assert!(bad.validate_shards(1).is_err());
+    }
+
+    #[test]
+    fn fingerprint_ignores_shard_count() {
+        // Sharding is an execution strategy, not a machine: memo caches
+        // and artifact stems must not fork on MCM_SHARDS.
+        let a = SystemConfig::baseline_mcm();
+        let print = a.fingerprint();
+        for shards in [1usize, 2, 4] {
+            assert!(a.validate_shards(shards).is_ok());
+            assert_eq!(a.fingerprint(), print);
+        }
     }
 
     #[test]

@@ -45,6 +45,7 @@
 
 mod config;
 mod report;
+mod shard;
 mod sim;
 mod system;
 
@@ -54,5 +55,6 @@ pub mod reference;
 
 pub use config::{CacheHierarchy, SystemConfig, Topology, KIB, MIB};
 pub use report::RunReport;
+pub use shard::{effective_shards, ShardRunStats};
 pub use sim::Simulator;
 pub use system::McmSystem;

@@ -1,0 +1,691 @@
+//! Sharded execution: one simulation, split across cores, bit-exact.
+//!
+//! [`Simulator::run_sharded`] partitions the machine by module — module
+//! `m` (its SMs, L1/MSHRs, L1.5, crossbar, L2, DRAM partition, and the
+//! fabric links its hops charge) belongs to shard `m % shards` — and
+//! advances the shards in **bounded epochs** of conservative parallel
+//! discrete-event simulation. The lookahead is physical: every
+//! cross-module interaction rides the inter-GPM fabric and pays at
+//! least one hop latency `L`, so an epoch that ends at `L` past the
+//! minimum next event can be simulated by every shard independently — no event
+//! produced inside the window can affect another shard within it.
+//! Cross-shard traffic (ring/mesh hops entering a foreign module) is
+//! exchanged through per-sender mailboxes at the epoch barrier.
+//!
+//! Equivalence with the serial engine is *by construction*, not by
+//! averaging: the event queue orders same-time events by content key
+//! (see [`mcm_engine::EventQueue`]), every contended resource is owned
+//! by exactly one shard, and the few genuinely global decisions — a
+//! centralized or work-stealing CTA draw, a first-touch page placement
+//! — are taken in canonical event order through a [`Sequencer`]. Each
+//! shard's pop order is therefore the restriction of the serial global
+//! order to the events it owns, and every counter, cache state, and
+//! timestamp lands on identical values. `MCM_SHARDS=k` changes
+//! wall-clock time and nothing else; the shard-invariance test suite
+//! (`tests/shard_determinism.rs`) pins that byte-for-byte.
+//!
+//! Runs with an *active* probe fall back to the serial engine: a probe
+//! observes the global event stream (queue depths, interleaved request
+//! stages), which only the serial loop materializes. Inactive probes
+//! (`Probe::ACTIVE == false`) still receive their kernel-boundary
+//! hooks. Fault plans shard cleanly — they are consulted only at
+//! shard-owned resources — and need only be `Clone` so each shard can
+//! fork the identical deterministic plan.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use mcm_engine::Cycle;
+use mcm_exec::barrier::{run_shards, ShardBarrier};
+use mcm_fault::{FaultPlan, NullFaultPlan};
+use mcm_mem::page::{PageMap, PlacementPolicy};
+use mcm_probe::{NullProbe, Probe};
+use mcm_sm::{CtaPool, SchedulerPolicy};
+use mcm_workloads::WorkloadSpec;
+
+use crate::config::SystemConfig;
+use crate::report::RunReport;
+use crate::sim::{finish_report, module_interleaved_order, Ev, PoolRef, Req, RunState, Simulator};
+
+/// A canonical event coordinate `(time, wave, key)` — the total order
+/// the event queue pops in. Every sequenced global decision is tagged
+/// with the coordinates of the event taking it.
+pub(crate) type Pos = (u64, u32, u64);
+
+/// Locks a mutex, tolerating poison: shard teardown is handled by the
+/// barrier's abort protocol, and all guarded state is either
+/// single-writer or checked by the determinism suite.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Orders the few genuinely global decisions of a sharded run (a
+/// centralized CTA draw, a first-touch page placement) by canonical
+/// event coordinates.
+///
+/// Each shard publishes the coordinates of the event it is processing;
+/// [`Sequencer::wait_until_min`] blocks until no other shard is at or
+/// before the caller's position — at which point the caller's event is
+/// the global minimum among unprocessed events, so taking the decision
+/// now reproduces exactly the serial order. A shard that finishes its
+/// epoch publishes a *sentinel* at the epoch's end (past every event in
+/// the window), so waiting peers are never stranded on an idle shard:
+/// the protocol can delay, never deadlock — among blocked shards the
+/// one at the global minimum position only ever waits on shards that
+/// are still running, and every running shard eventually publishes a
+/// position above the window.
+pub(crate) struct Sequencer {
+    slots: Mutex<Vec<Pos>>,
+    cv: Condvar,
+}
+
+impl Sequencer {
+    /// A sequencer for `shards` peers, all starting at the origin.
+    pub(crate) fn new(shards: usize) -> Self {
+        Sequencer {
+            slots: Mutex::new(vec![(0, 0, 0); shards]),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Publishes `pos` as shard `me`'s current position and blocks
+    /// until every other shard's published position is strictly
+    /// greater.
+    pub(crate) fn wait_until_min(&self, me: usize, pos: Pos) {
+        let mut slots = self
+            .slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        slots[me] = pos;
+        self.cv.notify_all();
+        while slots.iter().enumerate().any(|(i, &p)| i != me && p <= pos) {
+            slots = self
+                .cv
+                .wait(slots)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Publishes `pos` as shard `me`'s position without waiting — the
+    /// end-of-epoch sentinel that releases peers.
+    pub(crate) fn publish(&self, me: usize, pos: Pos) {
+        let mut slots = self
+            .slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        slots[me] = pos;
+        self.cv.notify_all();
+    }
+
+    /// Resets every slot to `pos` — a kernel boundary restarts time
+    /// (the new launch time may precede the last epoch's window end, so
+    /// stale sentinels would otherwise outrank live positions).
+    pub(crate) fn reset_all(&self, pos: Pos) {
+        let mut slots = self
+            .slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        slots.fill(pos);
+        self.cv.notify_all();
+    }
+}
+
+/// One cross-shard event in flight: a request whose next stage is owned
+/// by another shard, delivered at the epoch barrier.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Msg {
+    /// Event time of the request's next stage.
+    pub(crate) at: Cycle,
+    /// Event-queue key (the request's tagged id).
+    pub(crate) key: u64,
+    /// The request itself (stage already names the next stage).
+    pub(crate) req: Req,
+    /// Epoch the message was sent in (conservation diagnostics).
+    pub(crate) epoch: u64,
+}
+
+/// Per-shard execution context threaded through the run-state's cold
+/// paths.
+pub(crate) struct ShardCtx {
+    /// This shard's index.
+    pub(crate) me: usize,
+    /// Team size (module `m` belongs to shard `m % shards`).
+    pub(crate) shards: usize,
+    /// Exclusive end of the current epoch window.
+    pub(crate) epoch_end: Cycle,
+    /// Canonical coordinates of the event being processed.
+    pub(crate) pos: Pos,
+    /// Cross-shard messages produced this epoch.
+    pub(crate) outbox: Vec<Msg>,
+    /// The team's decision sequencer.
+    pub(crate) seq: Arc<Sequencer>,
+    /// Whether CTA draws read global scheduler state (centralized
+    /// cursor, work stealing) and must be sequenced. Distributed and
+    /// chunked draws touch only the drawing module's own queue.
+    pub(crate) needs_draw_sequencing: bool,
+    /// The team-shared authoritative first-touch page map (`None` for
+    /// pure placement policies, which every shard evaluates locally).
+    pub(crate) shared_pages: Option<Arc<Mutex<PageMap>>>,
+    /// Per-shard replica of settled first-touch mappings: page index →
+    /// home module. A settled page never re-maps, so hits need no
+    /// cross-shard ordering.
+    pub(crate) ft_cache: HashMap<u64, u8>,
+    /// Lines per page (for the replica cache's page extraction).
+    pub(crate) ft_page_lines: u64,
+    /// Lookups served by the replica cache, folded into the shared
+    /// map's counter at merge time.
+    pub(crate) ft_extra_lookups: u64,
+    /// Cross-shard messages sent / received by this shard.
+    pub(crate) sent: u64,
+    /// See [`ShardCtx::sent`].
+    pub(crate) received: u64,
+    /// Epochs this shard has completed.
+    pub(crate) epoch: u64,
+}
+
+/// What a sharded run did, alongside its (shard-invariant) report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRunStats {
+    /// Shards that actually ran (after clamping; 1 means the serial
+    /// engine ran).
+    pub shards: usize,
+    /// Epoch windows executed.
+    pub epochs: u64,
+    /// Cross-shard messages exchanged through the mailboxes.
+    pub messages: u64,
+    /// Messages that arrived *inside* the epoch they were sent in — a
+    /// lookahead violation. Always zero; checked by the conservation
+    /// suite.
+    pub late_deliveries: u64,
+    /// Messages left undelivered at the end of the run. Always zero;
+    /// checked by the conservation suite.
+    pub residual_messages: u64,
+}
+
+impl ShardRunStats {
+    fn serial() -> Self {
+        ShardRunStats {
+            shards: 1,
+            epochs: 0,
+            messages: 0,
+            late_deliveries: 0,
+            residual_messages: 0,
+        }
+    }
+}
+
+/// The number of shards a configuration can actually use: `requested`,
+/// clamped to the module count, and forced to 1 when the fabric has no
+/// hop latency (zero lookahead admits no conservative window) or the
+/// machine is monolithic.
+pub fn effective_shards(cfg: &SystemConfig, requested: usize) -> usize {
+    if cfg.topology.hop_cycles == 0 || cfg.topology.modules <= 1 {
+        1
+    } else {
+        requested.clamp(1, usize::from(cfg.topology.modules))
+    }
+}
+
+/// Leader-side bookkeeping shared through the epoch control block.
+struct Ctrl {
+    /// Exclusive end of the current epoch window.
+    window_end: Cycle,
+    /// Kernel currently executing.
+    kernel: u32,
+    /// Launch time of the current kernel / completion time so far.
+    now: Cycle,
+    /// Set once the last kernel has drained; shards exit at the next
+    /// epoch top.
+    done: bool,
+    /// Epoch windows executed.
+    epochs: u64,
+    /// Mailbox messages delivered.
+    delivered: u64,
+    /// Deliveries violating the lookahead (see
+    /// [`ShardRunStats::late_deliveries`]).
+    late: u64,
+}
+
+impl Simulator {
+    /// Runs `spec` on `cfg` split across `shards` cores, producing the
+    /// same [`RunReport`] as [`Simulator::run`] bit-for-bit.
+    ///
+    /// `shards` is clamped per [`effective_shards`]; `shards <= 1` (or
+    /// a config with no usable lookahead) runs the serial engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration or workload fails validation, or if
+    /// `shards` is zero.
+    pub fn run_sharded(cfg: &SystemConfig, spec: &WorkloadSpec, shards: usize) -> RunReport {
+        Simulator::run_sharded_stats(cfg, spec, shards).0
+    }
+
+    /// Like [`Simulator::run_sharded`], also returning the run's
+    /// [`ShardRunStats`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration or workload fails validation, or if
+    /// `shards` is zero.
+    pub fn run_sharded_stats(
+        cfg: &SystemConfig,
+        spec: &WorkloadSpec,
+        shards: usize,
+    ) -> (RunReport, ShardRunStats) {
+        Simulator::run_faulted_sharded(cfg, spec, &mut NullProbe, &mut NullFaultPlan, shards)
+    }
+
+    /// Runs `spec` on `cfg` across `shards` cores under a fault plan,
+    /// forwarding kernel-boundary hooks to `probe`.
+    ///
+    /// The plan is forked (`Clone`) per shard; deterministic plans (all
+    /// the crate ships) consult pure seeded draws or per-link state
+    /// that sharding partitions exactly, so faulted runs stay
+    /// bit-identical to their serial counterparts. A probe with
+    /// `Probe::ACTIVE == true` observes the *global* event interleaving
+    /// and therefore falls back to the serial engine (reported as
+    /// `shards: 1` in the stats); inactive probes still receive
+    /// `kernel_begin`/`kernel_end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration or workload fails validation, or if
+    /// `shards` is zero.
+    pub fn run_faulted_sharded<P: Probe + Send, F: FaultPlan + Clone + Send>(
+        cfg: &SystemConfig,
+        spec: &WorkloadSpec,
+        probe: &mut P,
+        plan: &mut F,
+        shards: usize,
+    ) -> (RunReport, ShardRunStats) {
+        assert!(shards >= 1, "need at least one shard");
+        cfg.validate().expect("invalid system configuration");
+        spec.validate().expect("invalid workload spec");
+        let eff = effective_shards(cfg, shards);
+        if P::ACTIVE || eff <= 1 {
+            let report = Simulator::run_faulted(cfg, spec, probe, plan);
+            return (report, ShardRunStats::serial());
+        }
+        run_sharded_inner(cfg, spec, probe, plan, eff)
+    }
+}
+
+/// The sharded engine proper (`eff >= 2`, inactive probe).
+fn run_sharded_inner<P: Probe + Send, F: FaultPlan + Clone + Send>(
+    cfg: &SystemConfig,
+    spec: &WorkloadSpec,
+    probe: &mut P,
+    plan: &mut F,
+    eff: usize,
+) -> (RunReport, ShardRunStats) {
+    let lookahead = cfg.topology.hop_cycles;
+    debug_assert!(lookahead > 0);
+    let seq = Arc::new(Sequencer::new(eff));
+    let needs_draw_sequencing = matches!(
+        cfg.scheduler,
+        SchedulerPolicy::Centralized | SchedulerPolicy::Dynamic { .. }
+    );
+    let ft_page_lines = (cfg.ft_page_bytes / mcm_mem::addr::LINE_BYTES).max(1);
+    let shared_pages = (cfg.placement == PlacementPolicy::FirstTouch).then(|| {
+        Arc::new(Mutex::new(PageMap::with_page_lines(
+            cfg.placement,
+            cfg.topology.modules,
+            ft_page_lines,
+        )))
+    });
+
+    // A shard's in-flight requests are bounded by its SMs' MSHR
+    // entries, and each can cross a shard boundary a couple of times
+    // per epoch window; reserving the bound up front keeps steady-state
+    // epochs allocation-free (the hot-loop contract extends per shard).
+    let sms_per_shard = cfg.topology.total_sms() as usize / eff + 1;
+    let msg_cap = (sms_per_shard * cfg.sm.mshr_entries * 2).clamp(64, 1 << 20);
+
+    let states: Vec<Mutex<RunState<'_, NullProbe, F>>> = (0..eff)
+        .map(|me| {
+            let ctx = ShardCtx {
+                me,
+                shards: eff,
+                epoch_end: Cycle::ZERO,
+                pos: (0, 0, 0),
+                outbox: Vec::with_capacity(msg_cap),
+                seq: Arc::clone(&seq),
+                needs_draw_sequencing,
+                shared_pages: shared_pages.clone(),
+                ft_cache: HashMap::new(),
+                ft_page_lines,
+                ft_extra_lookups: 0,
+                sent: 0,
+                received: 0,
+                epoch: 0,
+            };
+            Mutex::new(RunState::new(cfg, spec, NullProbe, plan.clone(), Some(ctx)))
+        })
+        .collect();
+
+    let (modules, total_sms) = {
+        let st = lock(&states[0]);
+        (st.sys.modules(), st.sys.total_sms())
+    };
+    let sm_order = module_interleaved_order(modules, total_sms);
+    let per_module = total_sms / modules;
+    let pool = Mutex::new(CtaPool::new(cfg.scheduler, spec.ctas, modules as u32));
+    let lanes: Vec<Mutex<Vec<Msg>>> = (0..eff)
+        .map(|_| Mutex::new(Vec::with_capacity(msg_cap)))
+        .collect();
+    let probe_mx = Mutex::new(probe);
+
+    let launch = |kernel: u32, now: Cycle, pool_guard: &mut CtaPool| {
+        lock(&probe_mx).kernel_begin(kernel, now);
+        let mut any_dead = false;
+        for state in &states {
+            let mut st = lock(state);
+            st.kernel = kernel;
+            st.horizon = now;
+            st.queue.sync_to(now);
+            if F::ACTIVE {
+                // Plans are deterministic forks: every shard computes
+                // the same mask.
+                any_dead |= st.refresh_disabled(kernel, now);
+            }
+        }
+        if any_dead {
+            let disabled = lock(&states[0]).disabled.clone();
+            pool_guard.resteal_disabled(&disabled);
+        }
+        // The serial engine's placement rounds, dispatched to the
+        // owning shard's state; `Direct` pool access skips draw
+        // sequencing (this is the canonical order already).
+        loop {
+            let mut admitted = false;
+            for &sm in &sm_order {
+                let owner = (sm / per_module) % eff;
+                if lock(&states[owner]).admit_cta(&mut PoolRef::Direct(pool_guard), sm, now) {
+                    admitted = true;
+                }
+            }
+            if !admitted {
+                break;
+            }
+        }
+        seq.reset_all((now.as_u64(), 0, 0));
+    };
+
+    // Plans the next epoch window; at a kernel boundary, retires the
+    // kernel and launches the next (or marks the run done).
+    let plan_next_epoch = |c: &mut Ctrl| loop {
+        let next = states
+            .iter()
+            .filter_map(|s| lock(s).queue.peek_time())
+            .min();
+        if let Some(t) = next {
+            c.window_end = Cycle::new(t.as_u64() + lookahead);
+            c.epochs += 1;
+            return;
+        }
+        debug_assert!(
+            lanes.iter().all(|l| lock(l).is_empty()),
+            "kernel drained with undelivered mail"
+        );
+        debug_assert!(
+            lock(&pool).is_exhausted(),
+            "kernel drained with unscheduled CTAs"
+        );
+        c.now = states
+            .iter()
+            .map(|s| lock(s).horizon)
+            .max()
+            .unwrap_or(c.now);
+        lock(&probe_mx).kernel_end(c.kernel, c.now);
+        for state in &states {
+            lock(state).sys.flush_private_caches();
+        }
+        c.kernel += 1;
+        if c.kernel >= spec.kernel_iters {
+            c.done = true;
+            return;
+        }
+        let mut pg = lock(&pool);
+        pg.reset();
+        launch(c.kernel, c.now, &mut pg);
+    };
+
+    // Kernel 0 launch and the first window, before any worker runs.
+    let ctrl = Mutex::new(Ctrl {
+        window_end: Cycle::ZERO,
+        kernel: 0,
+        now: Cycle::ZERO,
+        done: false,
+        epochs: 0,
+        delivered: 0,
+        late: 0,
+    });
+    {
+        let mut pg = lock(&pool);
+        launch(0, Cycle::ZERO, &mut pg);
+        drop(pg);
+        plan_next_epoch(&mut lock(&ctrl));
+    }
+
+    let barrier = ShardBarrier::new(eff);
+    run_shards(eff, &barrier, |me| {
+        loop {
+            barrier.wait(); // A: the leader's window/done flag is set.
+            let (window_end, done) = {
+                let c = lock(&ctrl);
+                (c.window_end, c.done)
+            };
+            if done {
+                break;
+            }
+            {
+                let mut st = lock(&states[me]);
+                if let Some(ctx) = &mut st.shard {
+                    ctx.epoch_end = window_end;
+                }
+                while let Some(t) = st.queue.peek_time() {
+                    if t >= window_end {
+                        break;
+                    }
+                    let (t, wave, key, ev) = st.queue.pop_entry().expect("peeked event vanished");
+                    st.horizon = st.horizon.max(t);
+                    if let Some(ctx) = &mut st.shard {
+                        ctx.pos = (t.as_u64(), wave, key);
+                    }
+                    match ev {
+                        Ev::Warp(widx) => {
+                            st.advance_warp(&mut PoolRef::Shared(&pool), widx, t);
+                        }
+                        Ev::Req(ridx) => st.advance_req(ridx, t),
+                    }
+                }
+                // Sentinel: past every event in the window, so peers
+                // sequencing inside it stop waiting on this shard.
+                seq.publish(me, (window_end.as_u64(), 0, 0));
+                if let Some(ctx) = &mut st.shard {
+                    ctx.epoch += 1;
+                    lock(&lanes[me]).append(&mut ctx.outbox);
+                }
+            }
+            if barrier.wait() {
+                // B: last arrival runs the epoch boundary — deliver
+                // mail in sender order (temp-slot allocation on the
+                // receiving shards is then deterministic), then plan
+                // the next window. Peers are parked at A meanwhile.
+                let mut c = lock(&ctrl);
+                for lane in &lanes {
+                    for msg in lock(lane).drain(..) {
+                        if msg.at < c.window_end {
+                            c.late += 1;
+                        }
+                        let dest = usize::from(msg.req.stage_module()) % eff;
+                        lock(&states[dest]).deliver_msg(msg);
+                        c.delivered += 1;
+                    }
+                }
+                plan_next_epoch(&mut c);
+            }
+        }
+    });
+
+    // Merge: shard 0's machine absorbs every component the others own;
+    // whole-run counters sum.
+    let residual: u64 = lanes.iter().map(|l| lock(l).len() as u64).sum();
+    let ctrl = ctrl
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut states: Vec<RunState<'_, NullProbe, F>> = states
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        })
+        .collect();
+    let now = states
+        .iter()
+        .map(|s| s.horizon)
+        .max()
+        .unwrap_or(Cycle::ZERO);
+    debug_assert_eq!(now, ctrl.now);
+    let mut rest = states.split_off(1);
+    let mut base = states.pop().expect("shard 0 state");
+    let mut sent = 0u64;
+    let mut received = 0u64;
+    let mut ft_lookups = 0u64;
+    if let Some(ctx) = &base.shard {
+        sent += ctx.sent;
+        received += ctx.received;
+        ft_lookups += ctx.ft_extra_lookups;
+    }
+    for (i, other) in rest.iter_mut().enumerate() {
+        base.sys.absorb_owned(&mut other.sys, eff, i + 1);
+        base.sys.add_page_lookups(other.sys.page_map().lookups());
+        if let Some(ctx) = &other.shard {
+            sent += ctx.sent;
+            received += ctx.received;
+            ft_lookups += ctx.ft_extra_lookups;
+        }
+    }
+    drop(rest);
+    if let Some(shared) = shared_pages {
+        // Release shard 0's clone of the shared map so the unwrap
+        // below sees the last reference.
+        base.shard = None;
+        let map = Arc::try_unwrap(shared)
+            .expect("page-map still shared after join")
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        base.sys.install_page_map(map);
+        base.sys.add_page_lookups(ft_lookups);
+    }
+    debug_assert_eq!(sent, ctrl.delivered + residual);
+    debug_assert_eq!(sent - residual, received);
+    let report = finish_report(cfg, spec, now, base.sys);
+    let stats = ShardRunStats {
+        shards: eff,
+        epochs: ctrl.epochs,
+        messages: ctrl.delivered,
+        late_deliveries: ctrl.late,
+        residual_messages: residual,
+    };
+    (report, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec() -> WorkloadSpec {
+        let mut spec = WorkloadSpec::template("quick");
+        spec.ctas = 64;
+        spec.warps_per_cta = 2;
+        spec.insts_per_warp = 128;
+        spec.kernel_iters = 2;
+        spec.footprint_bytes = 8 << 20;
+        spec
+    }
+
+    fn small_mcm() -> SystemConfig {
+        let mut cfg = SystemConfig::baseline_mcm();
+        cfg.topology.sms_per_module = 4; // 16 SMs
+        cfg
+    }
+
+    #[test]
+    fn sharded_matches_serial_on_the_baseline() {
+        let spec = quick_spec();
+        let cfg = small_mcm();
+        let serial = Simulator::run(&cfg, &spec);
+        for shards in [2, 3, 4] {
+            let (report, stats) = Simulator::run_sharded_stats(&cfg, &spec, shards);
+            assert_eq!(report, serial, "diverged at {shards} shards");
+            assert_eq!(stats.shards, shards);
+            assert_eq!(stats.late_deliveries, 0);
+            assert_eq!(stats.residual_messages, 0);
+        }
+    }
+
+    #[test]
+    fn sharded_matches_serial_under_ds_ft() {
+        // Distributed scheduling + first-touch placement: the shared
+        // page map and replica caches must reproduce the serial
+        // first-touch order exactly.
+        let spec = quick_spec();
+        let mut cfg = small_mcm();
+        cfg.scheduler = mcm_sm::SchedulerPolicy::Distributed;
+        cfg.placement = PlacementPolicy::FirstTouch;
+        cfg.name = "dsft".into();
+        let serial = Simulator::run(&cfg, &spec);
+        for shards in [2, 4] {
+            let (report, _) = Simulator::run_sharded_stats(&cfg, &spec, shards);
+            assert_eq!(report, serial, "diverged at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn sharded_matches_serial_with_draw_sequencing() {
+        // Dynamic (work-stealing) draws read global scheduler state:
+        // every draw goes through the sequencer.
+        let spec = quick_spec();
+        let mut cfg = small_mcm();
+        cfg.scheduler = mcm_sm::SchedulerPolicy::Dynamic { group: 4 };
+        cfg.name = "dynamic".into();
+        let serial = Simulator::run(&cfg, &spec);
+        let (report, _) = Simulator::run_sharded_stats(&cfg, &spec, 4);
+        assert_eq!(report, serial);
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_usable_parallelism() {
+        let cfg = small_mcm();
+        assert_eq!(effective_shards(&cfg, 0), 1);
+        assert_eq!(effective_shards(&cfg, 3), 3);
+        assert_eq!(effective_shards(&cfg, 99), 4);
+        let mono = SystemConfig::monolithic(16);
+        assert_eq!(effective_shards(&mono, 8), 1);
+        let mut free = small_mcm();
+        free.topology.hop_cycles = 0;
+        assert_eq!(effective_shards(&free, 4), 1, "zero lookahead is serial");
+    }
+
+    #[test]
+    fn oversubscribed_shards_clamp_and_still_match() {
+        let spec = quick_spec();
+        let cfg = small_mcm();
+        let serial = Simulator::run(&cfg, &spec);
+        let (report, stats) = Simulator::run_sharded_stats(&cfg, &spec, 99);
+        assert_eq!(stats.shards, 4, "4 modules cap the team");
+        assert_eq!(report, serial);
+    }
+
+    #[test]
+    fn message_conservation_holds() {
+        let spec = quick_spec();
+        let (_, stats) = Simulator::run_sharded_stats(&small_mcm(), &spec, 4);
+        assert!(stats.epochs > 0);
+        assert!(stats.messages > 0, "a NUMA run must cross shards");
+        assert_eq!(stats.late_deliveries, 0);
+        assert_eq!(stats.residual_messages, 0);
+    }
+}

@@ -6,9 +6,20 @@
 //! kinds**: a *warp* event advances one warp (compute bursts issue
 //! inline; loads block the warp), and a *request* event advances one
 //! in-flight memory request through the next hierarchy stage (L1.5 →
-//! fabric/ring → home L2/DRAM → ring response). Staging each traversal
-//! as its own event keeps every bandwidth resource's arrivals globally
-//! time-ordered, which the next-free-time queuing model requires.
+//! fabric/ring → home L2/DRAM → ring response → delivery). Staging each
+//! traversal as its own event keeps every bandwidth resource's arrivals
+//! globally time-ordered, which the next-free-time queuing model
+//! requires.
+//!
+//! Every event carries a **content key** (a warp's grid coordinates, a
+//! request's issue id) and the queue breaks timestamp ties by `(wave,
+//! key)` — see [`EventQueue`]. Because the key is derived from *what*
+//! the event is rather than *when it was pushed*, the global processing
+//! order is a property of the workload alone. That is what lets
+//! [`crate::shard`] split one run across threads, one shard per module
+//! group, and still reproduce this serial loop bit-for-bit: each
+//! shard's local pop order is the restriction of the global keyed
+//! order to the events it owns.
 //!
 //! Loads coalesce through the per-SM MSHR: concurrent misses to a line
 //! with a fill already in flight attach to that request as waiters. A
@@ -33,8 +44,16 @@ use mcm_workloads::WorkloadSpec;
 
 use crate::config::SystemConfig;
 use crate::report::RunReport;
+use crate::shard::{Msg, ShardCtx};
 use crate::system::{L15Outcome, McmSystem, REQUEST_BYTES};
 use mcm_interconnect::ring::RingDir;
+
+/// Event-key tag for warp events. Warp keys are the warp's grid
+/// coordinates (`cta * warps_per_cta + warp`), unique within a kernel.
+pub(crate) const TAG_WARP: u64 = 0;
+/// Event-key tag for request events (the high bit, so warp and request
+/// key spaces never collide). Request keys are the run-unique issue id.
+pub(crate) const TAG_REQ: u64 = 1 << 63;
 
 /// Runs workloads on configurations.
 ///
@@ -58,17 +77,21 @@ use mcm_interconnect::ring::RingDir;
 pub struct Simulator;
 
 #[derive(Clone, Copy, Debug)]
-enum Ev {
+pub(crate) enum Ev {
     /// Advance the warp in this slot.
     Warp(u32),
     /// Advance the in-flight memory request in this slot.
     Req(u32),
 }
 
-struct WarpRt {
+pub(crate) struct WarpRt {
     stream: WarpStream,
     sm: u32,
     cta_slot: u32,
+    /// Content key for this warp's events: `TAG_WARP | (cta *
+    /// warps_per_cta + warp)`. Stable across shard counts (slot indices
+    /// are not, so they must never reach the event queue).
+    key: u64,
     /// A load stalled on a full MSHR, awaiting replay.
     pending_load: Option<LineAddr>,
     /// Misses currently in flight for this warp.
@@ -93,7 +116,7 @@ struct CtaRt {
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum Stage {
+pub(crate) enum Stage {
     /// Probe the L1.5 and cross the module's crossbar.
     Access,
     /// Ride the ring toward the home module, one hop per event.
@@ -116,23 +139,38 @@ enum Stage {
         /// Hops still to take.
         left: u8,
     },
+    /// The response arrived at the requesting module; fill the caches
+    /// and wake the waiters. A separate stage (rather than completing
+    /// inline at the last ring hop) so the completion always runs on
+    /// the shard that owns the requesting SM.
+    Deliver,
 }
 
-struct Req {
-    /// Run-unique id, assigned at issue in creation order — the key the
-    /// probe layer correlates request lifecycle events by.
-    id: u64,
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Req {
+    /// Run-unique content id: `(sm << 40) | per-SM issue counter`.
+    /// Derived from the issuing SM rather than a global counter so the
+    /// id — which keys the event queue, the probe's request lifecycle,
+    /// and the fault plan's poison draws — is identical no matter how
+    /// the run is sharded.
+    pub(crate) id: u64,
     line: LineAddr,
     sm: u32,
-    module: u8,
+    pub(crate) module: u8,
     home: u8,
     locality: Locality,
-    is_read: bool,
+    pub(crate) is_read: bool,
     l15_fill: bool,
-    stage: Stage,
+    pub(crate) stage: Stage,
     /// Whether a poisoned fill already forced one replay — bounds the
     /// fault layer's MSHR-poison penalty to a single round trip.
     replayed: bool,
+    /// The request's slot in the *origin* shard's arena. While the
+    /// request travels through other shards it occupies temporary
+    /// slots there; the origin slot (which the MSHR and the waiter
+    /// list point at) stays reserved until delivery. In a serial run
+    /// this is simply the request's own slot.
+    pub(crate) origin_slot: u32,
 }
 
 impl Req {
@@ -145,14 +183,35 @@ impl Req {
             mcm_mem::addr::LINE_BYTES
         }
     }
+
+    /// The module whose owner must process the *next* event for this
+    /// request (given `stage` already names the upcoming stage).
+    pub(crate) fn stage_module(&self) -> u8 {
+        match self.stage {
+            Stage::Access | Stage::Deliver => self.module,
+            Stage::ToHome { at, .. } | Stage::ToRequester { at, .. } => at,
+            Stage::AtMem => self.home,
+        }
+    }
 }
 
-struct RunState<'a, P: Probe, F: FaultPlan> {
-    spec: &'a WorkloadSpec,
-    probe: &'a mut P,
-    plan: &'a mut F,
-    sys: McmSystem,
-    queue: EventQueue<Ev>,
+/// How a run-loop method reaches the CTA pool: the serial loop hands an
+/// exclusive borrow straight through; a shard locks the team's shared
+/// pool only for the draw itself.
+pub(crate) enum PoolRef<'p> {
+    /// Exclusive access (serial runs, and the leader's kernel-boundary
+    /// placement in sharded runs).
+    Direct(&'p mut CtaPool),
+    /// The team-shared pool of a sharded run.
+    Shared(&'p std::sync::Mutex<CtaPool>),
+}
+
+pub(crate) struct RunState<'a, P: Probe, F: FaultPlan> {
+    pub(crate) spec: &'a WorkloadSpec,
+    pub(crate) probe: P,
+    pub(crate) plan: F,
+    pub(crate) sys: McmSystem,
+    pub(crate) queue: EventQueue<Ev>,
     warps: Vec<Option<WarpRt>>,
     free_warps: Vec<u32>,
     ctas: Vec<Option<CtaRt>>,
@@ -169,12 +228,24 @@ struct RunState<'a, P: Probe, F: FaultPlan> {
     stalled: Vec<Vec<u32>>,
     /// Per-module hard-degradation mask, refreshed at each kernel
     /// launch from the fault plan; only consulted when `F::ACTIVE`.
-    disabled: Vec<bool>,
-    kernel: u32,
+    pub(crate) disabled: Vec<bool>,
+    pub(crate) kernel: u32,
     /// Latest timestamp any event reached.
-    horizon: Cycle,
-    /// Next request id to hand out (see [`Req::id`]).
-    next_req_id: u64,
+    pub(crate) horizon: Cycle,
+    /// Per-SM issue counters feeding [`Req::id`].
+    req_seq: Vec<u64>,
+    /// Capacity reserved for a slot's waiter buffer at its first use.
+    /// Serial runs leave this at zero (buffers grow once during warm-up
+    /// and are recycled); sharded runs reserve the per-request ceiling
+    /// up front because cross-shard temp-slot churn keeps minting cold
+    /// slots well past warm-up, and each first growth would break the
+    /// steady-state zero-allocation contract.
+    waiter_reserve: usize,
+    /// Sharded-execution context; `None` for a serial run. A runtime
+    /// field rather than a type parameter: the branch sits on cold
+    /// paths (request push, home resolution, pool draw), never in the
+    /// per-cycle hot loop.
+    pub(crate) shard: Option<ShardCtx>,
 }
 
 impl Simulator {
@@ -235,17 +306,141 @@ impl Simulator {
     ) -> RunReport {
         cfg.validate().expect("invalid system configuration");
         spec.validate().expect("invalid workload spec");
+        run_serial(cfg, spec, probe, plan)
+    }
+}
 
+/// The serial engine: one queue, one thread. The blanket `&mut`
+/// forwarding impls let the state own `probe`/`plan` by value here
+/// while callers keep their exclusive borrows.
+fn run_serial<P: Probe, F: FaultPlan>(
+    cfg: &SystemConfig,
+    spec: &WorkloadSpec,
+    probe: &mut P,
+    plan: &mut F,
+) -> RunReport {
+    let mut state: RunState<'_, &mut P, &mut F> = RunState::new(cfg, spec, probe, plan, None);
+    let sm_order = module_interleaved_order(state.sys.modules(), state.sys.total_sms());
+
+    // One pool for the whole run: later kernels rewind it in place
+    // (`reset` keeps queue capacity), so steady-state launches
+    // allocate nothing.
+    let mut pool = CtaPool::new(cfg.scheduler, spec.ctas, state.sys.modules() as u32);
+    let mut now = Cycle::ZERO;
+    for kernel in 0..spec.kernel_iters {
+        state.kernel = kernel;
+        state.horizon = now;
+        state.probe.kernel_begin(kernel, now);
+        if kernel > 0 {
+            pool.reset();
+        }
+
+        if F::ACTIVE && state.refresh_disabled(kernel, now) {
+            pool.resteal_disabled(&state.disabled);
+        }
+
+        // A fresh launch restarts same-cycle wave numbering, so the
+        // initial placement's event coordinates do not depend on how
+        // the previous kernel's tail happened to drain.
+        state.queue.sync_to(now);
+
+        // Initial placement: one CTA per SM per round until no SM
+        // can take more (or the pool runs dry).
+        loop {
+            let mut admitted = false;
+            for &sm in &sm_order {
+                if state.admit_cta(&mut PoolRef::Direct(&mut pool), sm, now) {
+                    admitted = true;
+                }
+            }
+            if !admitted {
+                break;
+            }
+        }
+
+        // Drain the launch: warps, then their trailing stores.
+        while let Some((t, ev)) = state.queue.pop() {
+            state.horizon = state.horizon.max(t);
+            if P::ACTIVE {
+                state.probe.queue_depth(t, state.queue.len());
+            }
+            match ev {
+                Ev::Warp(widx) => state.advance_warp(&mut PoolRef::Direct(&mut pool), widx, t),
+                Ev::Req(ridx) => state.advance_req(ridx, t),
+            }
+        }
+
+        debug_assert!(pool.is_exhausted(), "kernel drained with unscheduled CTAs");
+        now = state.horizon;
+        state.probe.kernel_end(kernel, now);
+        state.sys.flush_private_caches();
+    }
+
+    finish_report(cfg, spec, now, state.sys)
+}
+
+/// SMs in module-interleaved order: the centralized scheduler's
+/// round-robin then sends consecutive CTAs to different modules, the
+/// steady state of Fig. 8(a).
+pub(crate) fn module_interleaved_order(modules: usize, total_sms: usize) -> Vec<usize> {
+    let per_module = total_sms / modules;
+    let mut sm_order = Vec::with_capacity(total_sms);
+    for slot in 0..per_module {
+        for m in 0..modules {
+            sm_order.push(m * per_module + slot);
+        }
+    }
+    sm_order
+}
+
+/// Assembles the final [`RunReport`] from a drained machine.
+pub(crate) fn finish_report(
+    cfg: &SystemConfig,
+    spec: &WorkloadSpec,
+    now: Cycle,
+    sys: McmSystem,
+) -> RunReport {
+    RunReport {
+        workload: spec.name.to_string(),
+        config: cfg.name.clone(),
+        cycles: now,
+        instructions: sys.instructions(),
+        mem_ops: sys.reads() + sys.writes(),
+        reads: sys.reads(),
+        writes: sys.writes(),
+        local_accesses: sys.local_accesses(),
+        remote_accesses: sys.remote_accesses(),
+        l1: sys.l1_ratio(),
+        l15: sys.l15_ratio(),
+        l2: sys.l2_ratio(),
+        inter_module_bytes: sys.inter_module_bytes(),
+        dram_bytes: sys.dram_bytes(),
+        energy: sys.energy_ledger(),
+        modules: sys.module_stats(),
+    }
+}
+
+impl<'a, P: Probe, F: FaultPlan> RunState<'a, P, F> {
+    /// Builds the per-run (or per-shard) state: a fresh machine and
+    /// pre-sized slot arenas.
+    ///
+    /// The arenas are sized to their occupancy ceilings so the hot loop
+    /// never regrows them: warps and CTAs are bounded by SM occupancy,
+    /// read requests by total MSHR capacity. Fire-and-forget stores can
+    /// exceed the MSHR bound, so `reqs` keeps a store-burst slack
+    /// proportional to resident warps and may still grow once on a
+    /// pathological store storm — after which the arena is at peak and
+    /// stays allocation-free.
+    pub(crate) fn new(
+        cfg: &SystemConfig,
+        spec: &'a WorkloadSpec,
+        probe: P,
+        plan: F,
+        shard: Option<ShardCtx>,
+    ) -> Self {
         let sys = McmSystem::new(cfg);
         let total_sms = sys.total_sms();
         let module_count = sys.modules();
-        // Pre-size the slot arenas to their occupancy ceilings so the
-        // hot loop never regrows them: warps and CTAs are bounded by SM
-        // occupancy, read requests by total MSHR capacity. Fire-and-
-        // forget stores can exceed the MSHR bound, so `reqs` keeps a
-        // store-burst slack proportional to resident warps and may still
-        // grow once on a pathological store storm — after which the
-        // arena is at peak and stays allocation-free.
         let warp_cap = (total_sms * cfg.sm.max_warps as usize).min(1 << 20);
         let cta_cap = if spec.warps_per_cta == 0 {
             spec.ctas as usize
@@ -253,7 +448,27 @@ impl Simulator {
             (warp_cap / spec.warps_per_cta as usize + 1).min(spec.ctas as usize)
         };
         let req_cap = (total_sms * cfg.sm.mshr_entries + warp_cap).min(1 << 20);
-        let mut state = RunState {
+        let waiter_reserve = if shard.is_some() {
+            cfg.sm.max_warps as usize
+        } else {
+            0
+        };
+        let mut reqs: Vec<Option<Req>> = Vec::with_capacity(req_cap);
+        let mut free_reqs: Vec<u32> = Vec::with_capacity(req_cap);
+        let mut waiters: Vec<Vec<u32>> = Vec::with_capacity(req_cap);
+        if shard.is_some() {
+            // Sharded runs pre-warm the whole request arena (slots and
+            // their waiter buffers) to the occupancy ceiling: epoch-by-
+            // epoch temp-slot churn keeps nudging the live-slot high-
+            // water mark for the entire run, and every first touch of a
+            // fresh slot past warm-up would break the per-shard
+            // zero-allocation steady state. Serial runs keep the lazy
+            // grow-to-peak behaviour (their peak settles in kernel 0).
+            reqs.resize_with(req_cap, || None);
+            waiters.resize_with(req_cap, || Vec::with_capacity(waiter_reserve));
+            free_reqs.extend((0..req_cap as u32).rev());
+        }
+        RunState {
             spec,
             probe,
             plan,
@@ -263,130 +478,22 @@ impl Simulator {
             free_warps: Vec::with_capacity(warp_cap),
             ctas: Vec::with_capacity(cta_cap),
             free_ctas: Vec::with_capacity(cta_cap),
-            reqs: Vec::with_capacity(req_cap),
-            free_reqs: Vec::with_capacity(req_cap),
-            waiters: Vec::with_capacity(req_cap),
+            reqs,
+            free_reqs,
+            waiters,
             stalled: vec![Vec::new(); total_sms],
             disabled: vec![false; module_count],
             kernel: 0,
             horizon: Cycle::ZERO,
-            next_req_id: 0,
-        };
-
-        // SMs in module-interleaved order: the centralized scheduler's
-        // round-robin then sends consecutive CTAs to different modules,
-        // the steady state of Fig. 8(a).
-        let modules = state.sys.modules();
-        let per_module = total_sms / modules;
-        let mut sm_order = Vec::with_capacity(total_sms);
-        for slot in 0..per_module {
-            for m in 0..modules {
-                sm_order.push(m * per_module + slot);
-            }
-        }
-
-        // One pool for the whole run: later kernels rewind it in place
-        // (`reset` keeps queue capacity), so steady-state launches
-        // allocate nothing.
-        let mut pool = CtaPool::new(cfg.scheduler, spec.ctas, modules as u32);
-        let mut now = Cycle::ZERO;
-        for kernel in 0..spec.kernel_iters {
-            state.kernel = kernel;
-            state.horizon = now;
-            if P::ACTIVE {
-                state.probe.kernel_begin(kernel, now);
-            }
-            if kernel > 0 {
-                pool.reset();
-            }
-
-            if F::ACTIVE {
-                // Refresh the hard-degradation mask at the launch
-                // boundary (a GPM cannot die mid-kernel under the
-                // paper's software-coherence model) and move the dead
-                // modules' queued CTAs onto survivors. First-touch page
-                // mappings stay put, so restolen CTAs pay the true NUMA
-                // failover penalty for their remote data.
-                let mut any_dead = false;
-                for m in 0..modules {
-                    let dead = state.plan.module_disabled(m, kernel);
-                    state.disabled[m] = dead;
-                    if dead {
-                        any_dead = true;
-                        if P::ACTIVE {
-                            state.probe.fault(
-                                now,
-                                FaultEvent::ModuleDisabled {
-                                    module: m as u32,
-                                    kernel,
-                                },
-                            );
-                        }
-                    }
-                }
-                if any_dead {
-                    pool.resteal_disabled(&state.disabled);
-                }
-            }
-
-            // Initial placement: one CTA per SM per round until no SM
-            // can take more (or the pool runs dry).
-            loop {
-                let mut admitted = false;
-                for &sm in &sm_order {
-                    if state.admit_cta(&mut pool, sm, now) {
-                        admitted = true;
-                    }
-                }
-                if !admitted {
-                    break;
-                }
-            }
-
-            // Drain the launch: warps, then their trailing stores.
-            while let Some((t, ev)) = state.queue.pop() {
-                state.horizon = state.horizon.max(t);
-                if P::ACTIVE {
-                    state.probe.queue_depth(t, state.queue.len());
-                }
-                match ev {
-                    Ev::Warp(widx) => state.advance_warp(&mut pool, widx, t),
-                    Ev::Req(ridx) => state.advance_req(ridx, t),
-                }
-            }
-
-            debug_assert!(pool.is_exhausted(), "kernel drained with unscheduled CTAs");
-            now = state.horizon;
-            if P::ACTIVE {
-                state.probe.kernel_end(kernel, now);
-            }
-            state.sys.flush_private_caches();
-        }
-
-        let sys = state.sys;
-        RunReport {
-            workload: spec.name.to_string(),
-            config: cfg.name.clone(),
-            cycles: now,
-            instructions: sys.instructions(),
-            mem_ops: sys.reads() + sys.writes(),
-            reads: sys.reads(),
-            writes: sys.writes(),
-            local_accesses: sys.local_accesses(),
-            remote_accesses: sys.remote_accesses(),
-            l1: sys.l1_ratio(),
-            l15: sys.l15_ratio(),
-            l2: sys.l2_ratio(),
-            inter_module_bytes: sys.inter_module_bytes(),
-            dram_bytes: sys.dram_bytes(),
-            energy: sys.energy_ledger(),
-            modules: sys.module_stats(),
+            req_seq: vec![0; total_sms],
+            waiter_reserve,
+            shard,
         }
     }
-}
 
-impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
-    fn alloc_req(&mut self, req: Req) -> u32 {
+    /// Stores `req` in a free slot (the slot's previous waiter buffer
+    /// is retained, drained).
+    fn alloc_slot(&mut self, req: Req) -> u32 {
         match self.free_reqs.pop() {
             Some(slot) => {
                 debug_assert!(self.waiters[slot as usize].is_empty());
@@ -395,15 +502,97 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
             }
             None => {
                 self.reqs.push(Some(req));
-                self.waiters.push(Vec::new());
+                // All waiters on one request are warps of its issuing
+                // SM, so `max_warps` bounds the buffer for good.
+                self.waiters.push(Vec::with_capacity(self.waiter_reserve));
                 (self.reqs.len() - 1) as u32
             }
         }
     }
 
+    /// Allocates the *origin* slot for a freshly issued request and
+    /// stamps it into `origin_slot`.
+    fn alloc_req(&mut self, req: Req) -> u32 {
+        let slot = self.alloc_slot(req);
+        self.reqs[slot as usize]
+            .as_mut()
+            .expect("slot just filled")
+            .origin_slot = slot;
+        slot
+    }
+
+    /// Allocates a *temporary* slot for a request visiting from another
+    /// shard, preserving its foreign `origin_slot`.
+    fn alloc_temp(&mut self, req: Req) -> u32 {
+        self.alloc_slot(req)
+    }
+
+    /// Refreshes the hard-degradation mask from the fault plan at a
+    /// launch boundary (a GPM cannot die mid-kernel under the paper's
+    /// software-coherence model); returns whether any module is dead.
+    pub(crate) fn refresh_disabled(&mut self, kernel: u32, now: Cycle) -> bool {
+        let mut any_dead = false;
+        for m in 0..self.sys.modules() {
+            let dead = self.plan.module_disabled(m, kernel);
+            self.disabled[m] = dead;
+            if dead {
+                any_dead = true;
+                if P::ACTIVE {
+                    self.probe.fault(
+                        now,
+                        FaultEvent::ModuleDisabled {
+                            module: m as u32,
+                            kernel,
+                        },
+                    );
+                }
+            }
+        }
+        any_dead
+    }
+
+    /// Resolves the home module and locality of `line` for an access
+    /// from `module`.
+    ///
+    /// Serial runs (and sharded runs under pure placement policies,
+    /// whose page maps are stateless functions every shard replicates)
+    /// go straight to the local machine. Sharded first-touch runs
+    /// consult a per-shard cache of settled mappings first — a settled
+    /// page can never re-map, so a hit needs no cross-shard ordering —
+    /// and only sequence against the team for genuinely new pages,
+    /// where the *order* of first touches decides the placement.
+    fn resolve_home(&mut self, line: LineAddr, module: usize) -> (usize, Locality) {
+        let RunState { shard, sys, .. } = self;
+        let Some(ctx) = shard else {
+            return sys.home_of(line, module);
+        };
+        let Some(shared) = &ctx.shared_pages else {
+            return sys.home_of(line, module);
+        };
+        let page = line.index() / ctx.ft_page_lines;
+        if let Some(&home) = ctx.ft_cache.get(&page) {
+            ctx.ft_extra_lookups += 1;
+            let home = usize::from(home);
+            return (home, sys.note_locality(home, module));
+        }
+        // A page this shard has not seen: take the draw in canonical
+        // order, so whichever shard's access is globally first touches
+        // first — exactly the serial placement.
+        ctx.seq.wait_until_min(ctx.me, ctx.pos);
+        let mapped = {
+            let mut pages = shared
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            pages.partition_for(line, mcm_mem::addr::PartitionId(module as u8))
+        };
+        let home = mapped.as_usize();
+        ctx.ft_cache.insert(page, home as u8);
+        (home, sys.note_locality(home, module))
+    }
+
     /// Tries to pull one CTA from the pool onto `sm`; returns whether a
     /// CTA was admitted.
-    fn admit_cta(&mut self, pool: &mut CtaPool, sm: usize, now: Cycle) -> bool {
+    pub(crate) fn admit_cta(&mut self, pool: &mut PoolRef<'_>, sm: usize, now: Cycle) -> bool {
         let warps = self.spec.warps_per_cta;
         // Check occupancy *before* drawing from the pool: a drawn CTA
         // cannot be returned.
@@ -416,7 +605,25 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
         if F::ACTIVE && self.disabled[module] {
             return false;
         }
-        let Some(cta) = pool.next_cta(module) else {
+        let drawn = match pool {
+            PoolRef::Direct(p) => p.next_cta(module),
+            PoolRef::Shared(shared) => {
+                let ctx = self.shard.as_ref().expect("shared pool outside shard mode");
+                // Centralized/dynamic draws read global scheduler state
+                // whose hand-out order is the result; take them in
+                // canonical event order. Distributed/chunked draws only
+                // touch this module's own queue, which no other shard
+                // ever reads.
+                if ctx.needs_draw_sequencing {
+                    ctx.seq.wait_until_min(ctx.me, ctx.pos);
+                }
+                shared
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .next_cta(module)
+            }
+        };
+        let Some(cta) = drawn else {
             return false;
         };
         assert!(self.sys.sm_mut(sm).try_admit(warps));
@@ -434,10 +641,12 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
         });
 
         for w in 0..warps {
+            let key = TAG_WARP | (u64::from(cta) * u64::from(warps) + u64::from(w));
             let rt = WarpRt {
                 stream: WarpStream::new(self.spec, self.kernel, cta, w),
                 sm: sm as u32,
                 cta_slot,
+                key,
                 pending_load: None,
                 outstanding: 0,
                 resume_at: now,
@@ -458,7 +667,7 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
             if P::ACTIVE {
                 self.probe.warp_spawn(widx, sm as u32, now);
             }
-            self.queue.push(now, Ev::Warp(widx));
+            self.queue.push(now, key, Ev::Warp(widx));
         }
         true
     }
@@ -472,7 +681,7 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
     /// `resume_at` use-sync point, and every `mlp_per_warp` loads the
     /// warp synchronizes with it — modelling the consume of the oldest
     /// load without an extra event.
-    fn advance_warp(&mut self, pool: &mut CtaPool, widx: u32, t: Cycle) {
+    pub(crate) fn advance_warp(&mut self, pool: &mut PoolRef<'_>, widx: u32, t: Cycle) {
         let mut warp = self.warps[widx as usize]
             .take()
             .expect("event for dead warp");
@@ -585,7 +794,7 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
     }
 
     /// Retires a finished warp, releasing its CTA when it is the last.
-    fn retire_warp(&mut self, pool: &mut CtaPool, warp: WarpRt, widx: u32, t: Cycle) {
+    fn retire_warp(&mut self, pool: &mut PoolRef<'_>, warp: WarpRt, widx: u32, t: Cycle) {
         let sm = warp.sm;
         let cta_slot = warp.cta_slot;
         self.free_warps.push(widx);
@@ -611,9 +820,9 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
     /// only advance the warp's `resume_at`; misses raise `outstanding`.
     fn issue_load(&mut self, warp: &mut WarpRt, widx: u32, t: Cycle, line: LineAddr) -> bool {
         let sm = warp.sm as usize;
-        let (_, outcome) = self
-            .sys
-            .l1_access_probed(t, sm, line, AccessKind::Read, self.probe);
+        let (_, outcome) =
+            self.sys
+                .l1_access_probed(t, sm, line, AccessKind::Read, &mut self.probe);
         match outcome {
             CacheOutcome::Hit { ready_at } => {
                 warp.resume_at = warp.resume_at.max(ready_at);
@@ -633,9 +842,8 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
                 }
                 MshrLookup::CanIssue => {
                     let module = self.sys.module_of(sm);
-                    let (home, locality) = self.sys.home_of(line, module);
-                    let id = self.next_req_id;
-                    self.next_req_id += 1;
+                    let (home, locality) = self.resolve_home(line, module);
+                    let id = self.next_req_id(sm);
                     let ridx = self.alloc_req(Req {
                         id,
                         line,
@@ -647,6 +855,7 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
                         l15_fill: false,
                         stage: Stage::Access,
                         replayed: false,
+                        origin_slot: 0, // stamped by alloc_req
                     });
                     self.waiters[ridx as usize].push(widx);
                     self.sys.mshr_mut(sm).reserve_probed(
@@ -654,7 +863,7 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
                         u64::from(ridx),
                         warp.sm,
                         t,
-                        self.probe,
+                        &mut self.probe,
                     );
                     if P::ACTIVE {
                         warp.wait_loc = locality;
@@ -672,7 +881,7 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
                             },
                         );
                     }
-                    self.queue.push(ready_at, Ev::Req(ridx));
+                    self.queue.push(ready_at, TAG_REQ | id, Ev::Req(ridx));
                     warp.outstanding += 1;
                     true
                 }
@@ -692,15 +901,14 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
         let sm = warp.sm as usize;
         let (issued, outcome) =
             self.sys
-                .l1_access_probed(t, sm, line, AccessKind::Write, self.probe);
+                .l1_access_probed(t, sm, line, AccessKind::Write, &mut self.probe);
         let depart = match outcome {
             CacheOutcome::Hit { ready_at } | CacheOutcome::Miss { ready_at, .. } => ready_at,
             CacheOutcome::Bypass => issued,
         };
         let module = self.sys.module_of(sm);
-        let (home, locality) = self.sys.home_of(line, module);
-        let id = self.next_req_id;
-        self.next_req_id += 1;
+        let (home, locality) = self.resolve_home(line, module);
+        let id = self.next_req_id(sm);
         let ridx = self.alloc_req(Req {
             id,
             line,
@@ -712,6 +920,7 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
             l15_fill: false,
             stage: Stage::Access,
             replayed: false,
+            origin_slot: 0, // stamped by alloc_req
         });
         if P::ACTIVE {
             self.probe.request_issued(
@@ -726,8 +935,16 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
                 },
             );
         }
-        self.queue.push(depart, Ev::Req(ridx));
+        self.queue.push(depart, TAG_REQ | id, Ev::Req(ridx));
         issued
+    }
+
+    /// Hands out the next request id for `sm` (see [`Req::id`]).
+    fn next_req_id(&mut self, sm: usize) -> u64 {
+        let seq = self.req_seq[sm];
+        self.req_seq[sm] = seq + 1;
+        debug_assert!(seq < 1 << 40, "per-SM request sequence overflow");
+        ((sm as u64) << 40) | seq
     }
 
     /// Advances request `ridx` from event time `now` through one or
@@ -736,14 +953,16 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
     /// Each stage computes the request's next event time `t_next`. When
     /// probes are inactive, the common `Stage::Access` → ring-hop →
     /// memory chains are advanced **inline** whenever no other pending
-    /// event is due at or before `t_next` — i.e. exactly when popping
-    /// the queue would hand this request straight back. Skipping the
+    /// event is due at or before `t_next` — i.e. exactly when the
+    /// request would be the queue's sole earliest event. Skipping the
     /// push/pop round trip is then observationally identical: the
     /// global processing order (and with it every resource-model and
     /// fault-plan consultation order) is unchanged, so runs stay
     /// bit-exact. With an active probe the request is always re-queued,
-    /// because `Probe::queue_depth` observes every pop.
-    fn advance_req(&mut self, ridx: u32, now: Cycle) {
+    /// because `Probe::queue_depth` observes every pop. A shard
+    /// additionally refuses to chain past its epoch window or onto a
+    /// stage another shard owns.
+    pub(crate) fn advance_req(&mut self, ridx: u32, now: Cycle) {
         let mut req = self.reqs[ridx as usize]
             .take()
             .expect("event for freed request");
@@ -751,12 +970,17 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
         loop {
             if P::ACTIVE {
                 let stage = match req.stage {
-                    Stage::Access => ReqStage::Access,
-                    Stage::ToHome { at, .. } => ReqStage::ToHome { at },
-                    Stage::AtMem => ReqStage::Mem,
-                    Stage::ToRequester { at, .. } => ReqStage::ToRequester { at },
+                    Stage::Access => Some(ReqStage::Access),
+                    Stage::ToHome { at, .. } => Some(ReqStage::ToHome { at }),
+                    Stage::AtMem => Some(ReqStage::Mem),
+                    Stage::ToRequester { at, .. } => Some(ReqStage::ToRequester { at }),
+                    // Delivery is a scheduling artifact (the completion
+                    // itself is observed via `request_retired`).
+                    Stage::Deliver => None,
                 };
-                self.probe.request_stage(req.id, now, stage);
+                if let Some(stage) = stage {
+                    self.probe.request_stage(req.id, now, stage);
+                }
             }
             let t_next = match req.stage {
                 Stage::Access => {
@@ -773,7 +997,7 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
                         req.line,
                         kind,
                         req.locality,
-                        self.probe,
+                        &mut self.probe,
                     ) {
                         L15Outcome::Hit { ready_at } => {
                             if req.is_read {
@@ -790,7 +1014,7 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
                         }
                         L15Outcome::NotPresent => {}
                     }
-                    let out = self.sys.fabric_out_probed(t, module, self.probe);
+                    let out = self.sys.fabric_out_probed(t, module, &mut self.probe);
                     if module == usize::from(req.home) {
                         req.stage = Stage::AtMem;
                     } else {
@@ -812,8 +1036,8 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
                         usize::from(req.home),
                         dir,
                         bytes,
-                        self.probe,
-                        self.plan,
+                        &mut self.probe,
+                        &mut self.plan,
                     );
                     req.stage = if left == 1 {
                         debug_assert_eq!(next, usize::from(req.home));
@@ -835,8 +1059,8 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
                             home,
                             req.line,
                             req.locality,
-                            self.probe,
-                            self.plan,
+                            &mut self.probe,
+                            &mut self.plan,
                         );
                         if req.locality.is_remote() {
                             let (dir, hops) = self.sys.ring_route(home, usize::from(req.module));
@@ -857,8 +1081,8 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
                             home,
                             req.line,
                             req.locality,
-                            self.probe,
-                            self.plan,
+                            &mut self.probe,
+                            &mut self.plan,
                         );
                         if P::ACTIVE {
                             self.probe.request_retired(req.id, now);
@@ -875,38 +1099,135 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
                         usize::from(req.module),
                         dir,
                         mcm_mem::addr::LINE_BYTES,
-                        self.probe,
-                        self.plan,
+                        &mut self.probe,
+                        &mut self.plan,
                     );
                     if left == 1 {
                         debug_assert_eq!(next, usize::from(req.module));
-                        self.complete_read(req, ridx, arrival);
-                        return;
+                        req.stage = Stage::Deliver;
+                    } else {
+                        req.stage = Stage::ToRequester {
+                            at: next as u8,
+                            dir,
+                            left: left - 1,
+                        };
                     }
-                    req.stage = Stage::ToRequester {
-                        at: next as u8,
-                        dir,
-                        left: left - 1,
-                    };
                     arrival
+                }
+                Stage::Deliver => {
+                    self.complete_read(req, ridx, now);
+                    return;
                 }
             };
             // Inline the next stage if this event would be the queue's
-            // next pop anyway (strictly earlier than everything
-            // pending — an equal-time pending event holds a smaller
-            // insertion seq and must run first).
+            // sole earliest pop anyway (strictly earlier than every
+            // pending event; equal-time ties must go through the queue
+            // for the keyed order to arbitrate them).
             if !P::ACTIVE
+                && self.chain_allowed(&req, t_next)
                 && self
                     .queue
                     .peek_time()
                     .is_none_or(|pending| pending > t_next)
             {
+                if let Some(ctx) = &mut self.shard {
+                    // A chained continuation occupies exactly the
+                    // canonical coordinates the queued event would
+                    // have had.
+                    ctx.pos = (t_next.as_u64(), 0, TAG_REQ | req.id);
+                }
                 now = t_next;
                 continue;
             }
-            self.reqs[ridx as usize] = Some(req);
-            self.queue.push(t_next, Ev::Req(ridx));
+            self.push_req(t_next, ridx, req);
             return;
+        }
+    }
+
+    /// Whether a request may continue inline to its next stage at
+    /// `t_next` (see [`RunState::advance_req`]). Serial runs always
+    /// may; a shard must stop at its epoch window and at any stage
+    /// another shard owns.
+    fn chain_allowed(&self, req: &Req, t_next: Cycle) -> bool {
+        match &self.shard {
+            None => true,
+            Some(ctx) => {
+                t_next < ctx.epoch_end && usize::from(req.stage_module()) % ctx.shards == ctx.me
+            }
+        }
+    }
+
+    /// Schedules the next event for `req` at `t`: onto the local queue
+    /// when this shard owns the next stage (always, when serial),
+    /// otherwise into the outbox for the epoch-boundary exchange.
+    fn push_req(&mut self, t: Cycle, ridx: u32, req: Req) {
+        let key = TAG_REQ | req.id;
+        let Some(ctx) = &mut self.shard else {
+            self.reqs[ridx as usize] = Some(req);
+            self.queue.push(t, key, Ev::Req(ridx));
+            return;
+        };
+        let dest = usize::from(req.stage_module());
+        if dest % ctx.shards == ctx.me {
+            // Deliveries must land in the origin slot (the MSHR and
+            // waiter list point there); retire a temp slot the request
+            // rode in on.
+            let ridx = if matches!(req.stage, Stage::Deliver) && ridx != req.origin_slot {
+                debug_assert!(self.waiters[ridx as usize].is_empty());
+                self.free_reqs.push(ridx);
+                req.origin_slot
+            } else {
+                ridx
+            };
+            self.reqs[ridx as usize] = Some(req);
+            self.queue.push(t, key, Ev::Req(ridx));
+            return;
+        }
+        ctx.sent += 1;
+        ctx.outbox.push(Msg {
+            at: t,
+            key,
+            req,
+            epoch: ctx.epoch,
+        });
+        // An origin read slot stays reserved while its request travels
+        // (the MSHR maps the line to it and waiters are parked on it);
+        // park a stale copy so the slot reads as live. Anything else —
+        // stores, and temp slots on intermediate shards — frees here.
+        let keep = req.is_read
+            && usize::from(req.module) % ctx.shards == ctx.me
+            && ridx == req.origin_slot;
+        if keep {
+            self.reqs[ridx as usize] = Some(req);
+        } else {
+            debug_assert!(self.waiters[ridx as usize].is_empty());
+            self.free_reqs.push(ridx);
+        }
+    }
+
+    /// Accepts a request arriving from another shard's outbox: a
+    /// delivery re-activates its reserved origin slot; an in-transit
+    /// stage gets a temporary local slot.
+    pub(crate) fn deliver_msg(&mut self, msg: Msg) {
+        let ridx = match msg.req.stage {
+            Stage::Deliver => {
+                let slot = msg.req.origin_slot;
+                debug_assert!(
+                    self.reqs[slot as usize].is_some(),
+                    "delivery into an unreserved origin slot"
+                );
+                self.reqs[slot as usize] = Some(msg.req);
+                slot
+            }
+            _ => self.alloc_temp(msg.req),
+        };
+        self.queue.push(msg.at, msg.key, Ev::Req(ridx));
+        if let Some(ctx) = &mut self.shard {
+            debug_assert!(
+                ctx.epoch > msg.epoch,
+                "message delivered within its send epoch"
+            );
+            ctx.received += 1;
         }
     }
 
@@ -915,6 +1236,7 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
     /// limit or draining to retirement), and lets one MSHR-stalled warp
     /// replay.
     fn complete_read(&mut self, mut req: Req, ridx: u32, ready: Cycle) {
+        debug_assert_eq!(ridx, req.origin_slot, "completion outside the origin slot");
         // A poisoned fill: the line arrived corrupt past the link CRC,
         // so the MSHR discards it and replays the whole request once.
         // The entry stays reserved and the waiters stay attached, so no
@@ -928,7 +1250,7 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
             }
             req.stage = Stage::Access;
             self.reqs[ridx as usize] = Some(req);
-            self.queue.push(ready, Ev::Req(ridx));
+            self.queue.push(ready, TAG_REQ | req.id, Ev::Req(ridx));
             return;
         }
         let sm = req.sm as usize;
@@ -936,10 +1258,10 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
             self.sys.l15_fill(usize::from(req.module), req.line, ready);
         }
         self.sys.l1_fill(sm, req.line, ready);
-        let released = self
-            .sys
-            .mshr_mut(sm)
-            .release_probed(req.line, req.sm, ready, self.probe);
+        let released =
+            self.sys
+                .mshr_mut(sm)
+                .release_probed(req.line, req.sm, ready, &mut self.probe);
         debug_assert_eq!(released, Some(u64::from(ridx)));
         if P::ACTIVE {
             self.probe.request_retired(req.id, ready);
@@ -959,10 +1281,10 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
             if warp.blocked {
                 // A slot freed: the warp resumes now.
                 warp.blocked = false;
-                self.queue.push(ready, Ev::Warp(w));
+                self.queue.push(ready, warp.key, Ev::Warp(w));
             } else if warp.draining && warp.outstanding == 0 {
                 warp.draining = false;
-                self.queue.push(warp.resume_at, Ev::Warp(w));
+                self.queue.push(warp.resume_at, warp.key, Ev::Warp(w));
             }
         }
         waiters.clear();
@@ -971,7 +1293,11 @@ impl<P: Probe, F: FaultPlan> RunState<'_, P, F> {
         self.free_reqs.push(ridx);
         // One MSHR entry freed: wake one stalled warp to replay.
         if let Some(w) = self.stalled[sm].pop() {
-            self.queue.push(ready, Ev::Warp(w));
+            let key = self.warps[w as usize]
+                .as_ref()
+                .expect("stalled warp missing")
+                .key;
+            self.queue.push(ready, key, Ev::Warp(w));
         }
     }
 }

@@ -39,8 +39,7 @@ impl Probe for KernelWindows {
     }
 }
 
-#[test]
-fn steady_state_kernels_do_not_allocate() {
+fn alloc_probe_spec() -> WorkloadSpec {
     let mut spec = WorkloadSpec::template("alloc-probe");
     spec.ctas = 64;
     spec.warps_per_cta = 2;
@@ -50,23 +49,21 @@ fn steady_state_kernels_do_not_allocate() {
     // touches (and maps) every first-touch page and later kernels hit a
     // fully-built page table.
     spec.footprint_bytes = 1 << 20;
+    spec
+}
 
+fn small_machine() -> SystemConfig {
     let mut cfg = SystemConfig::baseline_mcm();
     cfg.topology.sms_per_module = 4; // 16 SMs
+    cfg
+}
 
-    let mut probe = KernelWindows {
-        begin: [0; KERNELS],
-        end: [0; KERNELS],
-        seen: 0,
-    };
-    let report = Simulator::run_probed(&cfg, &spec, &mut probe);
-    assert!(report.cycles > Cycle::ZERO);
+/// Each kernel draws a fresh address stream, so first-touch page
+/// mappings (and the hash-map capacity behind them) keep warming for a
+/// few launches; the machine pools themselves are warm after kernel 0.
+/// Steady state must then be exactly allocation-free.
+fn assert_steady_state_alloc_free(probe: &KernelWindows) {
     assert_eq!(probe.seen, KERNELS, "every kernel must report its window");
-
-    // Each kernel draws a fresh address stream, so first-touch page
-    // mappings (and the hash-map capacity behind them) keep warming for
-    // a few launches; the machine pools themselves are warm after
-    // kernel 0. Steady state must then be exactly allocation-free.
     const WARMUP_KERNELS: usize = 3;
     for k in WARMUP_KERNELS..KERNELS {
         assert_eq!(
@@ -79,4 +76,52 @@ fn steady_state_kernels_do_not_allocate() {
                 .collect::<Vec<_>>()
         );
     }
+}
+
+#[test]
+fn steady_state_kernels_do_not_allocate() {
+    let spec = alloc_probe_spec();
+    let cfg = small_machine();
+    let mut probe = KernelWindows {
+        begin: [0; KERNELS],
+        end: [0; KERNELS],
+        seen: 0,
+    };
+    let report = Simulator::run_probed(&cfg, &spec, &mut probe);
+    assert!(report.cycles > Cycle::ZERO);
+    assert_steady_state_alloc_free(&probe);
+}
+
+/// The same contract holds per shard under sharded execution: after
+/// warm-up, a steady-state kernel spends zero allocator calls across
+/// ALL shard threads — the epoch mailboxes, sequencer slots, and
+/// per-shard arenas reach capacity during the warm-up kernels and are
+/// recycled thereafter. (The window probe is `ACTIVE = false`, so it
+/// rides the sharded engine instead of forcing the serial fallback;
+/// its kernel-boundary callbacks are forwarded by the epoch leader.)
+#[test]
+fn sharded_steady_state_kernels_do_not_allocate() {
+    struct PassiveWindows(KernelWindows);
+    impl Probe for PassiveWindows {
+        const ACTIVE: bool = false;
+        fn kernel_begin(&mut self, kernel: u32, now: Cycle) {
+            self.0.kernel_begin(kernel, now);
+        }
+        fn kernel_end(&mut self, kernel: u32, now: Cycle) {
+            self.0.kernel_end(kernel, now);
+        }
+    }
+
+    let spec = alloc_probe_spec();
+    let cfg = small_machine();
+    let mut probe = PassiveWindows(KernelWindows {
+        begin: [0; KERNELS],
+        end: [0; KERNELS],
+        seen: 0,
+    });
+    let (report, stats) =
+        Simulator::run_faulted_sharded(&cfg, &spec, &mut probe, &mut mcm_fault::NullFaultPlan, 2);
+    assert!(report.cycles > Cycle::ZERO);
+    assert_eq!(stats.shards, 2, "the run must actually shard");
+    assert_steady_state_alloc_free(&probe.0);
 }

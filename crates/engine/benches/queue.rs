@@ -13,14 +13,14 @@ use mcm_testkit::bench::{black_box, Group};
 fn main() {
     let mut group = Group::new("event_queue");
 
-    // Same-cycle FIFO burst: N events at one timestamp, drained in
-    // insertion order — the kernel-launch placement pattern.
+    // Same-cycle burst: N events at one timestamp, drained in key
+    // order — the kernel-launch placement pattern.
     {
         let mut q: EventQueue<u64> = EventQueue::with_capacity(256);
         group.bench("same_cycle_burst_64", || {
             let now = q.now();
             for i in 0..64u64 {
-                q.push(now, i);
+                q.push(now, i, i);
             }
             let mut acc = 0u64;
             while let Some((_, v)) = q.pop() {
@@ -38,11 +38,11 @@ fn main() {
         let mut rng = Xoshiro256::new(0xBE7C);
         let now = q.now();
         for i in 0..256u64 {
-            q.push(now + Cycle::new(rng.next_range(900)), i);
+            q.push(now + Cycle::new(rng.next_range(900)), i, i);
         }
         group.bench("hold256_near_future", || {
             let (t, v) = q.pop().expect("queue is held non-empty");
-            q.push(t + Cycle::new(1 + rng.next_range(900)), v);
+            q.push(t + Cycle::new(1 + rng.next_range(900)), v, v);
             black_box(t)
         });
     }
@@ -54,11 +54,11 @@ fn main() {
         let mut rng = Xoshiro256::new(0xFA2F);
         let now = q.now();
         for i in 0..256u64 {
-            q.push(now + Cycle::new(2000 + rng.next_range(50_000)), i);
+            q.push(now + Cycle::new(2000 + rng.next_range(50_000)), i, i);
         }
         group.bench("hold256_far_future", || {
             let (t, v) = q.pop().expect("queue is held non-empty");
-            q.push(t + Cycle::new(2000 + rng.next_range(50_000)), v);
+            q.push(t + Cycle::new(2000 + rng.next_range(50_000)), v, v);
             black_box(t)
         });
     }
@@ -70,7 +70,7 @@ fn main() {
         let mut rng = Xoshiro256::new(0x517E);
         let now = q.now();
         for i in 0..256u64 {
-            q.push(now + Cycle::new(rng.next_range(64)), i);
+            q.push(now + Cycle::new(rng.next_range(64)), i, i);
         }
         group.bench("hold256_mixed_latency", || {
             let (t, v) = q.pop().expect("queue is held non-empty");
@@ -79,7 +79,7 @@ fn main() {
             } else {
                 1 + rng.next_range(64)
             };
-            q.push(t + Cycle::new(dt), v);
+            q.push(t + Cycle::new(dt), v, v);
             black_box(t)
         });
     }

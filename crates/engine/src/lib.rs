@@ -6,8 +6,10 @@
 //!
 //! * [`Cycle`] — the simulation clock (the modelled GPU runs at 1 GHz, so
 //!   one cycle is one nanosecond).
-//! * [`EventQueue`] — a calendar of timestamped events with FIFO
-//!   tie-breaking, which makes whole-system runs bit-reproducible.
+//! * [`EventQueue`] — a calendar of timestamped events with a
+//!   content-keyed `(time, wave, key)` tie-break, which makes
+//!   whole-system runs bit-reproducible — even when one simulation is
+//!   sharded across threads.
 //! * [`Resource`] — a bandwidth server implementing the next-free-time
 //!   queuing model. Links, DRAM channels, cache banks and SM issue slots
 //!   are all `Resource`s; saturation and queuing delay emerge from it.

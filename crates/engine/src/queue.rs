@@ -1,13 +1,19 @@
 //! A deterministic event calendar.
 //!
 //! The queue is a *bucketed calendar*: events scheduled within the near
-//! future land in a ring of per-cycle FIFO buckets (popping is a bitmap
-//! scan plus a linked-list head removal, both allocation-free in steady
+//! future land in a ring of per-cycle buckets (popping is a bitmap scan
+//! plus a linked-list head removal, both allocation-free in steady
 //! state), while far-future events wait in a small sorted overflow heap
-//! and migrate into the ring as the window advances. The pop order —
-//! nondecreasing time, FIFO among equal times — is identical to the
-//! naive sorted implementation; see the `EventQueue` docs for why the
-//! tie-break survives bucketing.
+//! and migrate into the ring as the window advances.
+//!
+//! Equal-time events are ordered by a caller-supplied **content key**
+//! rather than insertion order: the pop order is `(time, wave, key)`,
+//! where `wave` counts same-cycle re-push generations (see the
+//! [`EventQueue`] docs). Content-keyed ordering is what lets a sharded
+//! simulation reproduce the serial engine bit-for-bit: each shard's
+//! local pop order is the restriction of the global `(time, wave, key)`
+//! order to its own events, something no insertion-sequence tie-break
+//! can offer once events arrive through per-shard mailboxes.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -16,8 +22,8 @@ use crate::Cycle;
 
 /// Width of the near-future window, in cycles. Power of two so the
 /// bucket index is a mask. One bucket per cycle: every bucket holds
-/// events of exactly one timestamp, so bucket order *is* time order
-/// and appending preserves the FIFO tie-break.
+/// events of exactly one timestamp, so bucket order *is* time order and
+/// the per-bucket `(wave, key)`-sorted list totals the order.
 const WINDOW: usize = 1024;
 /// Bucket-index mask (`at & MASK` is `at % WINDOW`).
 const MASK: u64 = WINDOW as u64 - 1;
@@ -26,17 +32,18 @@ const BITMAP_WORDS: usize = WINDOW / 64;
 /// Null link in the intrusive bucket lists.
 const NIL: u32 = u32::MAX;
 
-/// One far-future entry: ordered by time, then insertion sequence
-/// (FIFO among simultaneous events).
+/// One far-future entry, ordered by `(time, key)`. Far-future pushes
+/// always carry wave 0: a nonzero wave is only assigned to a push at
+/// the *current* cycle, which by definition lies inside the window.
 struct Overflow<E> {
     at: Cycle,
-    seq: u64,
+    key: u64,
     event: E,
 }
 
 impl<E> PartialEq for Overflow<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.key == other.key
     }
 }
 
@@ -50,40 +57,48 @@ impl<E> PartialOrd for Overflow<E> {
 
 impl<E> Ord for Overflow<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so earliest (then lowest seq)
+        // BinaryHeap is a max-heap; invert so earliest (then lowest key)
         // comes out first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        (other.at, other.key).cmp(&(self.at, self.key))
     }
 }
 
-/// One pooled node of a bucket's FIFO list. Freed nodes keep their slot
-/// (`event` becomes `None`) and are recycled through a freelist, so
-/// steady-state push/pop cycles never touch the allocator.
+/// One pooled node of a bucket's sorted list. Freed nodes keep their
+/// slot (`event` becomes `None`) and are recycled through a freelist,
+/// so steady-state push/pop cycles never touch the allocator.
 struct Node<E> {
     next: u32,
+    wave: u32,
+    key: u64,
     event: Option<E>,
 }
 
-/// A time-ordered queue of simulation events.
+/// A time-ordered queue of simulation events with a content-keyed
+/// tie-break.
 ///
 /// Events popped from the queue come out in nondecreasing timestamp
-/// order; events scheduled for the *same* cycle come out in the order
-/// they were pushed. That FIFO tie-break is what makes multi-component
-/// simulations reproducible: two runs with the same inputs interleave
-/// their events identically.
+/// order; events scheduled for the *same* cycle come out ordered by
+/// `(wave, key)`:
 ///
-/// # Why the FIFO tie-break survives bucketing
+/// * `key` is a caller-supplied content identity (e.g. a warp or
+///   request id). Among the events pending at any instant keys must be
+///   unique per timestamp, or the relative order of equal keys is
+///   unspecified (stable insertion order, which is *not* a
+///   reproducibility contract).
+/// * `wave` is assigned internally: a push at exactly the timestamp of
+///   the most recently popped event lands one wave *after* that event
+///   (`last_wave + 1`), so same-cycle continuations — a retiring warp
+///   admitting its successor, a completing load waking its waiters —
+///   run after the remaining events of the current wave, exactly as
+///   they would if pushed at a strictly later time. Any push at a
+///   different (necessarily later) timestamp carries wave 0.
 ///
-/// The near-future window covers `[now, now + WINDOW)` where `now` is
-/// the last popped timestamp. Each cycle in the window maps to its own
-/// bucket, so a bucket only ever holds events of one timestamp and
-/// appending to its list preserves push order. Far-future events sit in
-/// a heap ordered by `(time, push sequence)` and migrate into buckets
-/// *inside `pop`*, the moment the window advances over their timestamp
-/// — before control ever returns to a caller. Any later direct push to
-/// that same cycle therefore appends *after* every already-migrated
-/// (older) entry, so the global FIFO order among equal timestamps is
-/// exactly the push order, bucketed or not.
+/// Because the wave of a push depends only on the entry most recently
+/// popped *from this queue*, a simulation split across several queues
+/// (one per shard) assigns every event the same `(time, wave, key)`
+/// coordinate as the single-queue run, making the global pop order
+/// reproducible by construction. That is the foundation of the sharded
+/// execution mode's bit-exactness (see `mcm-gpu`'s sharded runner).
 ///
 /// # Example
 ///
@@ -91,18 +106,20 @@ struct Node<E> {
 /// use mcm_engine::{Cycle, EventQueue};
 ///
 /// let mut q = EventQueue::new();
-/// q.push(Cycle::new(5), "late");
-/// q.push(Cycle::new(1), "early");
-/// q.push(Cycle::new(5), "late-second");
+/// q.push(Cycle::new(5), 2, "late-high");
+/// q.push(Cycle::new(1), 9, "early");
+/// q.push(Cycle::new(5), 1, "late-low");
+/// // Equal times pop in key order, regardless of push order.
 /// assert_eq!(q.pop(), Some((Cycle::new(1), "early")));
-/// assert_eq!(q.pop(), Some((Cycle::new(5), "late")));
-/// assert_eq!(q.pop(), Some((Cycle::new(5), "late-second")));
+/// assert_eq!(q.pop(), Some((Cycle::new(5), "late-low")));
+/// assert_eq!(q.pop(), Some((Cycle::new(5), "late-high")));
 /// assert_eq!(q.pop(), None);
 /// ```
 pub struct EventQueue<E> {
     /// Head node index per bucket (`NIL` when empty).
     heads: Box<[u32; WINDOW]>,
-    /// Tail node index per bucket, for O(1) FIFO append.
+    /// Tail node index per bucket, for O(1) append of the common
+    /// already-largest case.
     tails: Box<[u32; WINDOW]>,
     /// One bit per bucket: set iff the bucket is nonempty. Popping
     /// scans this, 64 buckets per word.
@@ -111,14 +128,15 @@ pub struct EventQueue<E> {
     nodes: Vec<Node<E>>,
     /// Freelist head into `nodes`.
     free: u32,
-    /// Far-future events (at ≥ window end), ordered by (time, seq).
+    /// Far-future events (at ≥ window end), ordered by (time, key).
     overflow: BinaryHeap<Overflow<E>>,
     /// Events currently in buckets (as opposed to the overflow heap).
     in_buckets: usize,
     /// Total pending events.
     len: usize,
-    next_seq: u64,
     last_popped: Cycle,
+    /// Wave of the most recently popped entry (reset by [`EventQueue::sync_to`]).
+    last_wave: u32,
     /// Lower bound on the earliest bucketed timestamp (always at least
     /// `last_popped`); the bitmap scan starts here.
     scan: Cycle,
@@ -130,6 +148,7 @@ impl<E> std::fmt::Debug for EventQueue<E> {
             .field("len", &self.len)
             .field("in_buckets", &self.in_buckets)
             .field("last_popped", &self.last_popped)
+            .field("last_wave", &self.last_wave)
             .finish_non_exhaustive()
     }
 }
@@ -146,8 +165,8 @@ impl<E> EventQueue<E> {
             overflow: BinaryHeap::new(),
             in_buckets: 0,
             len: 0,
-            next_seq: 0,
             last_popped: Cycle::ZERO,
+            last_wave: 0,
             scan: Cycle::ZERO,
         }
     }
@@ -166,33 +185,71 @@ impl<E> EventQueue<E> {
         self.last_popped.as_u64().saturating_add(WINDOW as u64)
     }
 
-    /// Appends `event` to the FIFO list of the bucket for time `at`
-    /// (which must lie inside the near-future window).
+    /// Takes a node from the freelist (or grows the pool) and fills it.
     #[inline]
-    fn bucket_append(&mut self, at: Cycle, event: E) {
-        debug_assert!(at >= self.last_popped && at.as_u64() < self.window_end());
-        let b = (at.as_u64() & MASK) as usize;
-        let idx = if self.free != NIL {
+    fn take_node(&mut self, wave: u32, key: u64, event: E) -> u32 {
+        if self.free != NIL {
             let idx = self.free;
             let node = &mut self.nodes[idx as usize];
             self.free = node.next;
             node.next = NIL;
+            node.wave = wave;
+            node.key = key;
             node.event = Some(event);
             idx
         } else {
             self.nodes.push(Node {
                 next: NIL,
+                wave,
+                key,
                 event: Some(event),
             });
             (self.nodes.len() - 1) as u32
-        };
+        }
+    }
+
+    /// Inserts `event` into the sorted list of the bucket for time `at`
+    /// (which must lie inside the near-future window), keeping the list
+    /// ordered by `(wave, key)`.
+    #[inline]
+    fn bucket_insert(&mut self, at: Cycle, wave: u32, key: u64, event: E) {
+        debug_assert!(at >= self.last_popped && at.as_u64() < self.window_end());
+        let b = (at.as_u64() & MASK) as usize;
+        let idx = self.take_node(wave, key, event);
         if self.tails[b] == NIL {
+            // Empty bucket.
             self.heads[b] = idx;
+            self.tails[b] = idx;
             self.occupied[b / 64] |= 1 << (b % 64);
         } else {
-            self.nodes[self.tails[b] as usize].next = idx;
+            let tail = self.tails[b] as usize;
+            if (self.nodes[tail].wave, self.nodes[tail].key) <= (wave, key) {
+                // Common case: new entry is the largest — append.
+                self.nodes[tail].next = idx;
+                self.tails[b] = idx;
+            } else {
+                let head = self.heads[b] as usize;
+                if (wave, key) < (self.nodes[head].wave, self.nodes[head].key) {
+                    self.nodes[idx as usize].next = self.heads[b];
+                    self.heads[b] = idx;
+                } else {
+                    // Walk to the last node that sorts at or before the
+                    // new entry and splice after it.
+                    let mut prev = self.heads[b] as usize;
+                    loop {
+                        let next = self.nodes[prev].next;
+                        debug_assert_ne!(next, NIL, "tail case handled above");
+                        let n = next as usize;
+                        if (wave, key) < (self.nodes[n].wave, self.nodes[n].key) {
+                            self.nodes[idx as usize].next = next;
+                            self.nodes[prev].next = idx;
+                            break;
+                        }
+                        prev = n;
+                    }
+                }
+            }
         }
-        self.tails[b] = idx;
         self.in_buckets += 1;
         if at < self.scan {
             self.scan = at;
@@ -223,12 +280,16 @@ impl<E> EventQueue<E> {
         unreachable!("in_buckets > 0 but no occupied bucket found");
     }
 
-    /// Schedules `event` to fire at absolute time `at`.
+    /// Schedules `event` to fire at absolute time `at` under content
+    /// key `key`.
     ///
-    /// Scheduling in the past (before the last popped timestamp) is a
-    /// simulation logic error; it is tolerated in release builds (the
-    /// event is clamped to fire "now") but trips a debug assertion.
-    pub fn push(&mut self, at: Cycle, event: E) {
+    /// A push at the current cycle (the last popped timestamp) is
+    /// assigned the next wave after the entry being processed; any
+    /// later timestamp gets wave 0. Scheduling in the past (before the
+    /// last popped timestamp) is a simulation logic error; it is
+    /// tolerated in release builds (the event is clamped to fire "now")
+    /// but trips a debug assertion.
+    pub fn push(&mut self, at: Cycle, key: u64, event: E) {
         debug_assert!(
             at >= self.last_popped,
             "event scheduled at {at} which is before current time {}",
@@ -238,18 +299,26 @@ impl<E> EventQueue<E> {
         // without the clamp a stale timestamp would pop out of order
         // and regress `now()`.
         let at = at.max(self.last_popped);
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        if at.as_u64() < self.window_end() {
-            self.bucket_append(at, event);
+        let wave = if at == self.last_popped {
+            self.last_wave + 1
         } else {
-            self.overflow.push(Overflow { at, seq, event });
+            0
+        };
+        if at.as_u64() < self.window_end() {
+            self.bucket_insert(at, wave, key, event);
+        } else {
+            debug_assert_eq!(wave, 0, "far-future pushes are never same-cycle");
+            self.overflow.push(Overflow { at, key, event });
         }
         self.len += 1;
     }
 
-    /// Removes and returns the earliest event, or `None` when empty.
-    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+    /// Removes and returns the earliest event together with its full
+    /// `(time, wave, key)` coordinate, or `None` when empty.
+    ///
+    /// The coordinate is the event's global position in the canonical
+    /// order — the sharded runner publishes it as the shard's frontier.
+    pub fn pop_entry(&mut self) -> Option<(Cycle, u32, u64, E)> {
         if self.len == 0 {
             return None;
         }
@@ -263,23 +332,24 @@ impl<E> EventQueue<E> {
         self.last_popped = at;
         self.scan = at;
         // The window just advanced: migrate every overflow entry it now
-        // covers, in (time, seq) order, so later direct pushes to those
-        // cycles append behind their older overflow peers.
+        // covers into the sorted buckets (all carry wave 0).
         let wend = self.window_end();
         while let Some(head) = self.overflow.peek() {
             if head.at.as_u64() >= wend {
                 break;
             }
             let entry = self.overflow.pop().expect("peeked entry");
-            self.bucket_append(entry.at, entry.event);
+            self.bucket_insert(entry.at, 0, entry.key, entry.event);
         }
         // `at`'s bucket is nonempty now: either it supplied `at`, or the
         // first migrated entry (the overflow minimum) carried time `at`.
+        // Its head is the minimal (wave, key) entry at this timestamp.
         let b = (at.as_u64() & MASK) as usize;
         let idx = self.heads[b];
         debug_assert_ne!(idx, NIL);
         let node = &mut self.nodes[idx as usize];
         let event = node.event.take().expect("bucketed node holds an event");
+        let (wave, key) = (node.wave, node.key);
         self.heads[b] = node.next;
         node.next = self.free;
         self.free = idx;
@@ -289,7 +359,13 @@ impl<E> EventQueue<E> {
         }
         self.in_buckets -= 1;
         self.len -= 1;
-        Some((at, event))
+        self.last_wave = wave;
+        Some((at, wave, key, event))
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.pop_entry().map(|(at, _, _, event)| (at, event))
     }
 
     /// The timestamp of the next event without removing it.
@@ -315,6 +391,26 @@ impl<E> EventQueue<E> {
     /// notion of "now".
     pub fn now(&self) -> Cycle {
         self.last_popped
+    }
+
+    /// Re-anchors the queue's clock and wave state at `now`, as if an
+    /// entry `(now, wave 0)` had just been popped.
+    ///
+    /// Callers invoke this at synchronization points where event
+    /// streams restart from a known instant (e.g. a kernel launch
+    /// boundary), so that every engine — serial or sharded — assigns
+    /// identical waves to the pushes that follow. The queue must be
+    /// empty and `now` must not precede the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are still pending.
+    pub fn sync_to(&mut self, now: Cycle) {
+        assert!(self.is_empty(), "sync_to on a non-empty queue");
+        debug_assert!(now >= self.last_popped, "sync_to would rewind the clock");
+        self.last_popped = now.max(self.last_popped);
+        self.last_wave = 0;
+        self.scan = self.last_popped;
     }
 
     /// Drops all pending events, keeping the current time.
@@ -344,33 +440,84 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        for &t in &[9u64, 3, 7, 3, 1, 100] {
-            q.push(Cycle::new(t), t);
+        for &t in &[9u64, 3, 7, 4, 1, 100] {
+            q.push(Cycle::new(t), t, t);
         }
         let mut out = Vec::new();
         while let Some((at, ev)) = q.pop() {
             assert_eq!(at.as_u64(), ev);
             out.push(ev);
         }
-        assert_eq!(out, vec![1, 3, 3, 7, 9, 100]);
+        assert_eq!(out, vec![1, 3, 4, 7, 9, 100]);
     }
 
     #[test]
-    fn simultaneous_events_are_fifo() {
+    fn simultaneous_events_pop_in_key_order() {
         let mut q = EventQueue::new();
-        for i in 0..100 {
-            q.push(Cycle::new(42), i);
+        // Push keys in a scrambled order; pops come out sorted by key,
+        // independent of push order.
+        for i in 0..100u64 {
+            let key = (i * 37) % 100;
+            q.push(Cycle::new(42), key, key);
         }
-        for i in 0..100 {
-            assert_eq!(q.pop(), Some((Cycle::new(42), i)));
+        for want in 0..100u64 {
+            assert_eq!(q.pop(), Some((Cycle::new(42), want)));
         }
+    }
+
+    #[test]
+    fn same_cycle_repush_lands_in_the_next_wave() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(5), 10, "w0-k10");
+        q.push(Cycle::new(5), 20, "w0-k20");
+        assert_eq!(q.pop(), Some((Cycle::new(5), "w0-k10")));
+        // Pushed at the current cycle with a *smaller* key: it still
+        // runs after the remaining wave-0 entry.
+        q.push(Cycle::new(5), 1, "w1-k1");
+        assert_eq!(q.pop(), Some((Cycle::new(5), "w0-k20")));
+        // Now last_wave is 0 again (we popped a wave-0 entry)... no:
+        // (5, wave 1, key 1) is still pending and pops next.
+        assert_eq!(q.pop(), Some((Cycle::new(5), "w1-k1")));
+        // A push during a wave-1 entry's processing lands in wave 2.
+        q.push(Cycle::new(5), 0, "w2-k0");
+        q.push(Cycle::new(6), 0, "t6");
+        assert_eq!(q.pop(), Some((Cycle::new(5), "w2-k0")));
+        assert_eq!(q.pop(), Some((Cycle::new(6), "t6")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn wave_depends_only_on_the_popped_entry() {
+        // Two queues holding disjoint halves of one event set assign
+        // the same waves as a single queue holding all of it — the
+        // shard-invariance property in miniature.
+        let mut whole = EventQueue::new();
+        let mut half = EventQueue::new();
+        // Whole queue: keys 1 (shard A) and 2 (shard B) at t=10.
+        whole.push(Cycle::new(10), 1, 1u64);
+        whole.push(Cycle::new(10), 2, 2u64);
+        // Half queue: only shard B's key 2.
+        half.push(Cycle::new(10), 2, 2u64);
+        // Whole: pop key 1, then key 2; a push at t=10 during key 2's
+        // processing gets wave = popped wave + 1 = 1.
+        whole.pop();
+        let (_, w_whole, _, _) = whole.pop_entry().unwrap();
+        whole.push(Cycle::new(10), 3, 3u64);
+        // Half: pop key 2 directly; same push gets the same wave.
+        let (_, w_half, _, _) = half.pop_entry().unwrap();
+        half.push(Cycle::new(10), 3, 3u64);
+        assert_eq!(w_whole, w_half);
+        let (_, a, _, _) = whole.pop_entry().unwrap();
+        let (_, b, _, _) = half.pop_entry().unwrap();
+        assert_eq!(a, b, "continuation waves must match across queues");
+        assert_eq!(a, 1);
     }
 
     #[test]
     fn now_tracks_last_pop() {
         let mut q = EventQueue::new();
         assert_eq!(q.now(), Cycle::ZERO);
-        q.push(Cycle::new(10), ());
+        q.push(Cycle::new(10), 0, ());
         q.pop();
         assert_eq!(q.now(), Cycle::new(10));
     }
@@ -380,26 +527,26 @@ mod tests {
         let mut q = EventQueue::with_capacity(4);
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
-        q.push(Cycle::new(2), 'a');
-        q.push(Cycle::new(1), 'b');
+        q.push(Cycle::new(2), 0, 'a');
+        q.push(Cycle::new(1), 1, 'b');
         assert_eq!(q.len(), 2);
         assert_eq!(q.peek_time(), Some(Cycle::new(1)));
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
         // The pool survives a clear and keeps working.
-        q.push(Cycle::new(3), 'c');
+        q.push(Cycle::new(3), 0, 'c');
         assert_eq!(q.pop(), Some((Cycle::new(3), 'c')));
     }
 
     #[test]
     fn interleaved_push_pop_keeps_order() {
         let mut q = EventQueue::new();
-        q.push(Cycle::new(1), 1u64);
-        q.push(Cycle::new(5), 5);
+        q.push(Cycle::new(1), 1, 1u64);
+        q.push(Cycle::new(5), 5, 5);
         assert_eq!(q.pop().unwrap().1, 1);
-        q.push(Cycle::new(3), 3);
-        q.push(Cycle::new(4), 4);
+        q.push(Cycle::new(3), 3, 3);
+        q.push(Cycle::new(4), 4, 4);
         assert_eq!(q.pop().unwrap().1, 3);
         assert_eq!(q.pop().unwrap().1, 4);
         assert_eq!(q.pop().unwrap().1, 5);
@@ -408,21 +555,22 @@ mod tests {
     #[test]
     fn far_future_events_cross_the_window() {
         // Events far beyond the near-future window take the overflow
-        // path and must still pop in (time, push-order).
+        // path and must still pop in (time, key) order.
         let w = WINDOW as u64;
         let mut q = EventQueue::new();
-        q.push(Cycle::new(5 * w), 50u64);
-        q.push(Cycle::new(2), 2);
-        q.push(Cycle::new(5 * w), 51);
-        q.push(Cycle::new(3 * w + 7), 30);
+        q.push(Cycle::new(5 * w), 50, 50u64);
+        q.push(Cycle::new(2), 2, 2);
+        q.push(Cycle::new(5 * w), 51, 51);
+        q.push(Cycle::new(3 * w + 7), 30, 30);
         assert_eq!(q.pop(), Some((Cycle::new(2), 2)));
         assert_eq!(q.pop(), Some((Cycle::new(3 * w + 7), 30)));
         // A direct push at the same cycle as migrated overflow entries
-        // must come out after them (it was pushed later).
-        q.push(Cycle::new(5 * w), 52);
+        // sorts among them purely by key — here *before* both, despite
+        // being pushed last.
+        q.push(Cycle::new(5 * w), 49, 49);
+        assert_eq!(q.pop(), Some((Cycle::new(5 * w), 49)));
         assert_eq!(q.pop(), Some((Cycle::new(5 * w), 50)));
         assert_eq!(q.pop(), Some((Cycle::new(5 * w), 51)));
-        assert_eq!(q.pop(), Some((Cycle::new(5 * w), 52)));
         assert_eq!(q.pop(), None);
     }
 
@@ -432,9 +580,9 @@ mod tests {
         // machinery must keep their epochs ordered.
         let w = WINDOW as u64;
         let mut q = EventQueue::new();
-        q.push(Cycle::new(10), 1u64);
-        q.push(Cycle::new(10 + w), 2);
-        q.push(Cycle::new(10 + 2 * w), 3);
+        q.push(Cycle::new(10), 1, 1u64);
+        q.push(Cycle::new(10 + w), 2, 2);
+        q.push(Cycle::new(10 + 2 * w), 3, 3);
         assert_eq!(q.pop(), Some((Cycle::new(10), 1)));
         assert_eq!(q.pop(), Some((Cycle::new(10 + w), 2)));
         assert_eq!(q.pop(), Some((Cycle::new(10 + 2 * w), 3)));
@@ -444,70 +592,61 @@ mod tests {
     fn matches_a_reference_sorted_queue() {
         // Drive calendar and reference implementations with the same
         // deterministic push/pop script and demand identical outputs.
+        // The reference models the full (time, wave, key) contract.
         use crate::rng::Xoshiro256;
         let mut rng = Xoshiro256::new(0xCAFE);
         let mut cal = EventQueue::new();
-        let mut reference: Vec<(u64, u64)> = Vec::new(); // (at, seq)
-        let mut seq = 0u64;
+        let mut reference: Vec<(u64, u32, u64)> = Vec::new(); // (at, wave, key)
         let mut now = 0u64;
-        let mut popped = Vec::new();
-        let mut expected = Vec::new();
+        let mut last_wave = 0u32;
         for step in 0..20_000u64 {
             if !rng.next_u64().is_multiple_of(3) || reference.is_empty() {
-                // Mix of near, boundary, and far-future offsets.
+                // Mix of same-cycle, near, boundary, and far-future
+                // offsets. Keys are unique (derived from the step).
                 let off = match rng.next_u64() % 10 {
-                    0..=5 => rng.next_u64() % 64,
+                    0..=1 => 0,
+                    2..=5 => rng.next_u64() % 64,
                     6..=7 => WINDOW as u64 - 2 + rng.next_u64() % 4,
                     _ => rng.next_u64() % (4 * WINDOW as u64),
                 };
-                cal.push(Cycle::new(now + off), step);
-                reference.push((now + off, seq));
-                seq += 1;
+                let key = step.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                cal.push(Cycle::new(now + off), key, key);
+                let wave = if off == 0 { last_wave + 1 } else { 0 };
+                reference.push((now + off, wave, key));
             } else {
-                let (at, ev) = cal.pop().expect("reference nonempty");
-                popped.push((at.as_u64(), ev));
+                let (at, wave, key, ev) = cal.pop_entry().expect("reference nonempty");
                 let min = reference
                     .iter()
                     .enumerate()
-                    .min_by_key(|(_, &(t, s))| (t, s))
+                    .min_by_key(|&(_, &coord)| coord)
                     .map(|(i, _)| i)
                     .expect("nonempty");
-                let (t, _) = reference.remove(min);
-                expected.push(t);
-                now = t;
+                let want = reference.remove(min);
+                assert_eq!((at.as_u64(), wave, key), want, "pop mismatch");
+                assert_eq!(ev, key, "event payload follows its key");
+                now = want.0;
+                last_wave = want.1;
             }
         }
-        while let Some((at, ev)) = cal.pop() {
-            popped.push((at.as_u64(), ev));
+        while let Some((at, wave, key, _)) = cal.pop_entry() {
             let min = reference
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, &(t, s))| (t, s))
+                .min_by_key(|&(_, &coord)| coord)
                 .map(|(i, _)| i)
                 .expect("nonempty");
-            let (t, _) = reference.remove(min);
-            expected.push(t);
+            let want = reference.remove(min);
+            assert_eq!((at.as_u64(), wave, key), want, "drain mismatch");
         }
         assert!(reference.is_empty());
-        assert_eq!(popped.len(), expected.len());
-        for (i, ((at, _), want)) in popped.iter().zip(&expected).enumerate() {
-            assert_eq!(at, want, "pop {i} time mismatch");
-        }
-        // FIFO among equal times: the event payloads (push step ids)
-        // must be ascending within every run of equal timestamps.
-        for pair in popped.windows(2) {
-            if pair[0].0 == pair[1].0 {
-                assert!(pair[0].1 < pair[1].1, "FIFO violated at t={}", pair[0].0);
-            }
-        }
     }
 
     #[test]
     fn steady_state_recycles_nodes() {
         let mut q = EventQueue::with_capacity(8);
         for round in 0..1000u64 {
-            q.push(Cycle::new(round + 1), round);
-            q.push(Cycle::new(round + 2), round);
+            q.push(Cycle::new(round + 1), 0, round);
+            q.push(Cycle::new(round + 2), 1, round);
             q.pop();
             q.pop();
         }
@@ -516,14 +655,56 @@ mod tests {
         assert!(q.nodes.len() <= 2, "pool grew to {}", q.nodes.len());
     }
 
+    #[test]
+    fn sync_to_restarts_wave_numbering() {
+        // Two queues with different histories, synced to the same
+        // instant, order an identical push script identically — the
+        // kernel-boundary contract between the serial and sharded
+        // engines.
+        let mut a = EventQueue::new();
+        a.push(Cycle::new(3), 7, 7u64);
+        a.pop();
+        a.push(Cycle::new(3), 8, 8); // wave 1 entry
+        a.pop();
+        let mut b = EventQueue::new();
+        b.push(Cycle::new(2), 9, 9u64);
+        b.pop();
+        a.sync_to(Cycle::new(10));
+        b.sync_to(Cycle::new(10));
+        for q in [&mut a, &mut b] {
+            q.push(Cycle::new(10), 5, 5);
+            q.push(Cycle::new(10), 4, 4);
+            q.push(Cycle::new(11), 1, 1);
+        }
+        loop {
+            let x = a.pop_entry();
+            let y = b.pop_entry();
+            assert_eq!(
+                x.map(|(t, w, k, _)| (t, w, k)),
+                y.map(|(t, w, k, _)| (t, w, k))
+            );
+            if x.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty queue")]
+    fn sync_to_rejects_pending_events() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(5), 0, ());
+        q.sync_to(Cycle::new(10));
+    }
+
     #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "before current time")]
     fn past_push_trips_debug_assertion() {
         let mut q = EventQueue::new();
-        q.push(Cycle::new(10), ());
+        q.push(Cycle::new(10), 0, ());
         q.pop();
-        q.push(Cycle::new(5), ());
+        q.push(Cycle::new(5), 0, ());
     }
 
     #[cfg(not(debug_assertions))]
@@ -532,10 +713,10 @@ mod tests {
         // Satellite regression: a stale timestamp must not pop
         // out-of-order or regress `now()`.
         let mut q = EventQueue::new();
-        q.push(Cycle::new(10), 0u64);
+        q.push(Cycle::new(10), 0, 0u64);
         q.pop();
-        q.push(Cycle::new(5), 1); // in the past: fires "now" (t=10)
-        q.push(Cycle::new(10), 2);
+        q.push(Cycle::new(5), 1, 1); // in the past: fires "now" (t=10)
+        q.push(Cycle::new(10), 2, 2);
         assert_eq!(q.pop(), Some((Cycle::new(10), 1)));
         assert_eq!(q.now(), Cycle::new(10));
         assert_eq!(q.pop(), Some((Cycle::new(10), 2)));
@@ -553,7 +734,7 @@ mod tests {
         let mut last = Cycle::ZERO;
         for i in 0..5000u64 {
             let off = rng.next_u64() % (2 * WINDOW as u64);
-            q.push(Cycle::new(now.as_u64() + off), i);
+            q.push(Cycle::new(now.as_u64() + off), i, i);
             if i % 2 == 1 {
                 let (at, _) = q.pop().expect("pushed more than popped");
                 assert!(at >= last, "pop regressed: {at} after {last}");

@@ -77,8 +77,7 @@ fn resource_utilization_bounded() {
     );
 }
 
-/// The event queue is a total order: pops are sorted by (time, push
-/// order).
+/// The event queue is a total order: pops are sorted by (time, key).
 #[test]
 fn event_queue_total_order() {
     check(
@@ -87,7 +86,7 @@ fn event_queue_total_order() {
         |times: &Vec<u64>| {
             let mut q = EventQueue::new();
             for (i, &t) in times.iter().enumerate() {
-                q.push(Cycle::new(t), (t, i));
+                q.push(Cycle::new(t), i as u64, (t, i));
             }
             let mut popped = Vec::new();
             while let Some((at, (t, i))) = q.pop() {

@@ -1,0 +1,304 @@
+//! A reusable, abortable synchronization barrier for shard teams.
+//!
+//! `std::sync::Barrier` is almost what a sharded simulation needs, but
+//! it has no panic story: when one shard dies mid-epoch, its siblings
+//! would park at the next barrier forever. [`ShardBarrier`] adds an
+//! *abort* state — any party (typically a panicking shard's unwind
+//! guard) can poison the barrier, which wakes every waiter and turns
+//! every subsequent wait into an immediate panic, so the whole team
+//! tears down instead of deadlocking.
+//!
+//! [`run_shards`] packages the common launch shape: scoped threads for
+//! shards `1..n`, shard `0` on the caller's thread, an abort-on-unwind
+//! guard around every shard body, and first-panic propagation after
+//! join.
+
+use std::sync::{Condvar, Mutex};
+
+/// Interior state of a [`ShardBarrier`].
+struct BarrierState {
+    /// Parties currently parked at the barrier.
+    waiting: usize,
+    /// Incremented when a generation completes; waiters key their wait
+    /// on it so the barrier is immediately reusable.
+    generation: u64,
+    /// Once set, every current and future wait panics.
+    aborted: bool,
+}
+
+/// A cyclic barrier for a fixed team of shards, reusable across any
+/// number of epochs, with cooperative abort on failure.
+pub struct ShardBarrier {
+    parties: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+impl std::fmt::Debug for ShardBarrier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardBarrier")
+            .field("parties", &self.parties)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardBarrier {
+    /// A barrier for a team of `parties` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `parties` is zero.
+    pub fn new(parties: usize) -> Self {
+        assert!(parties >= 1, "a barrier needs at least one party");
+        ShardBarrier {
+            parties,
+            state: Mutex::new(BarrierState {
+                waiting: 0,
+                generation: 0,
+                aborted: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Number of parties the barrier synchronizes.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Locks the state, tolerating poison: a teammate that panicked
+    /// while holding the lock was already unwinding toward
+    /// [`abort`](ShardBarrier::abort), and the state transitions are
+    /// all single-field and can't be observed half-done.
+    fn lock(&self) -> std::sync::MutexGuard<'_, BarrierState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Blocks until all parties have called `wait` for the current
+    /// generation, then releases them all. Returns `true` on exactly
+    /// one party per generation (the last arrival) — the conventional
+    /// leader-election slot for between-epoch serial work.
+    ///
+    /// # Panics
+    ///
+    /// Panics with `"shard barrier aborted"` if the barrier was (or
+    /// becomes, while waiting) aborted — the teammate that called
+    /// [`abort`](ShardBarrier::abort) is already unwinding with the
+    /// root cause.
+    pub fn wait(&self) -> bool {
+        let mut st = self.lock();
+        if st.aborted {
+            drop(st);
+            panic!("shard barrier aborted");
+        }
+        st.waiting += 1;
+        if st.waiting == self.parties {
+            st.waiting = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cv.notify_all();
+            return true;
+        }
+        let gen = st.generation;
+        while st.generation == gen && !st.aborted {
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        let aborted = st.aborted;
+        drop(st);
+        assert!(!aborted, "shard barrier aborted");
+        false
+    }
+
+    /// Poisons the barrier: every parked waiter wakes and panics, and
+    /// every later `wait` panics immediately. Idempotent, and safe to
+    /// call mid-unwind (it never panics itself).
+    pub fn abort(&self) {
+        let mut st = self.lock();
+        st.aborted = true;
+        self.cv.notify_all();
+    }
+
+    /// Whether the barrier has been aborted.
+    pub fn is_aborted(&self) -> bool {
+        self.lock().aborted
+    }
+}
+
+/// Aborts the barrier when dropped during an unwind, so a panicking
+/// shard releases its parked teammates instead of leaving them blocked.
+struct AbortOnUnwind<'b>(&'b ShardBarrier);
+
+impl Drop for AbortOnUnwind<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.abort();
+        }
+    }
+}
+
+/// Runs `body(shard)` for every shard in `0..shards` concurrently —
+/// shard 0 on the calling thread, the rest on scoped threads — and
+/// returns the results in shard order.
+///
+/// Every shard body runs under an abort-on-unwind guard against
+/// `barrier`: if any shard panics, teammates parked at the barrier are
+/// woken into a panic instead of deadlocking, and the first shard's
+/// panic (in shard order) is resumed on the caller after all threads
+/// joined.
+///
+/// # Panics
+///
+/// Propagates the panic of the lowest-numbered panicking shard.
+pub fn run_shards<R, F>(shards: usize, barrier: &ShardBarrier, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    assert!(shards >= 1, "need at least one shard");
+    assert_eq!(
+        barrier.parties(),
+        shards,
+        "barrier sized for {} parties but {shards} shards launched",
+        barrier.parties()
+    );
+    let guarded = |shard: usize| {
+        let _guard = AbortOnUnwind(barrier);
+        body(shard)
+    };
+    if shards == 1 {
+        return vec![guarded(0)];
+    }
+    let mut results: Vec<std::thread::Result<R>> = Vec::with_capacity(shards);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (1..shards)
+            .map(|shard| scope.spawn(move || guarded(shard)))
+            .collect();
+        // Shard 0 runs on the caller's thread; its panic must still
+        // abort the barrier *before* joining, or the join would block
+        // on teammates parked at a barrier no one will ever fill.
+        results.push(std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+            || guarded(0),
+        )));
+        if results[0].is_err() {
+            barrier.abort();
+        }
+        for h in handles {
+            results.push(h.join());
+        }
+    });
+    let mut out = Vec::with_capacity(shards);
+    for res in results {
+        match res {
+            Ok(r) => out.push(r),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn wait_elects_exactly_one_leader_per_generation() {
+        let barrier = ShardBarrier::new(4);
+        for _ in 0..50 {
+            let leaders = AtomicUsize::new(0);
+            run_shards(4, &barrier, |_| {
+                if barrier.wait() {
+                    leaders.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            assert_eq!(leaders.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn barrier_is_reusable_across_many_generations() {
+        let barrier = ShardBarrier::new(3);
+        let rounds = 200;
+        let counter = AtomicUsize::new(0);
+        run_shards(3, &barrier, |shard| {
+            for round in 0..rounds {
+                // Between barriers every shard sees the same completed
+                // round count: nobody can be a full generation ahead.
+                if shard == round % 3 {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }
+                barrier.wait();
+                assert_eq!(counter.load(Ordering::SeqCst), round + 1);
+                barrier.wait();
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), rounds);
+    }
+
+    #[test]
+    fn results_come_back_in_shard_order() {
+        let barrier = ShardBarrier::new(5);
+        let out = run_shards(5, &barrier, |shard| shard * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn single_shard_runs_on_the_caller() {
+        let barrier = ShardBarrier::new(1);
+        let caller = std::thread::current().id();
+        let out = run_shards(1, &barrier, |shard| {
+            assert!(barrier.wait(), "sole party is always the leader");
+            (shard, std::thread::current().id())
+        });
+        assert_eq!(out[0].0, 0);
+        assert_eq!(out[0].1, caller);
+    }
+
+    #[test]
+    fn panicking_shard_releases_parked_teammates() {
+        let barrier = ShardBarrier::new(3);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_shards(3, &barrier, |shard| {
+                if shard == 1 {
+                    panic!("shard 1 exploded");
+                }
+                // Shards 0 and 2 park here; without the abort they
+                // would wait forever for shard 1.
+                barrier.wait();
+            });
+        }));
+        let payload = result.expect_err("the panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_string)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        // The caller sees the lowest-numbered panicking shard; shard 0
+        // died at the aborted barrier, so that is the propagated text.
+        assert!(
+            msg.contains("aborted") || msg.contains("exploded"),
+            "unexpected panic payload: {msg}"
+        );
+        assert!(barrier.is_aborted());
+    }
+
+    #[test]
+    #[should_panic(expected = "shard barrier aborted")]
+    fn aborted_barrier_rejects_future_waits() {
+        let barrier = ShardBarrier::new(2);
+        barrier.abort();
+        barrier.wait();
+    }
+
+    #[test]
+    #[should_panic(expected = "sized for 3 parties")]
+    fn mismatched_team_size_is_rejected() {
+        let barrier = ShardBarrier::new(3);
+        let _ = run_shards(2, &barrier, |_| ());
+    }
+}

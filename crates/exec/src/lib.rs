@@ -16,6 +16,9 @@
 //!   item and merges the results **in grid order**, regardless of which
 //!   worker ran what when. The merge asserts that no index was dropped
 //!   or duplicated.
+//! * [`barrier::ShardBarrier`] + [`barrier::run_shards`] — a reusable,
+//!   abortable epoch barrier for teams of shards co-simulating a
+//!   *single* run (the PDES mode), with panic-safe teardown.
 //!
 //! The worker count comes from [`jobs`] (`MCM_JOBS`, default: available
 //! parallelism); `MCM_JOBS=1` degenerates to an in-caller-thread serial
@@ -34,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod barrier;
 pub mod pool;
 pub mod queue;
 

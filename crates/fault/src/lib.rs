@@ -122,6 +122,39 @@ pub trait FaultPlan {
     }
 }
 
+/// A plan behind a mutable reference: every hook forwards to the
+/// referent. This lets a run loop *own* its plan generically (`F:
+/// FaultPlan`) while the caller keeps the concrete plan and observes
+/// its mutated counters afterwards — instantiate the loop with
+/// `F = &mut ConcretePlan`.
+impl<F: FaultPlan> FaultPlan for &mut F {
+    const ACTIVE: bool = F::ACTIVE;
+
+    fn link_error(&mut self, link: LinkId, attempt: u32) -> bool {
+        (**self).link_error(link, attempt)
+    }
+
+    fn link_backoff(&self, attempt: u32) -> Cycle {
+        (**self).link_backoff(attempt)
+    }
+
+    fn link_max_retries(&self) -> u32 {
+        (**self).link_max_retries()
+    }
+
+    fn dram_stretch(&mut self, module: u32, now: Cycle) -> f64 {
+        (**self).dram_stretch(module, now)
+    }
+
+    fn poison_fill(&mut self, id: u64) -> bool {
+        (**self).poison_fill(id)
+    }
+
+    fn module_disabled(&self, module: usize, kernel: u32) -> bool {
+        (**self).module_disabled(module, kernel)
+    }
+}
+
 /// The do-nothing plan: `ACTIVE = false`, so every fault call site
 /// disappears at monomorphization and timing is bit-identical to a
 /// build without the fault layer.
@@ -358,6 +391,31 @@ mod tests {
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10), "different seeds should differ");
+    }
+
+    #[test]
+    fn mut_ref_forwards_and_mirrors_active() {
+        assert!(active::<&mut SeededFaultPlan>());
+        assert!(!active::<&mut NullFaultPlan>());
+        let mut owned = SeededFaultPlan::new(FaultConfig::with_rate(9, 0.3));
+        let mut direct = SeededFaultPlan::new(FaultConfig::with_rate(9, 0.3));
+        {
+            let fwd: &mut SeededFaultPlan = &mut owned;
+            for i in 0..32 {
+                assert_eq!(
+                    fwd.link_error(LinkId::RingCw(0), i),
+                    direct.link_error(LinkId::RingCw(0), i)
+                );
+            }
+            assert_eq!(fwd.link_backoff(2), direct.link_backoff(2));
+            assert_eq!(fwd.link_max_retries(), direct.link_max_retries());
+            assert!(!fwd.module_disabled(0, 0));
+        }
+        // The forwarded calls mutated the owned plan's counters.
+        assert_eq!(
+            owned.link_draws.get(&link_key(LinkId::RingCw(0))),
+            Some(&32)
+        );
     }
 
     #[test]

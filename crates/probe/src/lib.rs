@@ -431,6 +431,74 @@ impl<A: Probe, B: Probe> Probe for (A, B) {
     }
 }
 
+/// A probe behind a mutable reference: every hook forwards to the
+/// referent. This lets a run loop *own* its probe generically (`P:
+/// Probe`) while the caller keeps the concrete sink — instantiate the
+/// loop with `P = &mut ConcreteSink`.
+impl<P: Probe> Probe for &mut P {
+    const ACTIVE: bool = P::ACTIVE;
+
+    fn kernel_begin(&mut self, kernel: u32, now: Cycle) {
+        (**self).kernel_begin(kernel, now);
+    }
+
+    fn kernel_end(&mut self, kernel: u32, now: Cycle) {
+        (**self).kernel_end(kernel, now);
+    }
+
+    fn warp_spawn(&mut self, warp: u32, sm: u32, now: Cycle) {
+        (**self).warp_spawn(warp, sm, now);
+    }
+
+    fn warp_phase(&mut self, warp: u32, sm: u32, now: Cycle, phase: WarpPhase) {
+        (**self).warp_phase(warp, sm, now, phase);
+    }
+
+    fn warp_retire(&mut self, warp: u32, sm: u32, now: Cycle) {
+        (**self).warp_retire(warp, sm, now);
+    }
+
+    fn request_issued(&mut self, id: u64, now: Cycle, meta: RequestMeta) {
+        (**self).request_issued(id, now, meta);
+    }
+
+    fn request_stage(&mut self, id: u64, now: Cycle, stage: ReqStage) {
+        (**self).request_stage(id, now, stage);
+    }
+
+    fn request_retired(&mut self, id: u64, now: Cycle) {
+        (**self).request_retired(id, now);
+    }
+
+    fn cache_access(&mut self, cache: &'static str, unit: u32, now: Cycle, hit: bool) {
+        (**self).cache_access(cache, unit, now, hit);
+    }
+
+    fn mshr_occupancy(&mut self, sm: u32, now: Cycle, outstanding: u32, capacity: u32) {
+        (**self).mshr_occupancy(sm, now, outstanding, capacity);
+    }
+
+    fn link_transfer(&mut self, link: LinkId, now: Cycle, bytes: u64, arrival: Cycle) {
+        (**self).link_transfer(link, now, bytes, arrival);
+    }
+
+    fn xbar_transfer(&mut self, module: u32, now: Cycle, bytes: u64) {
+        (**self).xbar_transfer(module, now, bytes);
+    }
+
+    fn dram_access(&mut self, partition: u32, now: Cycle, bytes: u64) {
+        (**self).dram_access(partition, now, bytes);
+    }
+
+    fn queue_depth(&mut self, now: Cycle, depth: usize) {
+        (**self).queue_depth(now, depth);
+    }
+
+    fn fault(&mut self, now: Cycle, event: FaultEvent) {
+        (**self).fault(now, event);
+    }
+}
+
 /// An optional probe: `None` behaves like [`NullProbe`] (but is only
 /// known inactive at run time, so prefer `NullProbe` when the choice is
 /// static).
@@ -570,6 +638,19 @@ mod tests {
         // A pair with a NullProbe half stays active.
         assert!(active::<(CountAll, NullProbe)>());
         assert!(!active::<(NullProbe, NullProbe)>());
+    }
+
+    #[test]
+    fn mut_ref_forwards_and_mirrors_active() {
+        let mut sink = CountAll::default();
+        {
+            let fwd: &mut CountAll = &mut sink;
+            assert!(active::<&mut CountAll>());
+            fwd.warp_phase(0, 0, Cycle::ZERO, WarpPhase::Compute);
+            fwd.dram_access(0, Cycle::ZERO, 64);
+        }
+        assert_eq!(sink.0, 2);
+        assert!(!active::<&mut NullProbe>());
     }
 
     #[test]

@@ -15,24 +15,29 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo build --workspace --release --offline =="
 cargo build --workspace --release --offline
 
-# MCM_JOBS=1 pins the golden-comparison runs to the serial execution
-# path: identical output is *guaranteed* by construction there, so a
-# golden diff can only mean simulated behaviour changed — never thread
-# scheduling. The parallel path's equivalence to this serial path is
-# itself under test (crates/bench/tests/parallel_determinism.rs).
-echo "== cargo test --workspace -q --offline (MCM_JOBS=1) =="
-MCM_JOBS=1 cargo test --workspace -q --offline
+# MCM_JOBS=1 / MCM_SHARDS=1 pin the golden-comparison runs to the
+# serial execution path: identical output is *guaranteed* by
+# construction there, so a golden diff can only mean simulated
+# behaviour changed — never thread scheduling. The parallel sweep
+# path's equivalence is under test in
+# crates/bench/tests/parallel_determinism.rs, and the sharded single-
+# simulation path's in tests/shard_determinism.rs — both run as part
+# of this same workspace pass.
+echo "== cargo test --workspace -q --offline (MCM_JOBS=1, MCM_SHARDS=1) =="
+MCM_JOBS=1 MCM_SHARDS=1 cargo test --workspace -q --offline
 
-# One smoke pass of every harness binary through the parallel executor,
-# so the MCM_JOBS>1 path stays in the canonical gate.
-echo "== bin_smoke under MCM_JOBS=4 =="
-MCM_JOBS=4 cargo test -p mcm-bench -q --offline --test bin_smoke
+# One smoke pass of every harness binary through the parallel executor
+# AND the sharded engine, so both MCM_JOBS>1 and MCM_SHARDS>1 paths
+# stay in the canonical gate end to end.
+echo "== bin_smoke under MCM_JOBS=4, MCM_SHARDS=2 =="
+MCM_JOBS=4 MCM_SHARDS=2 cargo test -p mcm-bench -q --offline --test bin_smoke
 
 # Perf smoke: the engine-overhaul guarantees stay in the gate. The
 # counting-allocator test asserts the run loop makes literally zero
-# allocator calls in steady-state kernels (deterministic, so a
-# regression fails exactly, not statistically); the bench targets run
-# once at tiny scale so a future change cannot silently break them.
+# allocator calls in steady-state kernels — serial AND per shard under
+# sharded execution (deterministic, so a regression fails exactly, not
+# statistically); the bench targets run once at tiny scale so a future
+# change cannot silently break them.
 echo "== perf smoke: hot-loop allocation freedom =="
 cargo test -p mcm-gpu -q --offline --test hot_loop_alloc
 echo "== perf smoke: engine + hotpath benches (tiny MCM_SCALE) =="

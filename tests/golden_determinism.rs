@@ -15,9 +15,9 @@ use mcm::workloads::suite;
 /// One row per workload category: Stream is memory-intensive, Hotspot
 /// compute-intensive, DWT limited-parallelism. All run at 2 % scale.
 const GOLDEN: &[(&str, u64, u64)] = &[
-    ("Stream", 5032, 1794),
-    ("Hotspot", 1303, 1132),
-    ("DWT", 2671, 1870),
+    ("Stream", 5049, 1794),
+    ("Hotspot", 1303, 1225),
+    ("DWT", 2799, 1898),
 ];
 
 #[test]

