@@ -1,5 +1,6 @@
 //! Regenerates Fig. 15 (speedup s-curve) of the paper. Honors `MCM_SCALE` (default 0.5).
 fn main() {
+    let _telemetry = mcm_bench::harness::telemetry_guard();
     let mut memo = mcm_bench::harness::Memo::from_env();
     println!("{}", mcm_bench::figures::fig15(&mut memo));
 }

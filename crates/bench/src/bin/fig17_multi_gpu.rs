@@ -1,5 +1,6 @@
 //! Regenerates Fig. 17 (MCM-GPU vs multi-GPU) of the paper. Honors `MCM_SCALE` (default 0.5).
 fn main() {
+    let _telemetry = mcm_bench::harness::telemetry_guard();
     let mut memo = mcm_bench::harness::Memo::from_env();
     println!("{}", mcm_bench::figures::fig17(&mut memo));
 }

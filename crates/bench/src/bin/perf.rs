@@ -1,0 +1,526 @@
+//! The pinned performance-trajectory suite: a micro + macro benchmark
+//! set emitting a schema-versioned, machine-readable `BENCH_*.json`
+//! snapshot, plus a comparator mode that diffs two snapshots and fails
+//! on regressions.
+//!
+//! ```text
+//! perf [--smoke] [--label L] [--out PATH]      run the suite
+//! perf --compare OLD NEW [--threshold FRAC]    diff two snapshots
+//! ```
+//!
+//! The suite is deliberately pinned: workload scale, op counts, and
+//! repetition counts are hard-coded per mode (`--smoke` shrinks them
+//! for CI), and the simulator is driven directly — `MCM_SCALE`,
+//! `MCM_SHARDS`, `MCM_TRACE`, and `MCM_METRICS` are ignored so two
+//! snapshots from the same binary always measured the same work.
+//!
+//! Every entry records wall times as integer nanoseconds (never NaN,
+//! never negative); macro entries also record simulated cycle counts,
+//! which the comparator checks for *equality* — a cycle drift between
+//! two snapshots of the same mode is a determinism bug, not a
+//! performance change. Wall-clock numbers live in the volatile part of
+//! the document by construction; the run also embeds a delta of the
+//! process's telemetry registry, whose sections are already classed.
+//!
+//! Exit codes: 0 success, 1 regression/determinism mismatch found by
+//! `--compare`, 2 usage error.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use mcm_bench::harness;
+use mcm_engine::rng::Xoshiro256;
+use mcm_engine::{Cycle, EventQueue};
+use mcm_gpu::{Simulator, SystemConfig};
+use mcm_telemetry::json::{push_escaped, push_f64, Json};
+use mcm_workloads::suite;
+
+/// Schema tag stamped into every snapshot this binary writes.
+const SCHEMA: &str = "mcm-bench-v1";
+
+/// One benchmark entry: repeated wall timings plus optional
+/// work-descriptor fields.
+struct Entry {
+    name: &'static str,
+    wall_ns_median: u64,
+    wall_ns_min: u64,
+    reps: u32,
+    /// Operations per rep (micro entries).
+    ops: Option<u64>,
+    /// Simulated cycles (macro entries; must be identical across hosts
+    /// and snapshots of the same mode).
+    cycles: Option<u64>,
+}
+
+/// Times `reps` calls of `f`, returning `(median, min)` wall
+/// nanoseconds (both clamped to >= 1, so ratios never divide by zero).
+fn time_reps<F: FnMut()>(reps: u32, mut f: F) -> (u64, u64) {
+    let mut ns: Vec<u64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            (t.elapsed().as_nanos() as u64).max(1)
+        })
+        .collect();
+    ns.sort_unstable();
+    (ns[ns.len() / 2], ns[0])
+}
+
+/// The pinned suite parameters for one mode.
+struct Mode {
+    smoke: bool,
+    scale: f64,
+    queue_ops: u64,
+    reps: u32,
+}
+
+impl Mode {
+    fn new(smoke: bool) -> Self {
+        if smoke {
+            Mode {
+                smoke,
+                scale: 0.01,
+                queue_ops: 20_000,
+                reps: 3,
+            }
+        } else {
+            Mode {
+                smoke,
+                scale: 0.05,
+                queue_ops: 200_000,
+                reps: 5,
+            }
+        }
+    }
+}
+
+/// Micro: the steady-state event-queue hold pattern (pop one, push one
+/// near-future) for a fixed op count — the simulator's hottest loop.
+fn micro_queue_hold(mode: &Mode) -> Entry {
+    let mut q: EventQueue<u64> = EventQueue::with_capacity(512);
+    let mut rng = Xoshiro256::new(0xBE7C);
+    let now = q.now();
+    for i in 0..256u64 {
+        q.push(now + Cycle::new(rng.next_range(900)), i, i);
+    }
+    // One warm pass before timing.
+    let mut hold = |ops: u64| {
+        let mut acc = 0u64;
+        for _ in 0..ops {
+            let (t, v) = q.pop().expect("queue is held non-empty");
+            q.push(t + Cycle::new(1 + rng.next_range(900)), v, v);
+            acc = acc.wrapping_add(t.as_u64());
+        }
+        std::hint::black_box(acc)
+    };
+    hold(mode.queue_ops / 10);
+    let (median, min) = time_reps(mode.reps, || {
+        hold(mode.queue_ops);
+    });
+    Entry {
+        name: "micro.queue_hold256",
+        wall_ns_median: median,
+        wall_ns_min: min,
+        reps: mode.reps,
+        ops: Some(mode.queue_ops),
+        cycles: None,
+    }
+}
+
+/// Macro: one full serial simulation of `cfg` on the pinned workload.
+fn macro_run(name: &'static str, cfg: &SystemConfig, mode: &Mode) -> Entry {
+    let spec = suite::by_name("Stream")
+        .expect("Stream workload in suite")
+        .scaled(mode.scale);
+    let warm = Simulator::run(cfg, &spec);
+    let mut cycles = warm.cycles.as_u64();
+    let (median, min) = time_reps(mode.reps, || {
+        let r = Simulator::run(cfg, &spec);
+        assert_eq!(r.cycles.as_u64(), cycles, "{name}: nondeterministic rerun");
+        cycles = r.cycles.as_u64();
+    });
+    Entry {
+        name,
+        wall_ns_median: median,
+        wall_ns_min: min,
+        reps: mode.reps,
+        ops: None,
+        cycles: Some(cycles),
+    }
+}
+
+/// Sharded singles: the same single simulation at 1, 2, and 4 shards,
+/// asserting bit-identical reports and recording each wall time.
+fn sharded_runs(mode: &Mode) -> Vec<Entry> {
+    let mut cfg = SystemConfig::baseline_mcm();
+    cfg.topology.sms_per_module = 4; // keep the single-run grain small
+    let spec = suite::by_name("Stream")
+        .expect("Stream workload in suite")
+        .scaled(mode.scale);
+    let serial = Simulator::run_sharded(&cfg, &spec, 1);
+    [
+        (1usize, "sharded.shards1"),
+        (2, "sharded.shards2"),
+        (4, "sharded.shards4"),
+    ]
+    .into_iter()
+    .map(|(shards, name)| {
+        let (median, min) = time_reps(mode.reps, || {
+            let r = Simulator::run_sharded(&cfg, &spec, shards);
+            assert_eq!(r, serial, "{name}: sharded run diverged from serial");
+        });
+        Entry {
+            name,
+            wall_ns_median: median,
+            wall_ns_min: min,
+            reps: mode.reps,
+            ops: None,
+            cycles: Some(serial.cycles.as_u64()),
+        }
+    })
+    .collect()
+}
+
+fn push_u64(out: &mut String, v: u64) {
+    push_f64(out, v as f64);
+}
+
+/// Renders the whole snapshot document.
+fn render_json(
+    label: &str,
+    mode: &Mode,
+    entries: &[Entry],
+    ratios: &[(&str, f64)],
+    telemetry_json: &str,
+) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut out = String::with_capacity(2048);
+    out.push('{');
+    push_escaped(&mut out, "schema");
+    out.push(':');
+    push_escaped(&mut out, SCHEMA);
+    out.push(',');
+    push_escaped(&mut out, "label");
+    out.push(':');
+    push_escaped(&mut out, label);
+    out.push(',');
+    push_escaped(&mut out, "smoke");
+    out.push_str(if mode.smoke { ":true," } else { ":false," });
+    push_escaped(&mut out, "scale");
+    out.push(':');
+    push_f64(&mut out, mode.scale);
+    out.push(',');
+    push_escaped(&mut out, "host");
+    out.push_str(":{");
+    push_escaped(&mut out, "os");
+    out.push(':');
+    push_escaped(&mut out, std::env::consts::OS);
+    out.push(',');
+    push_escaped(&mut out, "arch");
+    out.push(':');
+    push_escaped(&mut out, std::env::consts::ARCH);
+    out.push(',');
+    push_escaped(&mut out, "cores");
+    out.push(':');
+    push_u64(&mut out, cores as u64);
+    out.push_str("},");
+    push_escaped(&mut out, "caveats");
+    out.push_str(":[");
+    let mut caveats: Vec<String> = Vec::new();
+    if cores <= 1 {
+        caveats.push(
+            "single-core host: sharded.shards2/4 measure coordination overhead, not speedup"
+                .to_string(),
+        );
+    }
+    if mode.smoke {
+        caveats.push("smoke mode: tiny pinned scale, numbers are shape checks only".to_string());
+    }
+    for (i, c) in caveats.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_escaped(&mut out, c);
+    }
+    out.push_str("],");
+    push_escaped(&mut out, "entries");
+    out.push_str(":{");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_escaped(&mut out, e.name);
+        out.push_str(":{");
+        push_escaped(&mut out, "wall_ns_median");
+        out.push(':');
+        push_u64(&mut out, e.wall_ns_median);
+        out.push(',');
+        push_escaped(&mut out, "wall_ns_min");
+        out.push(':');
+        push_u64(&mut out, e.wall_ns_min);
+        out.push(',');
+        push_escaped(&mut out, "reps");
+        out.push(':');
+        push_u64(&mut out, u64::from(e.reps));
+        if let Some(ops) = e.ops {
+            out.push(',');
+            push_escaped(&mut out, "ops");
+            out.push(':');
+            push_u64(&mut out, ops);
+        }
+        if let Some(cycles) = e.cycles {
+            out.push(',');
+            push_escaped(&mut out, "cycles");
+            out.push(':');
+            push_u64(&mut out, cycles);
+        }
+        out.push('}');
+    }
+    out.push_str("},");
+    push_escaped(&mut out, "ratios");
+    out.push_str(":{");
+    for (i, (name, v)) in ratios.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_escaped(&mut out, name);
+        out.push(':');
+        push_f64(&mut out, *v);
+    }
+    out.push_str("},");
+    push_escaped(&mut out, "telemetry");
+    out.push(':');
+    out.push_str(telemetry_json);
+    out.push('}');
+    out
+}
+
+fn run_suite(label: &str, mode: &Mode, out_path: &PathBuf) {
+    println!(
+        "perf: running pinned suite (label {label:?}, smoke: {})",
+        mode.smoke
+    );
+    let before = mcm_telemetry::global().snapshot();
+    let mut entries = Vec::new();
+    entries.push(micro_queue_hold(mode));
+    entries.push(macro_run(
+        "macro.fig09_pair_base",
+        &SystemConfig::baseline_mcm(),
+        mode,
+    ));
+    entries.push(macro_run(
+        "macro.fig09_pair_ds",
+        &SystemConfig::mcm_l15_ds(),
+        mode,
+    ));
+    entries.extend(sharded_runs(mode));
+    let telemetry = mcm_telemetry::global()
+        .snapshot()
+        .delta_since(&before)
+        .to_json(label);
+
+    let wall = |name: &str| {
+        entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.wall_ns_median as f64)
+            .expect("suite entry present")
+    };
+    let cyc = |name: &str| {
+        entries
+            .iter()
+            .find(|e| e.name == name)
+            .and_then(|e| e.cycles)
+            .expect("suite entry has cycles") as f64
+    };
+    let ratios = [
+        (
+            "sharded.speedup_2x",
+            wall("sharded.shards1") / wall("sharded.shards2"),
+        ),
+        (
+            "sharded.speedup_4x",
+            wall("sharded.shards1") / wall("sharded.shards4"),
+        ),
+        (
+            "macro.ds_over_base_cycles",
+            cyc("macro.fig09_pair_ds") / cyc("macro.fig09_pair_base"),
+        ),
+    ];
+
+    for e in &entries {
+        println!(
+            "  {:<24} median {:>12} ns  min {:>12} ns{}",
+            e.name,
+            e.wall_ns_median,
+            e.wall_ns_min,
+            e.cycles.map_or(String::new(), |c| format!("  cycles {c}")),
+        );
+    }
+    for (name, v) in &ratios {
+        println!("  {name:<24} {v:.3}");
+    }
+
+    let doc = render_json(label, mode, &entries, &ratios, &telemetry);
+    // Round-trip through the in-repo reader before writing: a snapshot
+    // the comparator cannot parse is worse than no snapshot.
+    Json::parse(&doc).expect("perf snapshot must be valid JSON");
+    if let Some(parent) = out_path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create snapshot directory");
+        }
+    }
+    std::fs::write(out_path, &doc).expect("write BENCH snapshot");
+    println!("perf: wrote {}", out_path.display());
+}
+
+/// Loads and structurally validates one snapshot.
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail_usage(&format!("cannot read {path}: {e}")));
+    let doc = Json::parse(&text)
+        .unwrap_or_else(|e| fail_usage(&format!("{path} is not valid JSON: {e}")));
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(s) if s == SCHEMA => doc,
+        Some(s) => fail_usage(&format!("{path} has schema {s:?}, expected {SCHEMA:?}")),
+        None => fail_usage(&format!("{path} has no schema tag")),
+    }
+}
+
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("perf: {msg}");
+    eprintln!(
+        "usage: perf [--smoke] [--label L] [--out PATH]\n       perf --compare OLD NEW [--threshold FRAC]"
+    );
+    std::process::exit(2);
+}
+
+fn compare(old_path: &str, new_path: &str, threshold: f64) -> i32 {
+    let old = load(old_path);
+    let new = load(new_path);
+    if old.get("smoke") != new.get("smoke") || old.get("scale") != new.get("scale") {
+        fail_usage(&format!(
+            "{old_path} and {new_path} were produced at different modes/scales; \
+             their numbers are not comparable"
+        ));
+    }
+    let old_entries = old
+        .get("entries")
+        .and_then(Json::as_obj)
+        .unwrap_or_else(|| fail_usage(&format!("{old_path} has no entries object")));
+    let new_entries = new
+        .get("entries")
+        .and_then(Json::as_obj)
+        .unwrap_or_else(|| fail_usage(&format!("{new_path} has no entries object")));
+
+    let mut failures = 0u32;
+    println!(
+        "{:<24} {:>14} {:>14} {:>8}  verdict (threshold {:.0}%)",
+        "entry",
+        "old median ns",
+        "new median ns",
+        "ratio",
+        threshold * 100.0
+    );
+    for (name, old_e) in old_entries {
+        let Some(new_e) = new_entries.get(name) else {
+            println!(
+                "{name:<24} {:>14} {:>14} {:>8}  MISSING in new snapshot",
+                "-", "-", "-"
+            );
+            failures += 1;
+            continue;
+        };
+        let (Some(a), Some(b)) = (
+            old_e.get("wall_ns_median").and_then(Json::as_u64),
+            new_e.get("wall_ns_median").and_then(Json::as_u64),
+        ) else {
+            println!("{name:<24} malformed wall_ns_median");
+            failures += 1;
+            continue;
+        };
+        let ratio = b as f64 / (a.max(1)) as f64;
+        let verdict = if ratio > 1.0 + threshold {
+            failures += 1;
+            "REGRESSION"
+        } else if ratio < 1.0 - threshold {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!("{name:<24} {a:>14} {b:>14} {ratio:>8.3}  {verdict}");
+        // Simulated work must be *identical*, not merely close.
+        let (oc, nc) = (
+            old_e.get("cycles").and_then(Json::as_u64),
+            new_e.get("cycles").and_then(Json::as_u64),
+        );
+        if let (Some(oc), Some(nc)) = (oc, nc) {
+            if oc != nc {
+                println!("{name:<24} cycle count changed: {oc} -> {nc}  DETERMINISM MISMATCH");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        println!("\nperf: {failures} regression(s)/mismatch(es) beyond the threshold");
+        1
+    } else {
+        println!("\nperf: no regressions beyond the threshold");
+        0
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut label = "local".to_string();
+    let mut out: Option<PathBuf> = None;
+    let mut compare_paths: Option<(String, String)> = None;
+    let mut threshold = 0.25f64;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--label" => {
+                label = it
+                    .next()
+                    .unwrap_or_else(|| fail_usage("--label needs a value"));
+            }
+            "--out" => {
+                out = Some(PathBuf::from(
+                    it.next()
+                        .unwrap_or_else(|| fail_usage("--out needs a value")),
+                ));
+            }
+            "--compare" => {
+                let a = it
+                    .next()
+                    .unwrap_or_else(|| fail_usage("--compare needs OLD NEW"));
+                let b = it
+                    .next()
+                    .unwrap_or_else(|| fail_usage("--compare needs OLD NEW"));
+                compare_paths = Some((a, b));
+            }
+            "--threshold" => {
+                let raw = it
+                    .next()
+                    .unwrap_or_else(|| fail_usage("--threshold needs a value"));
+                threshold = raw
+                    .parse()
+                    .unwrap_or_else(|_| fail_usage(&format!("bad threshold {raw:?}")));
+                if !threshold.is_finite() || threshold <= 0.0 {
+                    fail_usage(&format!("threshold must be a positive fraction, got {raw}"));
+                }
+            }
+            other => fail_usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if let Some((a, b)) = compare_paths {
+        std::process::exit(compare(&a, &b, threshold));
+    }
+    let _telemetry = harness::telemetry_guard();
+    let out_path = out.unwrap_or_else(|| PathBuf::from(format!("BENCH_{label}.json")));
+    run_suite(&label, &Mode::new(smoke), &out_path);
+}

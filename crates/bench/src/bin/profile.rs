@@ -53,6 +53,7 @@ fn main() {
         );
         std::process::exit(2);
     };
+    let _telemetry = harness::telemetry_guard();
     let spec = spec.scaled(harness::scale());
 
     let trace_dir = std::env::var_os("MCM_TRACE").map(PathBuf::from);

@@ -18,6 +18,7 @@ use mcm_engine::stats::ToCsv;
 type Exhibit = (&'static str, Box<dyn Fn(&mut Memo) -> String>);
 
 fn main() {
+    let _telemetry = mcm_bench::harness::telemetry_guard();
     let out_dir = Path::new("results");
     fs::create_dir_all(out_dir).expect("create results/");
     let mut memo = Memo::from_env();

@@ -19,6 +19,7 @@ use mcm_bench::harness;
 use mcm_bench::resilience;
 
 fn main() {
+    let _telemetry = mcm_bench::harness::telemetry_guard();
     let scale = harness::scale();
     let seed = harness::fault_seed();
     println!(

@@ -32,6 +32,7 @@ impl Claim {
 }
 
 fn main() {
+    let telemetry = mcm_bench::harness::telemetry_guard();
     let mut memo = Memo::from_env();
     let all = suite::suite();
     eprintln!(
@@ -138,6 +139,9 @@ fn main() {
         claims.len() - failed,
         claims.len()
     );
+    // An explicit drop: process::exit skips destructors, and the
+    // failing path must still flush the MCM_TELEMETRY snapshot.
+    drop(telemetry);
     if failed > 0 {
         std::process::exit(1);
     }

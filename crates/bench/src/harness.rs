@@ -3,12 +3,14 @@
 
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::OnceLock;
 
 use mcm_engine::rng::StableHasher;
 use mcm_engine::stats::geomean;
 use mcm_fault::{FaultConfig, FaultPlan, NullFaultPlan, SeededFaultPlan};
 use mcm_gpu::{RunReport, Simulator, SystemConfig};
 use mcm_probe::{ChromeTraceProbe, MetricsProbe, NullProbe, Probe};
+use mcm_telemetry::{Class, Counter, Histogram};
 use mcm_workloads::{Category, WorkloadSpec};
 
 /// Parses `raw` (the value of environment variable `var`) or panics
@@ -111,6 +113,56 @@ pub fn shards() -> usize {
 pub struct Memo {
     scale: f64,
     cache: HashMap<(u64, String), RunReport>,
+    stats: MemoStats,
+}
+
+/// What one [`Memo`] instance did: per-instance mirrors of the global
+/// `memo.*` telemetry counters, race-free for unit tests that run
+/// alongside other memo-using tests in the same process.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// [`Memo::run`] calls served from the cache.
+    pub hits: u64,
+    /// [`Memo::run`] calls that simulated.
+    pub misses: u64,
+    /// Pairs requested across all [`Memo::warm`] calls.
+    pub warm_requested: u64,
+    /// Pairs actually simulated by [`Memo::warm`] (the rest were
+    /// duplicates or already cached).
+    pub warm_planned: u64,
+}
+
+/// Pre-registered global `memo.*` telemetry. All deterministic: the
+/// cache keys on content fingerprints and the call sequence of a
+/// harness binary does not depend on `MCM_JOBS`/`MCM_SHARDS`.
+struct MemoTele {
+    hits: Counter,
+    misses: Counter,
+    warm_requested: Counter,
+    warm_planned: Counter,
+    dedupe: Histogram,
+}
+
+/// `memo.warm_dedupe_permille` bucket edges (fraction of a warm call's
+/// requested pairs skipped as duplicates/cached, in permille).
+const DEDUPE_BOUNDS: [u64; 5] = [0, 250, 500, 750, 1000];
+
+fn memo_tele() -> &'static MemoTele {
+    static TELE: OnceLock<MemoTele> = OnceLock::new();
+    TELE.get_or_init(|| {
+        let reg = mcm_telemetry::global();
+        MemoTele {
+            hits: reg.counter("memo.hits", Class::Deterministic),
+            misses: reg.counter("memo.misses", Class::Deterministic),
+            warm_requested: reg.counter("memo.warm_requested", Class::Deterministic),
+            warm_planned: reg.counter("memo.warm_planned", Class::Deterministic),
+            dedupe: reg.histogram(
+                "memo.warm_dedupe_permille",
+                Class::Deterministic,
+                &DEDUPE_BOUNDS,
+            ),
+        }
+    })
 }
 
 impl Memo {
@@ -119,6 +171,7 @@ impl Memo {
         Memo {
             scale,
             cache: HashMap::new(),
+            stats: MemoStats::default(),
         }
     }
 
@@ -143,8 +196,12 @@ impl Memo {
     pub fn run(&mut self, cfg: &SystemConfig, spec: &WorkloadSpec) -> RunReport {
         let key = Memo::key(cfg, spec);
         if let Some(r) = self.cache.get(&key) {
+            self.stats.hits += 1;
+            memo_tele().hits.inc();
             return r.clone();
         }
+        self.stats.misses += 1;
+        memo_tele().misses.inc();
         let report = run_instrumented(cfg, &spec.scaled(self.scale));
         self.cache.insert(key, report.clone());
         report
@@ -202,6 +259,15 @@ impl Memo {
             }
             planned.push((cfg, spec.scaled(self.scale)));
         }
+        let tele = memo_tele();
+        self.stats.warm_requested += pairs.len() as u64;
+        self.stats.warm_planned += planned.len() as u64;
+        tele.warm_requested.add(pairs.len() as u64);
+        tele.warm_planned.add(planned.len() as u64);
+        if !pairs.is_empty() {
+            let skipped = (pairs.len() - planned.len()) as u64;
+            tele.dedupe.observe(skipped * 1000 / pairs.len() as u64);
+        }
         let reports = mcm_exec::pool::run_grid(
             &planned,
             jobs,
@@ -243,6 +309,11 @@ impl Memo {
     ) -> Vec<RunReport> {
         let pairs: Vec<(&SystemConfig, &WorkloadSpec)> = suite.iter().map(|w| (cfg, w)).collect();
         self.run_grid(&pairs)
+    }
+
+    /// This instance's hit/miss/warm accounting.
+    pub fn stats(&self) -> MemoStats {
+        self.stats
     }
 
     /// All reports produced so far, sorted by (configuration, workload)
@@ -361,17 +432,24 @@ pub fn run_instrumented(cfg: &SystemConfig, spec: &WorkloadSpec) -> RunReport {
 /// # Panics
 ///
 /// Panics if a fault environment knob holds an invalid value.
-pub fn run_probed_env_faults<P: Probe>(
+pub fn run_probed_env_faults<P: Probe + Send>(
     cfg: &SystemConfig,
     spec: &WorkloadSpec,
     probe: &mut P,
 ) -> RunReport {
+    // Routed through the sharded entry point: an active probe always
+    // runs serially, but the core layer then warns loudly (and counts)
+    // when MCM_SHARDS>1 is being ignored instead of silently dropping
+    // the knob.
     let rate = fault_rate();
     if rate > 0.0 {
         let mut plan = SeededFaultPlan::new(FaultConfig::with_rate(fault_seed(), rate));
-        Simulator::run_faulted(cfg, spec, probe, &mut plan)
+        let (report, _) = Simulator::run_faulted_sharded(cfg, spec, probe, &mut plan, shards());
+        report
     } else {
-        Simulator::run_faulted(cfg, spec, probe, &mut NullFaultPlan)
+        let (report, _) =
+            Simulator::run_faulted_sharded(cfg, spec, probe, &mut NullFaultPlan, shards());
+        report
     }
 }
 
@@ -427,7 +505,11 @@ pub fn run_instrumented_faulted_stemmed<F: FaultPlan + Clone + Send>(
             .as_ref()
             .map(|_| MetricsProbe::new(metrics_bucket(), cfg.topology.sms_per_module)),
     );
-    let report = Simulator::run_faulted(cfg, spec, &mut probe, plan);
+    // Routed through the sharded entry point even though an active
+    // probe always runs serially: the core layer then warns loudly
+    // (and counts) when MCM_SHARDS>1 is being ignored, instead of the
+    // harness silently dropping the knob.
+    let (report, _) = Simulator::run_faulted_sharded(cfg, spec, &mut probe, plan, shards());
     if let (Some(dir), Some(trace)) = (&trace_dir, &mut probe.0) {
         std::fs::create_dir_all(dir).expect("create MCM_TRACE directory");
         let path = dir.join(format!("{stem}.trace.json"));
@@ -439,6 +521,59 @@ pub fn run_instrumented_faulted_stemmed<F: FaultPlan + Clone + Send>(
         metrics.save(&path).expect("write metrics CSV");
     }
     report
+}
+
+/// RAII guard that writes a snapshot of the global telemetry registry
+/// when dropped, if `MCM_TELEMETRY=<path>` is set (JSON by default,
+/// CSV when the path ends in `.csv`). Harness binaries construct one
+/// at the top of `main`, so every exit path that unwinds or returns
+/// flushes telemetry; binaries that call `std::process::exit` must
+/// drop it explicitly first (`Drop` does not run past `exit`).
+#[derive(Debug)]
+pub struct TelemetryGuard {
+    path: Option<PathBuf>,
+    label: String,
+}
+
+/// Creates the process's [`TelemetryGuard`], labeling the snapshot
+/// with the binary's file stem.
+pub fn telemetry_guard() -> TelemetryGuard {
+    let label = std::env::args()
+        .next()
+        .and_then(|a| {
+            PathBuf::from(a)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+        })
+        .unwrap_or_else(|| "mcm".to_string());
+    TelemetryGuard {
+        path: std::env::var_os("MCM_TELEMETRY").map(PathBuf::from),
+        label,
+    }
+}
+
+impl Drop for TelemetryGuard {
+    fn drop(&mut self) {
+        let Some(path) = &self.path else { return };
+        let snap = mcm_telemetry::global().snapshot();
+        let result = if path.extension().is_some_and(|e| e == "csv") {
+            match path.parent() {
+                Some(dir) if !dir.as_os_str().is_empty() => {
+                    std::fs::create_dir_all(dir).and_then(|()| std::fs::write(path, snap.to_csv()))
+                }
+                _ => std::fs::write(path, snap.to_csv()),
+            }
+        } else {
+            snap.save_json(path, &self.label)
+        };
+        if let Err(e) = result {
+            // A telemetry sink failure must not fail the run.
+            eprintln!(
+                "mcm: warning: could not write MCM_TELEMETRY snapshot to {}: {e}",
+                path.display()
+            );
+        }
+    }
 }
 
 /// Geometric-mean speedup of `cfg` over `baseline` for the workloads of
@@ -648,6 +783,24 @@ mod tests {
         // Warm again: everything is a cache hit, nothing re-plans.
         memo.warm_with_jobs(2, &[(&cfg, &w1), (&opt, &w2)]);
         assert_eq!(memo.cache.len(), 2);
+    }
+
+    #[test]
+    fn memo_stats_track_hits_misses_and_dedupe() {
+        let mut memo = Memo::new(0.01);
+        let cfg = SystemConfig::baseline_mcm();
+        let w1 = suite::by_name("CFD").unwrap();
+        let w2 = suite::by_name("Stream").unwrap();
+        assert_eq!(memo.stats(), MemoStats::default());
+        memo.run(&cfg, &w1); // miss
+        memo.run(&cfg, &w1); // hit
+        memo.warm_with_jobs(1, &[(&cfg, &w1), (&cfg, &w2), (&cfg, &w2)]);
+        memo.run(&cfg, &w2); // hit (warm filled it)
+        let s = memo.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.warm_requested, 3);
+        assert_eq!(s.warm_planned, 1, "one cached + one duplicate skipped");
     }
 
     #[test]

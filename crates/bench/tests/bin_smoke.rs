@@ -11,6 +11,8 @@
 use std::path::PathBuf;
 use std::process::Command;
 
+use mcm_telemetry::json::Json;
+
 /// Tiny scale: big enough that every workload still has work to do,
 /// small enough that the full sweep of a bin finishes in seconds.
 const SMOKE_SCALE: &str = "0.01";
@@ -179,6 +181,104 @@ fn resilience_csv_is_byte_identical_across_seeded_runs() {
         csvs[0], csvs[1],
         "same MCM_FAULT_SEED must reproduce the degradation CSV byte-for-byte"
     );
+}
+
+/// Multiplies the first `wall_ns_median` in a BENCH snapshot by 10 —
+/// a synthetic 10x regression fixture for the comparator.
+fn inflate_first_median(text: &str) -> String {
+    let key = "\"wall_ns_median\":";
+    let start = text.find(key).expect("snapshot has a median field") + key.len();
+    let len = text[start..]
+        .find(|c: char| !c.is_ascii_digit())
+        .expect("number is delimited");
+    let old: u64 = text[start..start + len]
+        .parse()
+        .expect("median is an integer");
+    format!("{}{}{}", &text[..start], old * 10, &text[start + len..])
+}
+
+/// The `perf` bin's `BENCH_*.json` snapshot is machine-readable: it
+/// parses with the in-repo JSON reader, carries the schema tag, and
+/// every duration is a positive integer (never NaN, never negative —
+/// `Json::as_u64` rejects both).
+#[test]
+fn perf_snapshot_is_well_formed_and_comparator_catches_regressions() {
+    let exe = env!("CARGO_BIN_EXE_perf");
+    let dir = scratch_dir("perf");
+    let out_path = dir.join("BENCH_smoke.json");
+    let out = Command::new(exe)
+        .args(["--smoke", "--label", "smoke", "--out"])
+        .arg(&out_path)
+        .current_dir(&dir)
+        .output()
+        .expect("spawn perf");
+    assert!(
+        out.status.success(),
+        "perf --smoke failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let text = std::fs::read_to_string(&out_path).expect("read BENCH snapshot");
+    let doc = Json::parse(&text).expect("BENCH snapshot must parse with the in-repo reader");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("mcm-bench-v1")
+    );
+    assert_eq!(doc.get("label").and_then(Json::as_str), Some("smoke"));
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_obj)
+        .expect("entries object");
+    assert!(!entries.is_empty(), "snapshot has no benchmark entries");
+    for (name, entry) in entries {
+        for field in ["wall_ns_median", "wall_ns_min", "reps"] {
+            let v = entry
+                .get(field)
+                .and_then(Json::as_u64)
+                .unwrap_or_else(|| panic!("{name}.{field} missing, negative, or not an integer"));
+            assert!(v >= 1, "{name}.{field} must be >= 1, got {v}");
+        }
+    }
+    // The embedded telemetry delta is itself a schema'd snapshot.
+    assert_eq!(
+        doc.get("telemetry")
+            .and_then(|t| t.get("schema"))
+            .and_then(Json::as_str),
+        Some("mcm-telemetry-v1")
+    );
+
+    // Comparator: self-diff is clean, a synthetic 10x regression on one
+    // entry exits nonzero.
+    let self_diff = Command::new(exe)
+        .arg("--compare")
+        .args([&out_path, &out_path])
+        .output()
+        .expect("spawn perf --compare");
+    assert!(
+        self_diff.status.success(),
+        "self-compare must be zero-diff:\n{}",
+        String::from_utf8_lossy(&self_diff.stdout)
+    );
+
+    let doctored_path = dir.join("BENCH_doctored.json");
+    std::fs::write(&doctored_path, inflate_first_median(&text)).expect("write fixture");
+    let regressed = Command::new(exe)
+        .arg("--compare")
+        .args([&out_path, &doctored_path])
+        .output()
+        .expect("spawn perf --compare");
+    assert_eq!(
+        regressed.status.code(),
+        Some(1),
+        "a 10x median inflation must be flagged:\n{}",
+        String::from_utf8_lossy(&regressed.stdout)
+    );
+    let report = String::from_utf8_lossy(&regressed.stdout);
+    assert!(
+        report.contains("REGRESSION"),
+        "comparator output names the regression:\n{report}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// One artifact-writing run per entry point: a figure-harness binary

@@ -33,7 +33,8 @@
 //! fork the identical deterministic plan.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once, OnceLock};
 
 use mcm_engine::Cycle;
 use mcm_exec::barrier::{run_shards, ShardBarrier};
@@ -41,6 +42,7 @@ use mcm_fault::{FaultPlan, NullFaultPlan};
 use mcm_mem::page::{PageMap, PlacementPolicy};
 use mcm_probe::{NullProbe, Probe};
 use mcm_sm::{CtaPool, SchedulerPolicy};
+use mcm_telemetry::{global, Class, Counter, Gauge, Histogram};
 use mcm_workloads::WorkloadSpec;
 
 use crate::config::SystemConfig;
@@ -57,6 +59,50 @@ pub(crate) type Pos = (u64, u32, u64);
 /// single-writer or checked by the determinism suite.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Pre-registered shard-engine telemetry. Handles resolve once per
+/// process (before kernel 0, so steady-state epochs stay
+/// allocation-free); epoch/message totals are published at merge time,
+/// after the last `kernel_end`, and never feed back into timing.
+pub(crate) struct ShardTele {
+    pub(crate) runs: Counter,
+    pub(crate) probe_fallbacks: Counter,
+    pub(crate) epochs: Counter,
+    pub(crate) messages: Counter,
+    pub(crate) mailbox_bytes: Counter,
+    pub(crate) events: Counter,
+    pub(crate) imbalance_permille: Gauge,
+    pub(crate) epoch_events: Histogram,
+    pub(crate) sequenced: Counter,
+    pub(crate) sequencer_stalls: Counter,
+}
+
+/// `shard.epoch_events` bucket upper edges: events one shard processed
+/// in one epoch window.
+const EPOCH_EVENTS_BOUNDS: [u64; 6] = [1, 4, 16, 64, 256, 1024];
+
+pub(crate) fn shard_tele() -> &'static ShardTele {
+    static TELE: OnceLock<ShardTele> = OnceLock::new();
+    TELE.get_or_init(|| {
+        let reg = global();
+        ShardTele {
+            runs: reg.counter("shard.runs", Class::PerConfig),
+            probe_fallbacks: reg.counter("shard.serial_probe_fallbacks", Class::PerConfig),
+            epochs: reg.counter("shard.epochs", Class::PerConfig),
+            messages: reg.counter("shard.messages", Class::PerConfig),
+            mailbox_bytes: reg.counter("shard.mailbox_bytes", Class::PerConfig),
+            events: reg.counter("shard.events", Class::PerConfig),
+            imbalance_permille: reg.gauge("shard.imbalance_permille", Class::PerConfig),
+            epoch_events: reg.histogram(
+                "shard.epoch_events",
+                Class::PerConfig,
+                &EPOCH_EVENTS_BOUNDS,
+            ),
+            sequenced: reg.counter("shard.sequenced", Class::PerConfig),
+            sequencer_stalls: reg.counter("shard.sequencer_stalls", Class::Volatile),
+        }
+    })
 }
 
 /// Orders the few genuinely global decisions of a sharded run (a
@@ -77,6 +123,10 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 pub(crate) struct Sequencer {
     slots: Mutex<Vec<Pos>>,
     cv: Condvar,
+    /// Global decisions ordered through [`Sequencer::wait_until_min`].
+    sequenced: AtomicU64,
+    /// Calls that actually blocked on a peer (scheduling-dependent).
+    stalls: AtomicU64,
 }
 
 impl Sequencer {
@@ -85,6 +135,8 @@ impl Sequencer {
         Sequencer {
             slots: Mutex::new(vec![(0, 0, 0); shards]),
             cv: Condvar::new(),
+            sequenced: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
         }
     }
 
@@ -92,18 +144,32 @@ impl Sequencer {
     /// until every other shard's published position is strictly
     /// greater.
     pub(crate) fn wait_until_min(&self, me: usize, pos: Pos) {
+        self.sequenced.fetch_add(1, Ordering::Relaxed);
         let mut slots = self
             .slots
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         slots[me] = pos;
         self.cv.notify_all();
+        let mut stalled = false;
         while slots.iter().enumerate().any(|(i, &p)| i != me && p <= pos) {
+            if !stalled {
+                stalled = true;
+                self.stalls.fetch_add(1, Ordering::Relaxed);
+            }
             slots = self
                 .cv
                 .wait(slots)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
+    }
+
+    /// (decisions sequenced, calls that blocked) so far.
+    pub(crate) fn totals(&self) -> (u64, u64) {
+        (
+            self.sequenced.load(Ordering::Relaxed),
+            self.stalls.load(Ordering::Relaxed),
+        )
     }
 
     /// Publishes `pos` as shard `me`'s position without waiting — the
@@ -181,6 +247,11 @@ pub(crate) struct ShardCtx {
     pub(crate) received: u64,
     /// Epochs this shard has completed.
     pub(crate) epoch: u64,
+    /// Events this shard popped over the whole run.
+    pub(crate) events: u64,
+    /// Events popped in the current epoch window (reset per epoch;
+    /// feeds the `shard.epoch_events` histogram).
+    pub(crate) epoch_events: u64,
 }
 
 /// What a sharded run did, alongside its (shard-invariant) report.
@@ -200,6 +271,12 @@ pub struct ShardRunStats {
     /// Messages left undelivered at the end of the run. Always zero;
     /// checked by the conservation suite.
     pub residual_messages: u64,
+    /// Events popped across all shards (0 when the serial engine ran).
+    pub events: u64,
+    /// Events popped by the busiest shard.
+    pub max_shard_events: u64,
+    /// Events popped by the laziest shard.
+    pub min_shard_events: u64,
 }
 
 impl ShardRunStats {
@@ -210,7 +287,18 @@ impl ShardRunStats {
             messages: 0,
             late_deliveries: 0,
             residual_messages: 0,
+            events: 0,
+            max_shard_events: 0,
+            min_shard_events: 0,
         }
+    }
+
+    /// Busiest-to-mean shard event ratio in permille (1000 = perfectly
+    /// balanced). Zero when no events were popped (serial run).
+    pub fn imbalance_permille(&self) -> u64 {
+        (self.max_shard_events * 1000 * self.shards as u64)
+            .checked_div(self.events)
+            .unwrap_or(0)
     }
 }
 
@@ -304,6 +392,20 @@ impl Simulator {
         spec.validate().expect("invalid workload spec");
         let eff = effective_shards(cfg, shards);
         if P::ACTIVE || eff <= 1 {
+            if P::ACTIVE && eff > 1 {
+                // The caller asked for a sharded run but an active
+                // probe needs the global event stream — say so once,
+                // loudly, instead of silently degrading.
+                shard_tele().probe_fallbacks.inc();
+                static WARN: Once = Once::new();
+                WARN.call_once(|| {
+                    eprintln!(
+                        "mcm-gpu: warning: MCM_SHARDS={shards} requested but an active probe \
+                         observes the global event stream; falling back to the serial engine \
+                         (drop MCM_TRACE/MCM_METRICS or set MCM_SHARDS=1 to silence)"
+                    );
+                });
+            }
             let report = Simulator::run_faulted(cfg, spec, probe, plan);
             return (report, ShardRunStats::serial());
         }
@@ -321,6 +423,9 @@ fn run_sharded_inner<P: Probe + Send, F: FaultPlan + Clone + Send>(
 ) -> (RunReport, ShardRunStats) {
     let lookahead = cfg.topology.hop_cycles;
     debug_assert!(lookahead > 0);
+    // Resolve telemetry handles before kernel 0 so steady-state epochs
+    // (covered by the zero-alloc contract) only ever do atomic adds.
+    let tele = shard_tele();
     let seq = Arc::new(Sequencer::new(eff));
     let needs_draw_sequencing = matches!(
         cfg.scheduler,
@@ -359,6 +464,8 @@ fn run_sharded_inner<P: Probe + Send, F: FaultPlan + Clone + Send>(
                 sent: 0,
                 received: 0,
                 epoch: 0,
+                events: 0,
+                epoch_events: 0,
             };
             Mutex::new(RunState::new(cfg, spec, NullProbe, plan.clone(), Some(ctx)))
         })
@@ -391,6 +498,7 @@ fn run_sharded_inner<P: Probe + Send, F: FaultPlan + Clone + Send>(
             }
         }
         if any_dead {
+            crate::sim::gpm_resteal_counter().inc();
             let disabled = lock(&states[0]).disabled.clone();
             pool_guard.resteal_disabled(&disabled);
         }
@@ -492,6 +600,8 @@ fn run_sharded_inner<P: Probe + Send, F: FaultPlan + Clone + Send>(
                     st.horizon = st.horizon.max(t);
                     if let Some(ctx) = &mut st.shard {
                         ctx.pos = (t.as_u64(), wave, key);
+                        ctx.events += 1;
+                        ctx.epoch_events += 1;
                     }
                     match ev {
                         Ev::Warp(widx) => {
@@ -505,6 +615,8 @@ fn run_sharded_inner<P: Probe + Send, F: FaultPlan + Clone + Send>(
                 seq.publish(me, (window_end.as_u64(), 0, 0));
                 if let Some(ctx) = &mut st.shard {
                     ctx.epoch += 1;
+                    tele.epoch_events.observe(ctx.epoch_events);
+                    ctx.epoch_events = 0;
                     lock(&lanes[me]).append(&mut ctx.outbox);
                 }
             }
@@ -553,10 +665,12 @@ fn run_sharded_inner<P: Probe + Send, F: FaultPlan + Clone + Send>(
     let mut sent = 0u64;
     let mut received = 0u64;
     let mut ft_lookups = 0u64;
+    let mut shard_events: Vec<u64> = Vec::with_capacity(eff);
     if let Some(ctx) = &base.shard {
         sent += ctx.sent;
         received += ctx.received;
         ft_lookups += ctx.ft_extra_lookups;
+        shard_events.push(ctx.events);
     }
     for (i, other) in rest.iter_mut().enumerate() {
         base.sys.absorb_owned(&mut other.sys, eff, i + 1);
@@ -565,6 +679,7 @@ fn run_sharded_inner<P: Probe + Send, F: FaultPlan + Clone + Send>(
             sent += ctx.sent;
             received += ctx.received;
             ft_lookups += ctx.ft_extra_lookups;
+            shard_events.push(ctx.events);
         }
     }
     drop(rest);
@@ -588,7 +703,23 @@ fn run_sharded_inner<P: Probe + Send, F: FaultPlan + Clone + Send>(
         messages: ctrl.delivered,
         late_deliveries: ctrl.late,
         residual_messages: residual,
+        events: shard_events.iter().sum(),
+        max_shard_events: shard_events.iter().copied().max().unwrap_or(0),
+        min_shard_events: shard_events.iter().copied().min().unwrap_or(0),
     };
+    // Publish run totals after the last kernel_end: strictly
+    // out-of-band, never read by the engine.
+    let (sequenced, stalls) = seq.totals();
+    tele.runs.inc();
+    tele.epochs.add(stats.epochs);
+    tele.messages.add(stats.messages);
+    tele.mailbox_bytes
+        .add(stats.messages * std::mem::size_of::<Msg>() as u64);
+    tele.events.add(stats.events);
+    tele.imbalance_permille
+        .record_max(stats.imbalance_permille());
+    tele.sequenced.add(sequenced);
+    tele.sequencer_stalls.add(stalls);
     (report, stats)
 }
 
@@ -687,5 +818,31 @@ mod tests {
         assert!(stats.messages > 0, "a NUMA run must cross shards");
         assert_eq!(stats.late_deliveries, 0);
         assert_eq!(stats.residual_messages, 0);
+    }
+
+    #[test]
+    fn event_accounting_and_imbalance_are_sane() {
+        let spec = quick_spec();
+        let (_, stats) = Simulator::run_sharded_stats(&small_mcm(), &spec, 4);
+        assert!(stats.events > 0, "a run pops events");
+        assert!(stats.max_shard_events >= stats.min_shard_events);
+        assert!(stats.max_shard_events <= stats.events);
+        // max/mean >= 1 by construction, in permille.
+        assert!(stats.imbalance_permille() >= 1000);
+        // Event totals are per-config, not shard-invariant: a request
+        // crossing a shard boundary is re-enqueued on the receiving
+        // side, so the count drifts slightly with the partition. It is
+        // still deterministic for a fixed shard count (pinned by the
+        // telemetry determinism suite) and stays in the same ballpark.
+        let (_, stats2) = Simulator::run_sharded_stats(&small_mcm(), &spec, 2);
+        let (lo, hi) = (
+            stats.events.min(stats2.events),
+            stats.events.max(stats2.events),
+        );
+        assert!(
+            hi - lo < lo / 10,
+            "event totals should be close: {lo} vs {hi}"
+        );
+        assert_eq!(ShardRunStats::serial().imbalance_permille(), 0);
     }
 }

@@ -45,6 +45,20 @@ use mcm_workloads::WorkloadSpec;
 use crate::config::SystemConfig;
 use crate::report::RunReport;
 use crate::shard::{Msg, ShardCtx};
+
+/// `fault.gpm.resteal_kernels`: kernel launches that restole CTAs away
+/// from newly disabled modules. Fires once per launch in both the
+/// serial and sharded engines, so it is deterministic across
+/// `MCM_SHARDS` (and out-of-band either way).
+pub(crate) fn gpm_resteal_counter() -> &'static mcm_telemetry::Counter {
+    static TELE: std::sync::OnceLock<mcm_telemetry::Counter> = std::sync::OnceLock::new();
+    TELE.get_or_init(|| {
+        mcm_telemetry::global().counter(
+            "fault.gpm.resteal_kernels",
+            mcm_telemetry::Class::Deterministic,
+        )
+    })
+}
 use crate::system::{L15Outcome, McmSystem, REQUEST_BYTES};
 use mcm_interconnect::ring::RingDir;
 
@@ -336,6 +350,7 @@ fn run_serial<P: Probe, F: FaultPlan>(
         }
 
         if F::ACTIVE && state.refresh_disabled(kernel, now) {
+            gpm_resteal_counter().inc();
             pool.resteal_disabled(&state.disabled);
         }
 

@@ -1,6 +1,57 @@
 //! The bounded scoped thread pool and the grid-order merge.
 
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use mcm_telemetry::{global, Class, Counter, Gauge, Histogram};
+
 use crate::queue::{GridQueue, WorkerState};
+
+/// Pre-registered executor telemetry handles. Resolved once per
+/// process so the per-grid cost is a handful of relaxed atomic adds;
+/// results are never affected (telemetry is strictly out-of-band).
+struct ExecTele {
+    grids: Counter,
+    tasks: Counter,
+    pools: Counter,
+    workers: Counter,
+    queue_depth_hw: Gauge,
+    steals: Counter,
+    steal_failures: Counter,
+    busy_ns: Counter,
+    idle_ns: Counter,
+    task_ns: Histogram,
+}
+
+/// `exec.task_ns` bucket upper edges: 1us .. 1s in decades.
+const TASK_NS_BOUNDS: [u64; 7] = [
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+];
+
+fn tele() -> &'static ExecTele {
+    static TELE: OnceLock<ExecTele> = OnceLock::new();
+    TELE.get_or_init(|| {
+        let reg = global();
+        ExecTele {
+            grids: reg.counter("exec.grids", Class::Deterministic),
+            tasks: reg.counter("exec.tasks", Class::Deterministic),
+            pools: reg.counter("exec.pools", Class::PerConfig),
+            workers: reg.counter("exec.workers_spawned", Class::PerConfig),
+            queue_depth_hw: reg.gauge("exec.queue_depth_hw", Class::PerConfig),
+            steals: reg.counter("exec.steals", Class::Volatile),
+            steal_failures: reg.counter("exec.steal_failures", Class::Volatile),
+            busy_ns: reg.counter("exec.busy_ns", Class::Volatile),
+            idle_ns: reg.counter("exec.idle_ns", Class::Volatile),
+            task_ns: reg.histogram("exec.task_ns", Class::Volatile, &TASK_NS_BOUNDS),
+        }
+    })
+}
 
 /// Runs `f` once per grid item across at most `jobs` worker threads and
 /// returns the results **in grid order** — element `i` of the returned
@@ -22,22 +73,41 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    let t = tele();
+    t.grids.inc();
+    t.tasks.add(items.len() as u64);
     let jobs = jobs.max(1).min(items.len().max(1));
     if jobs <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    t.pools.inc();
+    t.workers.add(jobs as u64);
     let queue = GridQueue::new_balanced(items.len(), jobs);
+    let initial_depth = queue.deck_depths().into_iter().max().unwrap_or(0);
+    t.queue_depth_hw.record_max(initial_depth as u64);
     let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
             .map(|w| {
                 let queue = &queue;
                 let f = &f;
                 scope.spawn(move || {
+                    let spawned = Instant::now();
+                    let mut busy_ns = 0u64;
                     let mut state = WorkerState::seeded(seed, w);
                     let mut out = Vec::new();
                     while let Some(i) = queue.next_item(w, &mut state) {
+                        let began = Instant::now();
                         out.push((i, f(i, &items[i])));
+                        let took = began.elapsed().as_nanos() as u64;
+                        busy_ns += took;
+                        t.task_ns.observe(took);
                     }
+                    let stats = state.stats();
+                    t.steals.add(stats.steals);
+                    t.steal_failures.add(stats.steal_failures);
+                    t.busy_ns.add(busy_ns);
+                    t.idle_ns
+                        .add((spawned.elapsed().as_nanos() as u64).saturating_sub(busy_ns));
                     out
                 })
             })
@@ -116,6 +186,20 @@ mod tests {
         let r =
             std::panic::catch_unwind(|| merge_grid(vec![vec![(0, 1u32), (1, 2)], vec![(1, 2)]], 2));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn telemetry_counts_every_grid_item() {
+        let reg = mcm_telemetry::global();
+        let tasks = reg.counter("exec.tasks", mcm_telemetry::Class::Deterministic);
+        let grids = reg.counter("exec.grids", mcm_telemetry::Class::Deterministic);
+        let (t0, g0) = (tasks.get(), grids.get());
+        let items: Vec<u64> = (0..40).collect();
+        let _ = run_grid(&items, 4, 1, |_, &x| x);
+        let _ = run_grid(&items, 1, 1, |_, &x| x);
+        // Other tests share the global registry, so assert lower bounds.
+        assert!(tasks.get() - t0 >= 80, "both paths count tasks");
+        assert!(grids.get() - g0 >= 2);
     }
 
     #[test]

@@ -43,6 +43,20 @@ pub struct GridQueue {
 pub struct WorkerState {
     current: Option<Range<usize>>,
     rng: Xoshiro256,
+    stats: WorkerStats,
+}
+
+/// What one worker did while draining the queue. Accumulated locally
+/// (no atomics on the hot path) and flushed to telemetry by the pool
+/// when the worker retires.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Grid items this worker produced.
+    pub tasks: u64,
+    /// Chunks stolen from another worker's deque.
+    pub steals: u64,
+    /// Full victim scans that found every deque empty.
+    pub steal_failures: u64,
 }
 
 impl WorkerState {
@@ -52,7 +66,13 @@ impl WorkerState {
         WorkerState {
             current: None,
             rng: Xoshiro256::seeded(&[seed, worker as u64]),
+            stats: WorkerStats::default(),
         }
+    }
+
+    /// This worker's accumulated drain statistics.
+    pub fn stats(&self) -> WorkerStats {
+        self.stats
     }
 }
 
@@ -124,6 +144,7 @@ impl GridQueue {
                 if range.start < range.end {
                     let item = range.start;
                     range.start += 1;
+                    state.stats.tasks += 1;
                     return Some(item);
                 }
                 state.current = None;
@@ -139,10 +160,26 @@ impl GridQueue {
                 .filter(|&v| v != worker)
                 .find_map(|v| self.steal_chunk(v));
             match stolen {
-                Some(chunk) => state.current = Some(chunk),
-                None => return None,
+                Some(chunk) => {
+                    state.stats.steals += 1;
+                    state.current = Some(chunk);
+                }
+                None => {
+                    state.stats.steal_failures += 1;
+                    return None;
+                }
             }
         }
+    }
+
+    /// Current depth (in chunks) of each worker's deque. At
+    /// construction time this is the deal's high-water mark — chunks
+    /// only ever leave a deque.
+    pub fn deck_depths(&self) -> Vec<usize> {
+        self.decks
+            .iter()
+            .map(|d| d.lock().expect("queue lock").len())
+            .collect()
     }
 }
 

@@ -51,10 +51,34 @@
 #![warn(missing_debug_implementations)]
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use mcm_engine::rng::Xoshiro256;
 use mcm_engine::Cycle;
 use mcm_probe::LinkId;
+use mcm_telemetry::{global, Class, Counter};
+
+/// Pre-registered per-kind injection counters. The schedule is a pure
+/// function of the seed, so these are deterministic — they count the
+/// same faults in serial and sharded runs — and strictly out-of-band:
+/// timing never reads them.
+struct FaultTele {
+    link_errors: Counter,
+    dram_throttled: Counter,
+    mshr_poisoned: Counter,
+}
+
+fn tele() -> &'static FaultTele {
+    static TELE: OnceLock<FaultTele> = OnceLock::new();
+    TELE.get_or_init(|| {
+        let reg = global();
+        FaultTele {
+            link_errors: reg.counter("fault.link.errors_injected", Class::Deterministic),
+            dram_throttled: reg.counter("fault.dram.throttled_draws", Class::Deterministic),
+            mshr_poisoned: reg.counter("fault.mshr.fills_poisoned", Class::Deterministic),
+        }
+    })
+}
 
 /// Domain-separation salts so the four fault families draw from
 /// decorrelated streams even under one seed.
@@ -315,7 +339,11 @@ impl FaultPlan for SeededFaultPlan {
         let counter = self.link_draws.entry(key).or_insert(0);
         let n = *counter;
         *counter += 1;
-        draw(&[self.cfg.seed, LINK_SALT, key, n]) < self.cfg.link_error_rate
+        let hit = draw(&[self.cfg.seed, LINK_SALT, key, n]) < self.cfg.link_error_rate;
+        if hit {
+            tele().link_errors.inc();
+        }
+        hit
     }
 
     fn link_backoff(&self, attempt: u32) -> Cycle {
@@ -338,6 +366,7 @@ impl FaultPlan for SeededFaultPlan {
         if draw(&[self.cfg.seed, DRAM_SALT, u64::from(module), window])
             < self.cfg.dram_throttle_rate
         {
+            tele().dram_throttled.inc();
             self.cfg.dram_throttle_stretch
         } else {
             1.0
@@ -345,8 +374,12 @@ impl FaultPlan for SeededFaultPlan {
     }
 
     fn poison_fill(&mut self, id: u64) -> bool {
-        self.cfg.mshr_poison_rate > 0.0
-            && draw(&[self.cfg.seed, POISON_SALT, id]) < self.cfg.mshr_poison_rate
+        let hit = self.cfg.mshr_poison_rate > 0.0
+            && draw(&[self.cfg.seed, POISON_SALT, id]) < self.cfg.mshr_poison_rate;
+        if hit {
+            tele().mshr_poisoned.inc();
+        }
+        hit
     }
 
     fn module_disabled(&self, module: usize, kernel: u32) -> bool {
@@ -487,5 +520,22 @@ mod tests {
     #[should_panic(expected = "invalid FaultConfig")]
     fn plan_construction_panics_on_bad_config() {
         let _ = SeededFaultPlan::new(FaultConfig::with_rate(0, 2.0));
+    }
+
+    #[test]
+    fn injections_are_counted_per_kind() {
+        let reg = mcm_telemetry::global();
+        let links = reg.counter("fault.link.errors_injected", Class::Deterministic);
+        let poisons = reg.counter("fault.mshr.fills_poisoned", Class::Deterministic);
+        let (l0, p0) = (links.get(), poisons.get());
+        let mut p = SeededFaultPlan::new(FaultConfig::with_rate(3, 0.5));
+        let fired_links = (0..200)
+            .filter(|&i| p.link_error(LinkId::RingCw(7), i))
+            .count() as u64;
+        let fired_poisons = (1000..1200).filter(|&id| p.poison_fill(id)).count() as u64;
+        assert!(fired_links > 0 && fired_poisons > 0, "rate 0.5 must fire");
+        // Lower bounds: other tests in the binary share the registry.
+        assert!(links.get() - l0 >= fired_links);
+        assert!(poisons.get() - p0 >= fired_poisons);
     }
 }

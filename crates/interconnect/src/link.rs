@@ -4,6 +4,19 @@ use mcm_engine::{Cycle, Resource};
 
 use crate::energy::Tier;
 
+/// `fault.link.transfers_recovered`: transfers that took at least one
+/// transient error and still landed. Out-of-band; only faulted builds
+/// (`F::ACTIVE`) ever touch it.
+fn recovered_counter() -> &'static mcm_telemetry::Counter {
+    static TELE: std::sync::OnceLock<mcm_telemetry::Counter> = std::sync::OnceLock::new();
+    TELE.get_or_init(|| {
+        mcm_telemetry::global().counter(
+            "fault.link.transfers_recovered",
+            mcm_telemetry::Class::Deterministic,
+        )
+    })
+}
+
 /// A unidirectional point-to-point link.
 ///
 /// A transfer of `bytes` arriving at `now` serializes on the link's
@@ -99,6 +112,12 @@ impl Link {
         loop {
             let arrival = self.transfer_probed(t, bytes, id, probe);
             if attempt >= plan.link_max_retries() || !plan.link_error(id, attempt) {
+                if attempt > 0 {
+                    // The transfer errored at least once and still
+                    // landed: a recovery, whether by clean retransmit
+                    // or by exhausting the retry budget.
+                    recovered_counter().inc();
+                }
                 return arrival;
             }
             if P::ACTIVE {

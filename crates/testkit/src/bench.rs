@@ -38,6 +38,28 @@ pub struct Measurement {
     pub samples: u32,
 }
 
+impl Measurement {
+    /// Calls per second implied by the median sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `median_ns` is not a positive finite number — the
+    /// runner clamps zero-duration samples (see [`nonzero_ns`]), so a
+    /// non-positive median means the measurement was constructed by
+    /// hand or corrupted, and any ratio built on it would be
+    /// meaningless (a silent `inf`/`NaN` poisons every downstream
+    /// geomean).
+    pub fn ops_per_sec(&self) -> f64 {
+        assert!(
+            self.median_ns.is_finite() && self.median_ns > 0.0,
+            "ops_per_sec on a non-positive median ({} ns) for {:?}",
+            self.median_ns,
+            self.name
+        );
+        1e9 / self.median_ns
+    }
+}
+
 impl std::fmt::Display for Measurement {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -51,6 +73,25 @@ impl std::fmt::Display for Measurement {
             self.batch,
         )
     }
+}
+
+/// Clamps a measured duration to at least one nanosecond, warning
+/// loudly the first time it fires. A coarse-grained clock (or a closure
+/// the optimizer deleted) can report an elapsed time of exactly zero;
+/// letting that through turns every per-call ratio and ops-per-second
+/// figure downstream into `inf`.
+fn nonzero_ns(elapsed_ns: f64, what: &str) -> f64 {
+    if elapsed_ns > 0.0 {
+        return elapsed_ns;
+    }
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    WARNED.call_once(|| {
+        eprintln!(
+            "mcm-testkit: zero-duration bench sample for {what:?} clamped to 1 ns \
+             (timer too coarse for this closure; ratios would divide by zero)"
+        );
+    });
+    1.0
 }
 
 /// Formats nanoseconds with an adaptive unit.
@@ -119,7 +160,7 @@ impl Group {
                 for _ in 0..batch {
                     black_box(f());
                 }
-                t.elapsed().as_nanos() as f64 / batch as f64
+                nonzero_ns(t.elapsed().as_nanos() as f64, name) / batch as f64
             })
             .collect();
         per_call.sort_by(|a, b| a.total_cmp(b));
@@ -156,7 +197,7 @@ impl Group {
 pub fn bench_once<R, F: FnOnce() -> R>(name: &str, f: F) -> (R, f64) {
     let t = Instant::now();
     let out = black_box(f());
-    let secs = t.elapsed().as_secs_f64();
+    let secs = nonzero_ns(t.elapsed().as_nanos() as f64, name) / 1e9;
     println!("{name:<40} {} (single shot)", fmt_ns(secs * 1e9));
     (out, secs)
 }
@@ -207,6 +248,44 @@ mod tests {
         });
         assert_eq!(value, (0..1000u64).sum());
         assert!(secs > 0.0);
+    }
+
+    #[test]
+    fn zero_duration_samples_are_clamped() {
+        // Regression: a coarse timer reading of exactly 0 ns used to
+        // flow straight into per-call medians and ops-per-sec ratios.
+        assert_eq!(nonzero_ns(0.0, "zero"), 1.0);
+        assert_eq!(nonzero_ns(-3.0, "negative"), 1.0);
+        assert_eq!(nonzero_ns(42.0, "normal"), 42.0);
+        let (_, secs) = bench_once("selftest_instant", || ());
+        assert!(secs > 0.0, "bench_once must never report zero seconds");
+    }
+
+    #[test]
+    fn ops_per_sec_inverts_the_median() {
+        let m = Measurement {
+            name: "t/x".into(),
+            median_ns: 100.0,
+            p95_ns: 120.0,
+            min_ns: 90.0,
+            batch: 1,
+            samples: 3,
+        };
+        assert!((m.ops_per_sec() - 1e7).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "ops_per_sec on a non-positive median")]
+    fn ops_per_sec_panics_loudly_on_zero_median() {
+        let m = Measurement {
+            name: "t/zero".into(),
+            median_ns: 0.0,
+            p95_ns: 0.0,
+            min_ns: 0.0,
+            batch: 1,
+            samples: 3,
+        };
+        let _ = m.ops_per_sec();
     }
 
     #[test]

@@ -44,4 +44,27 @@ echo "== perf smoke: engine + hotpath benches (tiny MCM_SCALE) =="
 cargo bench -p mcm-engine -q --offline --bench queue
 MCM_SCALE=0.01 cargo bench -p mcm-bench -q --offline --bench hotpath
 
+# Telemetry is strictly out-of-band: a release harness run must print
+# byte-identical stdout and leave a well-formed snapshot behind with
+# MCM_TELEMETRY set, vs nothing different with it unset. Uses the
+# release binary built above; fig09 exercises the memo cache, the
+# sweep executor, and (via MCM_SHARDS) the sharded engine.
+echo "== telemetry on/off byte-identity (release fig09, tiny scale) =="
+TELEMETRY_TMP="$(mktemp -d -t mcm-telemetry.XXXXXX)"
+trap 'rm -rf "$TELEMETRY_TMP"' EXIT
+MCM_SCALE=0.01 MCM_JOBS=1 MCM_SHARDS=1 \
+  target/release/fig09_distributed_sched >"$TELEMETRY_TMP/off.txt"
+MCM_SCALE=0.01 MCM_JOBS=1 MCM_SHARDS=1 \
+  MCM_TELEMETRY="$TELEMETRY_TMP/telemetry.json" \
+  target/release/fig09_distributed_sched >"$TELEMETRY_TMP/on.txt"
+diff "$TELEMETRY_TMP/off.txt" "$TELEMETRY_TMP/on.txt" \
+  || { echo "tier-1: MCM_TELEMETRY changed harness stdout" >&2; exit 1; }
+test -s "$TELEMETRY_TMP/telemetry.json" \
+  || { echo "tier-1: MCM_TELEMETRY wrote no snapshot" >&2; exit 1; }
+
+# The pinned perf-trajectory suite at smoke scale: the BENCH snapshot
+# must build, parse, and self-compare with zero diff (hermetic, offline).
+echo "== scripts/perf.sh --smoke =="
+scripts/perf.sh --smoke
+
 echo "tier-1: all green"

@@ -15,6 +15,9 @@
 //!   `Probe` trait, Chrome-trace, metrics, and stall-profile sinks.
 //! * [`fault`] ([`mcm_fault`]) — deterministic runtime fault
 //!   injection: the `FaultPlan` trait and the seeded schedule.
+//! * [`telemetry`] ([`mcm_telemetry`]) — hermetic metrics registry:
+//!   counters, gauges, histograms, and reproducibility-classed
+//!   JSON/CSV snapshots.
 //! * [`sm`] ([`mcm_sm`]) — SM model and CTA schedulers.
 //! * [`workloads`] ([`mcm_workloads`]) — the 48-benchmark synthetic
 //!   suite.
@@ -42,4 +45,5 @@ pub use mcm_interconnect as interconnect;
 pub use mcm_mem as mem;
 pub use mcm_probe as probe;
 pub use mcm_sm as sm;
+pub use mcm_telemetry as telemetry;
 pub use mcm_workloads as workloads;
