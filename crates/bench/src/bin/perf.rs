@@ -32,6 +32,7 @@ use mcm_bench::harness;
 use mcm_engine::rng::Xoshiro256;
 use mcm_engine::{Cycle, EventQueue};
 use mcm_gpu::{Simulator, SystemConfig};
+use mcm_store::Store;
 use mcm_telemetry::json::{push_escaped, push_f64, Json};
 use mcm_workloads::suite;
 
@@ -123,6 +124,46 @@ fn micro_queue_hold(mode: &Mode) -> Entry {
         wall_ns_min: min,
         reps: mode.reps,
         ops: Some(mode.queue_ops),
+        cycles: None,
+    }
+}
+
+/// Micro: persistent-store hit latency — a warm index lookup plus a
+/// bit-exact report clone, the per-pair cost a warm-started sweep pays
+/// instead of a simulation. Uses a throwaway temp-dir store seeded
+/// with a pinned record set.
+fn micro_store_hit(mode: &Mode) -> Entry {
+    let dir = std::env::temp_dir().join(format!("mcm-perf-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::open(&dir).expect("open perf store in temp dir");
+    let spec = suite::by_name("Stream")
+        .expect("Stream workload in suite")
+        .scaled(0.01);
+    let report = Simulator::run(&SystemConfig::baseline_mcm(), &spec);
+    const RECORDS: u64 = 64;
+    for fp in 0..RECORDS {
+        store.put(fp, "Stream", &report);
+    }
+    let ops = mode.queue_ops / 10;
+    let mut rng = Xoshiro256::new(0x5709E);
+    let (median, min) = time_reps(mode.reps, || {
+        let mut acc = 0u64;
+        for _ in 0..ops {
+            let r = store
+                .get(rng.next_range(RECORDS), "Stream")
+                .expect("seeded store hit");
+            acc = acc.wrapping_add(r.cycles.as_u64());
+        }
+        std::hint::black_box(acc);
+    });
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    Entry {
+        name: "micro.store_hit",
+        wall_ns_median: median,
+        wall_ns_min: min,
+        reps: mode.reps,
+        ops: Some(ops),
         cycles: None,
     }
 }
@@ -301,18 +342,12 @@ fn run_suite(label: &str, mode: &Mode, out_path: &PathBuf) {
         mode.smoke
     );
     let before = mcm_telemetry::global().snapshot();
-    let mut entries = Vec::new();
-    entries.push(micro_queue_hold(mode));
-    entries.push(macro_run(
-        "macro.fig09_pair_base",
-        &SystemConfig::baseline_mcm(),
-        mode,
-    ));
-    entries.push(macro_run(
-        "macro.fig09_pair_ds",
-        &SystemConfig::mcm_l15_ds(),
-        mode,
-    ));
+    let mut entries = vec![
+        micro_queue_hold(mode),
+        micro_store_hit(mode),
+        macro_run("macro.fig09_pair_base", &SystemConfig::baseline_mcm(), mode),
+        macro_run("macro.fig09_pair_ds", &SystemConfig::mcm_l15_ds(), mode),
+    ];
     entries.extend(sharded_runs(mode));
     let telemetry = mcm_telemetry::global()
         .snapshot()

@@ -1,15 +1,18 @@
 //! Shared machinery for the figure/table harness binaries: scaled,
 //! memoized simulation runs and plain-text table rendering.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::OnceLock;
 
 use mcm_engine::rng::StableHasher;
 use mcm_engine::stats::geomean;
+use mcm_exec::pool::{panic_message, TaskFailure};
 use mcm_fault::{FaultConfig, FaultPlan, NullFaultPlan, SeededFaultPlan};
 use mcm_gpu::{RunReport, Simulator, SystemConfig};
 use mcm_probe::{ChromeTraceProbe, MetricsProbe, NullProbe, Probe};
+use mcm_store::Store;
 use mcm_telemetry::{Class, Counter, Histogram};
 use mcm_workloads::{Category, WorkloadSpec};
 
@@ -109,10 +112,20 @@ pub fn shards() -> usize {
 /// `MCM_JOBS` worker threads via [`mcm_exec`], merging results back in
 /// grid order so every figure, table, and artifact is byte-identical
 /// regardless of the job count.
+///
+/// With a persistent [`Store`] attached (`MCM_STORE=<dir>`, see
+/// [`Memo::from_env`]), the cache additionally survives the process:
+/// every fresh simulation is durably committed as it completes, and
+/// later processes (or a restart after a crash) serve those pairs from
+/// disk. The store key folds in everything that determines a result —
+/// the configuration fingerprint, the *scaled* instruction count, and
+/// the fault-injection knobs — so a knob change is a different key,
+/// never a stale hit.
 #[derive(Debug)]
 pub struct Memo {
     scale: f64,
     cache: HashMap<(u64, String), RunReport>,
+    store: Option<Store>,
     stats: MemoStats,
 }
 
@@ -128,18 +141,35 @@ pub struct MemoStats {
     /// Pairs requested across all [`Memo::warm`] calls.
     pub warm_requested: u64,
     /// Pairs actually simulated by [`Memo::warm`] (the rest were
-    /// duplicates or already cached).
+    /// duplicates, already cached, or served from the store).
     pub warm_planned: u64,
+    /// Exact-duplicate `(fingerprint, workload)` pairs dropped within a
+    /// single warm plan.
+    pub warm_deduped: u64,
+    /// Runs served from the persistent store instead of simulating.
+    pub store_hits: u64,
 }
 
-/// Pre-registered global `memo.*` telemetry. All deterministic: the
+/// Pre-registered global `memo.*` telemetry. Mostly deterministic: the
 /// cache keys on content fingerprints and the call sequence of a
-/// harness binary does not depend on `MCM_JOBS`/`MCM_SHARDS`.
+/// harness binary does not depend on `MCM_JOBS`/`MCM_SHARDS`. The
+/// store-dependent counters are [`Class::PerConfig`] because their
+/// values are a function of the `MCM_STORE` knob and the disk contents
+/// it points at.
 struct MemoTele {
     hits: Counter,
     misses: Counter,
     warm_requested: Counter,
     warm_planned: Counter,
+    /// Exact-duplicate pairs dropped within one warm plan. PerConfig:
+    /// with a store attached, a pair served from disk on its first
+    /// occurrence turns later occurrences into cache hits instead of
+    /// dedupes, so the count depends on what previous processes left
+    /// behind.
+    warm_deduped: Counter,
+    /// Runs served from the persistent store. PerConfig: zero with
+    /// `MCM_STORE` unset, a function of the knob and the disk with it.
+    store_hits: Counter,
     dedupe: Histogram,
 }
 
@@ -156,6 +186,8 @@ fn memo_tele() -> &'static MemoTele {
             misses: reg.counter("memo.misses", Class::Deterministic),
             warm_requested: reg.counter("memo.warm_requested", Class::Deterministic),
             warm_planned: reg.counter("memo.warm_planned", Class::Deterministic),
+            warm_deduped: reg.counter("memo.warm_deduped", Class::PerConfig),
+            store_hits: reg.counter("memo.store_hits", Class::PerConfig),
             dedupe: reg.histogram(
                 "memo.warm_dedupe_permille",
                 Class::Deterministic,
@@ -166,18 +198,57 @@ fn memo_tele() -> &'static MemoTele {
 }
 
 impl Memo {
-    /// Creates a runner at the given workload scale.
+    /// Creates a runner at the given workload scale, process-local only
+    /// (no persistent store).
     pub fn new(scale: f64) -> Self {
         Memo {
             scale,
             cache: HashMap::new(),
+            store: None,
             stats: MemoStats::default(),
         }
     }
 
-    /// Creates a runner at the environment-selected scale.
+    /// Creates a runner at the environment-selected scale. With
+    /// `MCM_STORE=<dir>` set, attaches the persistent [`Store`] at that
+    /// directory, so results survive (and are served across) process
+    /// restarts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `MCM_STORE` is set but the directory cannot be
+    /// opened at all (cannot be created or listed) — a mistyped knob
+    /// must abort the run, not silently fall back to volatile caching.
+    /// On-disk *corruption* is not an error: damaged records are
+    /// quarantined as misses by the store's recovery scan.
     pub fn from_env() -> Self {
-        Memo::new(scale())
+        let mut memo = Memo::new(scale());
+        if let Some(dir) = std::env::var_os("MCM_STORE") {
+            let dir = PathBuf::from(dir);
+            let store = Store::open(&dir).unwrap_or_else(|e| {
+                panic!(
+                    "MCM_STORE: cannot open result store at {}: {e}",
+                    dir.display()
+                )
+            });
+            memo.store = Some(store);
+        }
+        memo
+    }
+
+    /// Creates a runner at the given scale backed by an explicit
+    /// [`Store`] (tests attach temp-dir stores without touching the
+    /// `MCM_STORE` environment variable, which would race across test
+    /// threads).
+    pub fn with_store(scale: f64, store: Store) -> Self {
+        let mut memo = Memo::new(scale);
+        memo.store = Some(store);
+        memo
+    }
+
+    /// The attached persistent store, if any.
+    pub fn store(&self) -> Option<&Store> {
+        self.store.as_ref()
     }
 
     /// The workload scale in force.
@@ -189,7 +260,25 @@ impl Memo {
         (cfg.fingerprint(), spec.name.to_string())
     }
 
-    /// Runs `spec` (scaled) on `cfg`, memoized.
+    /// The persistent-store fingerprint for one pair. Unlike the
+    /// in-process cache key, this must survive the process — so it
+    /// folds in everything the environment contributes to a result: the
+    /// *scaled* per-warp instruction count (capturing `MCM_SCALE`) and
+    /// the fault-injection knobs. A process running at different knob
+    /// settings computes a different key and never sees a stale record.
+    fn store_fingerprint(&self, cfg: &SystemConfig, spec: &WorkloadSpec) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_u64(cfg.fingerprint());
+        h.write_str(spec.name);
+        h.write_u64(u64::from(spec.scaled(self.scale).insts_per_warp));
+        h.write_u64(fault_rate().to_bits());
+        h.write_u64(fault_seed());
+        h.finish()
+    }
+
+    /// Runs `spec` (scaled) on `cfg`, memoized — in-process first, then
+    /// the persistent store (when attached), then a fresh simulation
+    /// (which is durably committed to the store as it completes).
     ///
     /// Fresh (non-memoized) runs honour the observability environment
     /// variables: see [`run_instrumented`].
@@ -200,9 +289,21 @@ impl Memo {
             memo_tele().hits.inc();
             return r.clone();
         }
+        if self.store.is_some() {
+            let fp = self.store_fingerprint(cfg, spec);
+            if let Some(r) = self.store.as_ref().and_then(|s| s.get(fp, spec.name)) {
+                self.stats.store_hits += 1;
+                memo_tele().store_hits.inc();
+                self.cache.insert(key, r.clone());
+                return r;
+            }
+        }
         self.stats.misses += 1;
         memo_tele().misses.inc();
         let report = run_instrumented(cfg, &spec.scaled(self.scale));
+        if let Some(store) = &self.store {
+            store.put(self.store_fingerprint(cfg, spec), spec.name, &report);
+        }
         self.cache.insert(key, report.clone());
         report
     }
@@ -224,31 +325,67 @@ impl Memo {
     /// collisions (see [`artifact_stem`]), and results are merged back
     /// in plan order — output never depends on thread scheduling.
     ///
+    /// With `MCM_SUPERVISED=1` the grid runs under the supervised
+    /// executor instead: a panicking pair is retried (`MCM_RETRIES`,
+    /// default 1) and then quarantined — reported on stderr, left
+    /// uncached — while every other pair completes. See
+    /// [`Memo::warm_supervised_with_jobs`].
+    ///
     /// # Panics
     ///
     /// Panics if two planned pairs would write the same artifact stem,
-    /// or if a worker thread panics.
+    /// or (unsupervised) if a worker task panics — the propagated panic
+    /// names the `(configuration, workload)` pair and its grid index
+    /// and carries the original message.
     pub fn warm(&mut self, pairs: &[(&SystemConfig, &WorkloadSpec)]) {
-        self.warm_with_jobs(mcm_exec::jobs(), pairs);
+        if mcm_exec::supervised() {
+            let failures =
+                self.warm_supervised_with_jobs(mcm_exec::jobs(), mcm_exec::retries(), pairs);
+            report_quarantined(&failures);
+        } else {
+            self.warm_with_jobs(mcm_exec::jobs(), pairs);
+        }
     }
 
-    /// [`Memo::warm`] with an explicit worker count (tests compare
-    /// job counts in-process without touching the `MCM_JOBS`
-    /// environment variable, which would race across test threads).
-    pub fn warm_with_jobs(&mut self, jobs: usize, pairs: &[(&SystemConfig, &WorkloadSpec)]) {
-        let mut planned: Vec<(&SystemConfig, WorkloadSpec)> = Vec::new();
+    /// Plans one warm call: drops pairs already in the in-process
+    /// cache, dedupes *exact* `(fingerprint, workload)` duplicates
+    /// (counted in `memo.warm_deduped`), serves pairs present in the
+    /// persistent store straight into the cache, checks the survivors'
+    /// artifact stems for collisions, and books the `memo.*`
+    /// accounting. Returns the pairs that genuinely need simulating,
+    /// in grid order, each with its precomputed store fingerprint.
+    fn plan<'p>(
+        &mut self,
+        pairs: &[(&'p SystemConfig, &'p WorkloadSpec)],
+    ) -> Vec<(&'p SystemConfig, WorkloadSpec, u64)> {
+        let mut planned: Vec<(&SystemConfig, WorkloadSpec, u64)> = Vec::new();
+        let mut seen: HashSet<(u64, String)> = HashSet::new();
         let mut stems: HashMap<String, (String, &str)> = HashMap::new();
+        let mut deduped = 0u64;
+        let mut store_hits = 0u64;
         for &(cfg, spec) in pairs {
             let key = Memo::key(cfg, spec);
             if self.cache.contains_key(&key) {
                 continue;
             }
+            // Exact-pair dedupe: the same (fingerprint, workload)
+            // appearing twice in one grid plans once. This is decided
+            // on the full content key, never on a name or a truncated
+            // stem hash.
+            if !seen.insert(key.clone()) {
+                deduped += 1;
+                continue;
+            }
+            let store_fp = self.store_fingerprint(cfg, spec);
+            if let Some(r) = self.store.as_ref().and_then(|s| s.get(store_fp, spec.name)) {
+                store_hits += 1;
+                self.cache.insert(key, r);
+                continue;
+            }
             let stem = artifact_stem(cfg, spec);
             match stems.get(&stem) {
-                // The same pair appearing twice in the grid is planned
-                // once; a *different* pair mapping to the same stem
-                // would silently overwrite artifacts.
-                Some((c, w)) if *c == cfg.name && *w == spec.name => continue,
+                // A *different* pair mapping to the same stem would
+                // silently overwrite artifacts; fail loud instead.
                 Some((c, w)) => panic!(
                     "artifact stem {stem:?} collides: ({c:?}, {w:?}) vs ({:?}, {:?})",
                     cfg.name, spec.name
@@ -257,27 +394,140 @@ impl Memo {
                     stems.insert(stem, (cfg.name.clone(), spec.name));
                 }
             }
-            planned.push((cfg, spec.scaled(self.scale)));
+            planned.push((cfg, spec.scaled(self.scale), store_fp));
         }
         let tele = memo_tele();
         self.stats.warm_requested += pairs.len() as u64;
         self.stats.warm_planned += planned.len() as u64;
+        self.stats.warm_deduped += deduped;
+        self.stats.store_hits += store_hits;
         tele.warm_requested.add(pairs.len() as u64);
         tele.warm_planned.add(planned.len() as u64);
+        tele.warm_deduped.add(deduped);
+        tele.store_hits.add(store_hits);
         if !pairs.is_empty() {
             let skipped = (pairs.len() - planned.len()) as u64;
             tele.dedupe.observe(skipped * 1000 / pairs.len() as u64);
         }
+        planned
+    }
+
+    /// [`Memo::warm`] with an explicit worker count (tests compare
+    /// job counts in-process without touching the `MCM_JOBS`
+    /// environment variable, which would race across test threads).
+    pub fn warm_with_jobs(&mut self, jobs: usize, pairs: &[(&SystemConfig, &WorkloadSpec)]) {
+        self.warm_with_jobs_runner(jobs, pairs, run_instrumented);
+    }
+
+    /// [`Memo::warm_with_jobs`] with an injectable simulation function
+    /// (tests exercise the panic-enrichment and persistence plumbing
+    /// with scripted faults, no environment required).
+    fn warm_with_jobs_runner<G>(
+        &mut self,
+        jobs: usize,
+        pairs: &[(&SystemConfig, &WorkloadSpec)],
+        sim: G,
+    ) where
+        G: Fn(&SystemConfig, &WorkloadSpec) -> RunReport + Sync,
+    {
+        let planned = self.plan(pairs);
+        let store = self.store.as_ref();
         let reports = mcm_exec::pool::run_grid(
             &planned,
             jobs,
             mcm_exec::DEFAULT_SEED,
-            |_, (cfg, scaled)| run_instrumented(cfg, scaled),
+            |_, (cfg, scaled, store_fp)| {
+                // Attach the pair's identity to any panic before the
+                // pool's own enrichment adds the grid index: a poisoned
+                // sweep names ("config", "workload"), not just a slot.
+                let report =
+                    catch_unwind(AssertUnwindSafe(|| sim(cfg, scaled))).unwrap_or_else(|payload| {
+                        resume_unwind(Box::new(format!(
+                            "({:?}, {:?}): {}",
+                            cfg.name,
+                            scaled.name,
+                            panic_message(payload.as_ref())
+                        )))
+                    });
+                // Committed from the worker, not after the merge: a
+                // crash mid-sweep keeps every already-finished result.
+                if let Some(store) = store {
+                    store.put(*store_fp, scaled.name, &report);
+                }
+                report
+            },
         );
-        for ((cfg, scaled), report) in planned.iter().zip(reports) {
+        for ((cfg, scaled, _), report) in planned.iter().zip(reports) {
             self.cache
                 .insert((cfg.fingerprint(), scaled.name.to_string()), report);
         }
+    }
+
+    /// The supervised counterpart of [`Memo::warm`]: runs the planned
+    /// grid under [`mcm_exec::pool::run_grid_supervised`], so a
+    /// panicking pair is retried up to `retries` more times and then
+    /// quarantined — named in the returned report — while every other
+    /// pair completes (and persists, when a store is attached).
+    ///
+    /// The report is sorted by grid position and is identical at every
+    /// `jobs` value. Quarantined pairs stay uncached: a later
+    /// [`Memo::run`] on one will re-attempt it (and panic undisturbed
+    /// if the fault persists).
+    pub fn warm_supervised_with_jobs(
+        &mut self,
+        jobs: usize,
+        retries: u32,
+        pairs: &[(&SystemConfig, &WorkloadSpec)],
+    ) -> Vec<PairFailure> {
+        self.warm_supervised_runner(jobs, retries, pairs, |cfg, scaled| {
+            run_instrumented(cfg, scaled)
+        })
+    }
+
+    /// [`Memo::warm_supervised_with_jobs`] with an injectable
+    /// simulation function (tests inject scripted faults env-free).
+    fn warm_supervised_runner<G>(
+        &mut self,
+        jobs: usize,
+        retries: u32,
+        pairs: &[(&SystemConfig, &WorkloadSpec)],
+        sim: G,
+    ) -> Vec<PairFailure>
+    where
+        G: Fn(&SystemConfig, &WorkloadSpec) -> RunReport + Sync,
+    {
+        let planned = self.plan(pairs);
+        let store = self.store.as_ref();
+        let grid = mcm_exec::pool::run_grid_supervised(
+            &planned,
+            jobs,
+            mcm_exec::DEFAULT_SEED,
+            retries,
+            |_, (cfg, scaled, store_fp)| {
+                let report = sim(cfg, scaled);
+                if let Some(store) = store {
+                    store.put(*store_fp, scaled.name, &report);
+                }
+                report
+            },
+        );
+        for ((cfg, scaled, _), report) in planned.iter().zip(grid.results) {
+            if let Some(report) = report {
+                self.cache
+                    .insert((cfg.fingerprint(), scaled.name.to_string()), report);
+            }
+        }
+        grid.failures
+            .into_iter()
+            .map(|failure| {
+                let (cfg, scaled, _) = &planned[failure.index];
+                PairFailure {
+                    config: cfg.name.clone(),
+                    workload: scaled.name.to_string(),
+                    failure,
+                }
+            })
+            .collect()
     }
 
     /// Runs every pair of `pairs` (scaled, memoized), executing the
@@ -322,6 +572,38 @@ impl Memo {
         let mut all: Vec<&RunReport> = self.cache.values().collect();
         all.sort_by(|a, b| (&a.config, &a.workload).cmp(&(&b.config, &b.workload)));
         all
+    }
+}
+
+/// One quarantined `(configuration, workload)` pair from a supervised
+/// warm ([`Memo::warm_supervised_with_jobs`]): the pair's names plus
+/// the underlying executor-level [`TaskFailure`] (grid index, attempt
+/// count, last panic message).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairFailure {
+    /// The configuration's display name.
+    pub config: String,
+    /// The workload name.
+    pub workload: String,
+    /// The executor-level failure record.
+    pub failure: TaskFailure,
+}
+
+impl std::fmt::Display for PairFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "QUARANTINED ({:?}, {:?}) after {} attempt(s): {}",
+            self.config, self.workload, self.failure.attempts, self.failure.message
+        )
+    }
+}
+
+/// Prints a supervised warm's quarantine report to stderr, one line
+/// per poisoned pair, in grid order. No output when nothing failed.
+pub fn report_quarantined(failures: &[PairFailure]) {
+    for f in failures {
+        eprintln!("mcm: exec: {f}");
     }
 }
 
@@ -412,6 +694,10 @@ pub fn artifact_stem(cfg: &SystemConfig, spec: &WorkloadSpec) -> String {
 /// Panics if an artifact directory cannot be created or written, or if
 /// one of the environment knobs holds an invalid value.
 pub fn run_instrumented(cfg: &SystemConfig, spec: &WorkloadSpec) -> RunReport {
+    // The scripted worker fault (a no-op unless MCM_FAULT_TASK_PANIC
+    // is set): the deterministic crash the supervised executor is
+    // exercised against.
+    mcm_fault::inject::scripted_task_panic(&cfg.name, spec.name);
     let rate = fault_rate();
     if rate > 0.0 {
         let mut plan = SeededFaultPlan::new(FaultConfig::with_rate(fault_seed(), rate));
@@ -801,6 +1087,8 @@ mod tests {
         assert_eq!(s.hits, 2);
         assert_eq!(s.warm_requested, 3);
         assert_eq!(s.warm_planned, 1, "one cached + one duplicate skipped");
+        assert_eq!(s.warm_deduped, 1, "the repeated w2 is an exact dedupe");
+        assert_eq!(s.store_hits, 0, "no store attached");
     }
 
     #[test]
@@ -911,5 +1199,134 @@ mod tests {
         // defaults apply: no injection, reproducible seed.
         assert_eq!(fault_rate(), 0.0);
         assert_eq!(fault_seed(), FaultConfig::default().seed);
+    }
+
+    #[test]
+    fn store_backed_memo_warm_starts_across_instances() {
+        let dir = mcm_testkit::tempdir::TempDir::new("memo-store");
+        let cfg = SystemConfig::baseline_mcm();
+        let spec = suite::by_name("CFD").unwrap();
+        // First process: simulates and persists.
+        let mut cold = Memo::with_store(0.01, Store::open(dir.path()).unwrap());
+        let r1 = cold.run(&cfg, &spec);
+        assert_eq!(cold.stats().misses, 1);
+        assert_eq!(cold.store().unwrap().stats().puts, 1);
+        drop(cold);
+        // Second "process": same knobs, fresh Memo — served from disk,
+        // bit-exact, zero simulations.
+        let mut warm = Memo::with_store(0.01, Store::open(dir.path()).unwrap());
+        let r2 = warm.run(&cfg, &spec);
+        assert_eq!(r1, r2);
+        assert_eq!(warm.stats().misses, 0, "no simulation on the warm path");
+        assert_eq!(warm.stats().store_hits, 1);
+    }
+
+    #[test]
+    fn store_key_separates_scales() {
+        // The same pair at a different MCM_SCALE must be a different
+        // store key: a warm start must never serve a result computed
+        // at another scale.
+        let dir = mcm_testkit::tempdir::TempDir::new("memo-scale");
+        let cfg = SystemConfig::baseline_mcm();
+        let spec = suite::by_name("CFD").unwrap();
+        let mut a = Memo::with_store(0.01, Store::open(dir.path()).unwrap());
+        let ra = a.run(&cfg, &spec);
+        drop(a);
+        let mut b = Memo::with_store(0.02, Store::open(dir.path()).unwrap());
+        let rb = b.run(&cfg, &spec);
+        assert_eq!(b.stats().store_hits, 0, "different scale must miss");
+        assert_eq!(b.stats().misses, 1);
+        assert_ne!(ra.cycles, rb.cycles);
+    }
+
+    #[test]
+    fn warm_persists_from_workers_and_warm_starts() {
+        let dir = mcm_testkit::tempdir::TempDir::new("memo-warm-store");
+        let cfg = SystemConfig::baseline_mcm();
+        let opt = SystemConfig::optimized_mcm();
+        let w1 = suite::by_name("CFD").unwrap();
+        let w2 = suite::by_name("Stream").unwrap();
+        let pairs = [(&cfg, &w1), (&opt, &w1), (&cfg, &w2), (&opt, &w2)];
+        let mut cold = Memo::with_store(0.01, Store::open(dir.path()).unwrap());
+        cold.warm_with_jobs(3, &pairs);
+        assert_eq!(cold.store().unwrap().stats().puts, 4);
+        let expect: Vec<RunReport> = pairs.iter().map(|(c, w)| cold.run(c, w)).collect();
+        drop(cold);
+        let mut warm = Memo::with_store(0.01, Store::open(dir.path()).unwrap());
+        warm.warm_with_jobs(3, &pairs);
+        assert_eq!(warm.stats().warm_planned, 0, "everything on disk");
+        assert_eq!(warm.stats().store_hits, 4);
+        let got: Vec<RunReport> = pairs.iter().map(|(c, w)| warm.run(c, w)).collect();
+        assert_eq!(got, expect, "warm-started reports must be bit-exact");
+    }
+
+    #[test]
+    fn supervised_warm_quarantines_named_pairs_identically_at_any_job_count() {
+        let cfg = SystemConfig::baseline_mcm();
+        let opt = SystemConfig::optimized_mcm();
+        let w1 = suite::by_name("CFD").unwrap();
+        let w2 = suite::by_name("Stream").unwrap();
+        let pairs = [(&cfg, &w1), (&opt, &w1), (&cfg, &w2), (&opt, &w2)];
+        let check = |jobs: usize| -> Vec<PairFailure> {
+            let mut memo = Memo::new(0.01);
+            memo.warm_supervised_runner(jobs, 1, &pairs, |cfg, scaled| {
+                assert!(
+                    !(cfg.name == opt.name && scaled.name == "CFD"),
+                    "injected fault"
+                );
+                run_instrumented(cfg, scaled)
+            })
+        };
+        let serial = check(1);
+        let parallel = check(4);
+        assert_eq!(serial, parallel, "report must not depend on job count");
+        assert_eq!(serial.len(), 1);
+        assert_eq!(serial[0].config, opt.name);
+        assert_eq!(serial[0].workload, "CFD");
+        assert_eq!(serial[0].failure.attempts, 2);
+        assert!(serial[0].failure.message.contains("injected fault"));
+        assert!(serial[0]
+            .to_string()
+            .starts_with(&format!("QUARANTINED ({:?}, \"CFD\")", opt.name)));
+    }
+
+    #[test]
+    fn supervised_warm_completes_and_caches_healthy_pairs() {
+        let cfg = SystemConfig::baseline_mcm();
+        let w1 = suite::by_name("CFD").unwrap();
+        let w2 = suite::by_name("Stream").unwrap();
+        let pairs = [(&cfg, &w1), (&cfg, &w2)];
+        let mut memo = Memo::new(0.01);
+        let failures = memo.warm_supervised_runner(2, 0, &pairs, |cfg, scaled| {
+            assert!(scaled.name != "Stream", "bad workload");
+            run_instrumented(cfg, scaled)
+        });
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].workload, "Stream");
+        // The healthy pair is cached; the quarantined one is not and
+        // re-attempts (successfully, without the injected fault) on use.
+        assert_eq!(memo.stats().warm_planned, 2);
+        memo.run(&cfg, &w1);
+        assert_eq!(memo.stats().hits, 1);
+        memo.run(&cfg, &w2);
+        assert_eq!(memo.stats().misses, 1, "quarantined pair re-simulates");
+    }
+
+    #[test]
+    fn unsupervised_warm_panics_name_the_pair() {
+        let cfg = SystemConfig::baseline_mcm();
+        let w1 = suite::by_name("CFD").unwrap();
+        let mut memo = Memo::new(0.01);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            memo.warm_with_jobs_runner(1, &[(&cfg, &w1)], |_, _| -> RunReport {
+                panic!("sim exploded")
+            });
+        }))
+        .expect_err("warm must propagate the panic");
+        let msg = panic_message(caught.as_ref());
+        assert!(msg.contains("grid worker panicked"), "{msg:?}");
+        assert!(msg.contains(&format!("{:?}", cfg.name)), "{msg:?}");
+        assert!(msg.contains("\"CFD\""), "{msg:?}");
+        assert!(msg.contains("sim exploded"), "{msg:?}");
     }
 }

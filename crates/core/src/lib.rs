@@ -54,7 +54,7 @@ pub mod experiments;
 pub mod reference;
 
 pub use config::{CacheHierarchy, SystemConfig, Topology, KIB, MIB};
-pub use report::RunReport;
+pub use report::{ModuleStats, RunReport};
 pub use shard::{effective_shards, ShardRunStats};
 pub use sim::Simulator;
 pub use system::McmSystem;

@@ -83,6 +83,22 @@ impl Ratio {
         Ratio { hits: 0, total: 0 }
     }
 
+    /// Reconstructs a ratio from a previously observed numerator and
+    /// denominator — the decode half of report (de)serialization, so a
+    /// persisted ratio round-trips bit-exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `hits > total`: no observation sequence can produce
+    /// that state, so a decoder handing it in is reading garbage.
+    pub fn from_parts(hits: u64, total: u64) -> Self {
+        assert!(
+            hits <= total,
+            "Ratio::from_parts: hits ({hits}) exceeds total ({total})"
+        );
+        Ratio { hits, total }
+    }
+
     /// Records one observation; `hit` increments the numerator.
     #[inline]
     pub fn record(&mut self, hit: bool) {

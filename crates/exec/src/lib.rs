@@ -15,7 +15,16 @@
 //!   threads, no detached workers) that executes one closure per grid
 //!   item and merges the results **in grid order**, regardless of which
 //!   worker ran what when. The merge asserts that no index was dropped
-//!   or duplicated.
+//!   or duplicated. A task panic fails the whole grid fast, and the
+//!   propagated panic names the poisoned grid index and carries the
+//!   original message.
+//! * [`pool::run_grid_supervised`] — the self-healing variant
+//!   ([`supervised`], `MCM_SUPERVISED=1`): task panics are isolated,
+//!   failing items are retried a bounded number of times
+//!   ([`retries`], `MCM_RETRIES`), and items that still fail are
+//!   quarantined into a structured [`pool::TaskFailure`] report while
+//!   the rest of the grid completes. The report is byte-identical at
+//!   every job count.
 //! * [`barrier::ShardBarrier`] + [`barrier::run_shards`] — a reusable,
 //!   abortable epoch barrier for teams of shards co-simulating a
 //!   *single* run (the PDES mode), with panic-safe teardown.
@@ -69,6 +78,42 @@ pub fn jobs() -> usize {
     }
 }
 
+/// Whether sweep harnesses should run under the supervised executor
+/// ([`pool::run_grid_supervised`]), read from `MCM_SUPERVISED`. `1`
+/// enables supervision; `0` or unset keeps the fail-fast default, so
+/// every golden-output gate is untouched.
+///
+/// # Panics
+///
+/// Panics when `MCM_SUPERVISED` is set to anything but `0` or `1`.
+pub fn supervised() -> bool {
+    match std::env::var("MCM_SUPERVISED") {
+        Ok(raw) => match raw.trim() {
+            "1" => true,
+            "0" => false,
+            _ => panic!("MCM_SUPERVISED must be 0 or 1, got {raw:?}"),
+        },
+        Err(_) => false,
+    }
+}
+
+/// How many times the supervised executor re-attempts a panicking grid
+/// item before quarantining it, read from `MCM_RETRIES` (default 1).
+/// `0` quarantines on the first panic.
+///
+/// # Panics
+///
+/// Panics when `MCM_RETRIES` is set but not a non-negative integer.
+pub fn retries() -> u32 {
+    match std::env::var("MCM_RETRIES") {
+        Ok(raw) => raw
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("MCM_RETRIES must be a non-negative integer, got {raw:?}")),
+        Err(_) => 1,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -76,5 +121,12 @@ mod tests {
         // The test process does not set MCM_JOBS, so the default path
         // runs; it must be at least 1 on any machine.
         assert!(super::jobs() >= 1);
+    }
+
+    #[test]
+    fn supervision_knobs_default_off() {
+        // The test process sets neither knob, so the defaults run.
+        assert!(!super::supervised());
+        assert_eq!(super::retries(), 1);
     }
 }

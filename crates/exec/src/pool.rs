@@ -1,5 +1,9 @@
-//! The bounded scoped thread pool and the grid-order merge.
+//! The bounded scoped thread pool, the grid-order merge, and the
+//! supervised (panic-isolating, retrying, quarantining) runner.
 
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
@@ -21,6 +25,15 @@ struct ExecTele {
     busy_ns: Counter,
     idle_ns: Counter,
     task_ns: Histogram,
+    /// Panics caught inside workers. Volatile: in the *unsupervised*
+    /// fail-fast path, how many tasks ran before the poison flag
+    /// stopped the grid depends on thread scheduling.
+    task_panics: Counter,
+    /// Supervised re-attempts. Deterministic: every failing task is
+    /// retried exactly the configured count at any job count.
+    retries: Counter,
+    /// Supervised tasks quarantined after exhausting their retries.
+    quarantined: Counter,
 }
 
 /// `exec.task_ns` bucket upper edges: 1us .. 1s in decades.
@@ -49,7 +62,100 @@ fn tele() -> &'static ExecTele {
             busy_ns: reg.counter("exec.busy_ns", Class::Volatile),
             idle_ns: reg.counter("exec.idle_ns", Class::Volatile),
             task_ns: reg.histogram("exec.task_ns", Class::Volatile, &TASK_NS_BOUNDS),
+            task_panics: reg.counter("exec.task_panics", Class::Volatile),
+            retries: reg.counter("exec.retries", Class::Deterministic),
+            quarantined: reg.counter("exec.quarantined", Class::Deterministic),
         }
+    })
+}
+
+/// Extracts the human-readable message from a caught panic payload.
+/// `panic!("...")` yields `&str` or `String`; anything else (a custom
+/// payload) is named as such rather than dropped. Public so harnesses
+/// that wrap task closures in their own `catch_unwind` (to attach
+/// context before re-raising) render payloads the same way.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// One quarantined grid item: the exact identity of the poisoned work,
+/// how often it was attempted, and the last panic message. The
+/// supervised runner returns these sorted by grid index, so the report
+/// is byte-identical at every job count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskFailure {
+    /// The grid index of the failed item.
+    pub index: usize,
+    /// Total attempts made (1 initial + the configured retries).
+    pub attempts: u32,
+    /// The message of the last panic.
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "grid index {} quarantined after {} attempt(s): {}",
+            self.index, self.attempts, self.message
+        )
+    }
+}
+
+/// The outcome of a supervised grid run: per-item results in grid
+/// order (`None` exactly at quarantined indices) plus the structured
+/// failure report.
+#[derive(Debug)]
+pub struct SupervisedGrid<R> {
+    /// `results[i]` is `Some(f(i, &items[i]))`, or `None` when item
+    /// `i` was quarantined.
+    pub results: Vec<Option<R>>,
+    /// Quarantined items, sorted by grid index.
+    pub failures: Vec<TaskFailure>,
+}
+
+impl<R> SupervisedGrid<R> {
+    /// True when every grid item completed.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs one task up to `1 + retries` times, isolating panics.
+fn attempt_task<T, R, F>(f: &F, i: usize, item: &T, retries: u32) -> Result<R, TaskFailure>
+where
+    F: Fn(usize, &T) -> R,
+{
+    let t = tele();
+    let mut last_message = String::new();
+    for attempt in 0..=retries {
+        match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+            Ok(r) => return Ok(r),
+            Err(payload) => {
+                t.task_panics.inc();
+                last_message = panic_message(payload.as_ref());
+                if attempt < retries {
+                    t.retries.inc();
+                    eprintln!(
+                        "mcm-exec: grid index {i} panicked (attempt {}/{}): {last_message}; retrying",
+                        attempt + 1,
+                        retries + 1,
+                    );
+                }
+            }
+        }
+    }
+    t.quarantined.inc();
+    Err(TaskFailure {
+        index: i,
+        attempts: retries + 1,
+        message: last_message,
     })
 }
 
@@ -64,9 +170,13 @@ fn tele() -> &'static ExecTele {
 ///
 /// # Panics
 ///
-/// Panics if a worker closure panics (the panic is propagated), or if
-/// the merge finds a dropped or duplicated grid index — the queue makes
-/// that impossible, and the assert keeps it that way.
+/// Panics if a worker closure panics. The propagated panic names the
+/// poisoned grid index *and* carries the original message (`"grid
+/// worker panicked at grid index 13: unlucky"`) — the payload used to
+/// be discarded by a bare `join().expect`, leaving no way to tell
+/// which item of a thousand-pair sweep was poisoned. Also panics if
+/// the merge finds a dropped or duplicated grid index — the queue
+/// makes that impossible, and the assert keeps it that way.
 pub fn run_grid<T, R, F>(items: &[T], jobs: usize, seed: u64, f: F) -> Vec<R>
 where
     T: Sync,
@@ -78,14 +188,134 @@ where
     t.tasks.add(items.len() as u64);
     let jobs = jobs.max(1).min(items.len().max(1));
     if jobs <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                catch_unwind(AssertUnwindSafe(|| f(i, item))).unwrap_or_else(|payload| {
+                    t.task_panics.inc();
+                    panic!(
+                        "grid worker panicked at grid index {i}: {}",
+                        panic_message(payload.as_ref())
+                    )
+                })
+            })
+            .collect();
     }
     t.pools.inc();
     t.workers.add(jobs as u64);
     let queue = GridQueue::new_balanced(items.len(), jobs);
     let initial_depth = queue.deck_depths().into_iter().max().unwrap_or(0);
     t.queue_depth_hw.record_max(initial_depth as u64);
-    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+    // Fail-fast poison flag: after any task panics, workers stop
+    // drawing new items so the doomed grid winds down promptly.
+    let poisoned = AtomicBool::new(false);
+    // Per-worker results, and the first panic each worker observed
+    // (grid index + rendered message), if any.
+    type WorkerYield<R> = (Vec<Vec<(usize, R)>>, Vec<Option<(usize, String)>>);
+    let (buckets, failures): WorkerYield<R> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|w| {
+                let queue = &queue;
+                let f = &f;
+                let poisoned = &poisoned;
+                scope.spawn(move || {
+                    let spawned = Instant::now();
+                    let mut busy_ns = 0u64;
+                    let mut state = WorkerState::seeded(seed, w);
+                    let mut out = Vec::new();
+                    let mut failure = None;
+                    while !poisoned.load(Ordering::Relaxed) {
+                        let Some(i) = queue.next_item(w, &mut state) else {
+                            break;
+                        };
+                        let began = Instant::now();
+                        match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+                            Ok(r) => out.push((i, r)),
+                            Err(payload) => {
+                                t.task_panics.inc();
+                                failure = Some((i, panic_message(payload.as_ref())));
+                                poisoned.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                        let took = began.elapsed().as_nanos() as u64;
+                        busy_ns += took;
+                        t.task_ns.observe(took);
+                    }
+                    let stats = state.stats();
+                    t.steals.add(stats.steals);
+                    t.steal_failures.add(stats.steal_failures);
+                    t.busy_ns.add(busy_ns);
+                    t.idle_ns
+                        .add((spawned.elapsed().as_nanos() as u64).saturating_sub(busy_ns));
+                    (out, failure)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("grid worker thread died outside a task"))
+            .unzip()
+    });
+    // Several workers may each have caught a panic before observing the
+    // flag; report the lowest grid index for a stable message.
+    if let Some((i, message)) = failures.into_iter().flatten().min() {
+        panic!("grid worker panicked at grid index {i}: {message}");
+    }
+    merge_grid(buckets, items.len())
+}
+
+/// The supervised variant of [`run_grid`]: task panics are isolated
+/// with `catch_unwind` instead of aborting the sweep, each failing item
+/// is retried a bounded `retries` more times, and items that still fail
+/// are quarantined into the returned [`SupervisedGrid::failures`]
+/// report — while every other grid item completes normally.
+///
+/// Determinism: each item's attempt sequence runs on a single worker,
+/// back to back, so the failure report (indices, attempt counts,
+/// messages) is identical at every job count; the report is sorted by
+/// grid index.
+///
+/// # Panics
+///
+/// Panics only if the merge finds a dropped or duplicated grid index.
+pub fn run_grid_supervised<T, R, F>(
+    items: &[T],
+    jobs: usize,
+    seed: u64,
+    retries: u32,
+    f: F,
+) -> SupervisedGrid<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let t = tele();
+    t.grids.inc();
+    t.tasks.add(items.len() as u64);
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs <= 1 {
+        let mut results = Vec::with_capacity(items.len());
+        let mut failures = Vec::new();
+        for (i, item) in items.iter().enumerate() {
+            match attempt_task(&f, i, item, retries) {
+                Ok(r) => results.push(Some(r)),
+                Err(fail) => {
+                    results.push(None);
+                    failures.push(fail);
+                }
+            }
+        }
+        return SupervisedGrid { results, failures };
+    }
+    t.pools.inc();
+    t.workers.add(jobs as u64);
+    let queue = GridQueue::new_balanced(items.len(), jobs);
+    let initial_depth = queue.deck_depths().into_iter().max().unwrap_or(0);
+    t.queue_depth_hw.record_max(initial_depth as u64);
+    let buckets: Vec<Vec<(usize, Result<R, TaskFailure>)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
             .map(|w| {
                 let queue = &queue;
@@ -97,7 +327,7 @@ where
                     let mut out = Vec::new();
                     while let Some(i) = queue.next_item(w, &mut state) {
                         let began = Instant::now();
-                        out.push((i, f(i, &items[i])));
+                        out.push((i, attempt_task(f, i, &items[i], retries)));
                         let took = began.elapsed().as_nanos() as u64;
                         busy_ns += took;
                         t.task_ns.observe(took);
@@ -114,10 +344,34 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("grid worker panicked"))
+            .map(|h| h.join().expect("grid worker thread died outside a task"))
             .collect()
     });
-    merge_grid(buckets, items.len())
+    let mut merged: Vec<(usize, Result<R, TaskFailure>)> = buckets.into_iter().flatten().collect();
+    merged.sort_by_key(|&(i, _)| i);
+    assert_eq!(
+        merged.len(),
+        items.len(),
+        "supervised executor completed {} of {} grid items — dropped or duplicated work",
+        merged.len(),
+        items.len()
+    );
+    let mut results = Vec::with_capacity(items.len());
+    let mut failures = Vec::new();
+    for (pos, (i, r)) in merged.into_iter().enumerate() {
+        assert_eq!(
+            pos, i,
+            "grid index {i} appears out of place (duplicate or gap)"
+        );
+        match r {
+            Ok(r) => results.push(Some(r)),
+            Err(fail) => {
+                results.push(None);
+                failures.push(fail);
+            }
+        }
+    }
+    SupervisedGrid { results, failures }
 }
 
 /// Merges per-worker `(index, result)` buckets into grid order,
@@ -206,5 +460,114 @@ mod tests {
     fn merge_rejects_gaps() {
         let r = std::panic::catch_unwind(|| merge_grid(vec![vec![(0, 1u32), (2, 3)]], 3));
         assert!(r.is_err());
+    }
+
+    /// Regression for the panic-context loss: the propagated panic must
+    /// name the poisoned grid index and carry the original message, in
+    /// both the serial and the pooled path.
+    #[test]
+    fn worker_panics_carry_index_and_message() {
+        for jobs in [1, 4] {
+            let items: Vec<u32> = (0..64).collect();
+            let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                run_grid(&items, jobs, 1, |_, &x| {
+                    assert!(x != 13, "unlucky");
+                    x
+                })
+            }))
+            .expect_err("grid must panic");
+            let msg = panic_message(caught.as_ref());
+            assert!(
+                msg.contains("grid index 13"),
+                "jobs={jobs}: poisoned index missing from {msg:?}"
+            );
+            assert!(
+                msg.contains("unlucky"),
+                "jobs={jobs}: original payload missing from {msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn supervised_quarantines_failures_and_completes_the_rest() {
+        let items: Vec<u32> = (0..64).collect();
+        for jobs in [1, 4] {
+            let grid = run_grid_supervised(&items, jobs, 1, 0, |_, &x| {
+                assert!(x % 17 != 13, "cursed");
+                x * 2
+            });
+            assert!(!grid.is_complete());
+            assert_eq!(grid.results.len(), 64);
+            for (i, r) in grid.results.iter().enumerate() {
+                if i % 17 == 13 {
+                    assert_eq!(*r, None, "index {i} must be quarantined");
+                } else {
+                    assert_eq!(*r, Some(i as u32 * 2), "index {i} must complete");
+                }
+            }
+            assert_eq!(
+                grid.failures.iter().map(|f| f.index).collect::<Vec<_>>(),
+                vec![13, 30, 47],
+            );
+        }
+    }
+
+    /// The quarantine report must be identical at every job count:
+    /// same indices, same attempt counts, same messages, same order.
+    #[test]
+    fn supervised_report_is_job_count_invariant() {
+        let items: Vec<u32> = (0..48).collect();
+        let run = |jobs| {
+            run_grid_supervised(&items, jobs, 1, 2, |i, &x| {
+                assert!(x % 11 != 7, "bad item {i}");
+                x
+            })
+            .failures
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(3));
+        assert_eq!(serial, run(8));
+        assert_eq!(serial.len(), 4);
+        assert!(serial.iter().all(|f| f.attempts == 3));
+        assert_eq!(serial[0].message, "bad item 7");
+    }
+
+    /// A task that panics transiently must succeed on retry and leave
+    /// no quarantine entry.
+    #[test]
+    fn supervised_retry_recovers_transient_panics() {
+        use std::sync::atomic::AtomicU32;
+        let attempts = AtomicU32::new(0);
+        let items = [5u32];
+        let grid = run_grid_supervised(&items, 1, 1, 2, |_, &x| {
+            if attempts.fetch_add(1, Ordering::SeqCst) < 2 {
+                panic!("transient");
+            }
+            x
+        });
+        assert!(grid.is_complete());
+        assert_eq!(grid.results, vec![Some(5)]);
+        assert_eq!(attempts.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn supervised_empty_grid_is_complete() {
+        let none: Vec<u32> = Vec::new();
+        let grid = run_grid_supervised(&none, 8, 1, 1, |_, &x| x);
+        assert!(grid.is_complete());
+        assert!(grid.results.is_empty());
+    }
+
+    #[test]
+    fn task_failure_display_names_the_pair() {
+        let f = TaskFailure {
+            index: 9,
+            attempts: 2,
+            message: "boom".into(),
+        };
+        assert_eq!(
+            f.to_string(),
+            "grid index 9 quarantined after 2 attempt(s): boom"
+        );
     }
 }

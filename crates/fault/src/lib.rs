@@ -50,6 +50,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod inject;
+
 use std::collections::HashMap;
 use std::sync::OnceLock;
 

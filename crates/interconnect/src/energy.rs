@@ -143,6 +143,13 @@ impl EnergyLedger {
         tier.joules_for_bytes(self.bytes(tier))
     }
 
+    /// Bytes recorded as DRAM array accesses — the raw counter behind
+    /// [`EnergyLedger::dram_joules`], exposed so a ledger can be
+    /// persisted and reconstructed bit-exact.
+    pub const fn dram_bytes(&self) -> u64 {
+        self.dram_bytes
+    }
+
     /// DRAM access energy, in joules.
     pub fn dram_joules(&self) -> f64 {
         self.dram_bytes as f64 * 8.0 * DRAM_PJ_PER_BIT * 1e-12

@@ -1,0 +1,337 @@
+//! Bit-exact binary (de)serialization of [`RunReport`].
+//!
+//! The payload of every store record is produced here. The encoding is
+//! deliberately dumb: a version byte, then every field in declaration
+//! order as little-endian integers (ratios as numerator/denominator
+//! pairs, the energy ledger as its five raw byte counters, strings
+//! length-prefixed). No field of a report is a float, so a decoded
+//! report compares equal to the original under `==` — byte-for-byte
+//! identity of everything computed from it follows.
+//!
+//! Decoding is defensive end to end: every read is bounds-checked,
+//! the version byte is verified first, and trailing bytes are rejected.
+//! A corrupt payload that slipped past the record checksum (or a
+//! checksum-valid record written by a buggy future encoder) surfaces as
+//! a [`CodecError`], which the recovery scan treats exactly like a
+//! checksum failure: quarantine the record, never panic.
+
+use mcm_engine::stats::Ratio;
+use mcm_engine::Cycle;
+use mcm_gpu::{ModuleStats, RunReport};
+use mcm_interconnect::energy::{EnergyLedger, Tier};
+
+/// Version byte stamped at the head of every encoded report. Bump on
+/// any layout change so old payloads are quarantined, not reinterpreted.
+pub const CODEC_VERSION: u8 = 1;
+
+/// Upper bound on the module list length a decoder will accept. The
+/// largest simulated package is far below this; a huge count means the
+/// length field is garbage.
+const MAX_MODULES: u32 = 4096;
+
+/// Why a payload failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The version byte is not [`CODEC_VERSION`].
+    Version(u8),
+    /// The payload ended before a field was complete.
+    Truncated,
+    /// A length or count field holds an implausible value.
+    Implausible(&'static str),
+    /// A string field is not valid UTF-8.
+    Utf8,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Version(v) => write!(f, "unknown codec version {v}"),
+            CodecError::Truncated => write!(f, "payload truncated mid-field"),
+            CodecError::Implausible(what) => write!(f, "implausible {what}"),
+            CodecError::Utf8 => write!(f, "string field is not valid UTF-8"),
+        }
+    }
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_ratio(out: &mut Vec<u8>, r: Ratio) {
+    put_u64(out, r.hits());
+    put_u64(out, r.total());
+}
+
+fn put_energy(out: &mut Vec<u8>, e: &EnergyLedger) {
+    for tier in Tier::ALL {
+        put_u64(out, e.bytes(tier));
+    }
+    put_u64(out, e.dram_bytes());
+}
+
+/// Encodes `report` into a fresh payload buffer.
+pub fn encode(report: &RunReport) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256 + report.modules.len() * 48);
+    out.push(CODEC_VERSION);
+    put_str(&mut out, &report.workload);
+    put_str(&mut out, &report.config);
+    put_u64(&mut out, report.cycles.as_u64());
+    put_u64(&mut out, report.instructions);
+    put_u64(&mut out, report.mem_ops);
+    put_u64(&mut out, report.reads);
+    put_u64(&mut out, report.writes);
+    put_u64(&mut out, report.local_accesses);
+    put_u64(&mut out, report.remote_accesses);
+    put_ratio(&mut out, report.l1);
+    put_ratio(&mut out, report.l15);
+    put_ratio(&mut out, report.l2);
+    put_u64(&mut out, report.inter_module_bytes);
+    put_u64(&mut out, report.dram_bytes);
+    put_energy(&mut out, &report.energy);
+    put_u32(&mut out, report.modules.len() as u32);
+    for m in &report.modules {
+        put_u64(&mut out, m.instructions);
+        put_u64(&mut out, m.dram_bytes);
+        put_ratio(&mut out, m.l2);
+        put_ratio(&mut out, m.l15);
+    }
+    out
+}
+
+/// A bounds-checked cursor over an encoded payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, CodecError> {
+        let len = self.u32()? as usize;
+        if len > 1 << 16 {
+            return Err(CodecError::Implausible("string length"));
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::Utf8)
+    }
+
+    fn ratio(&mut self) -> Result<Ratio, CodecError> {
+        let hits = self.u64()?;
+        let total = self.u64()?;
+        if hits > total {
+            return Err(CodecError::Implausible("ratio (hits > total)"));
+        }
+        Ok(Ratio::from_parts(hits, total))
+    }
+
+    fn energy(&mut self) -> Result<EnergyLedger, CodecError> {
+        let mut e = EnergyLedger::new();
+        for tier in Tier::ALL {
+            e.record(tier, self.u64()?);
+        }
+        e.record_dram(self.u64()?);
+        Ok(e)
+    }
+}
+
+/// Decodes a payload produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] on any malformed input: wrong version,
+/// truncation, implausible lengths, invalid UTF-8, or trailing bytes.
+pub fn decode(payload: &[u8]) -> Result<RunReport, CodecError> {
+    let mut r = Reader {
+        buf: payload,
+        pos: 0,
+    };
+    let version = r.u8()?;
+    if version != CODEC_VERSION {
+        return Err(CodecError::Version(version));
+    }
+    let workload = r.string()?;
+    let config = r.string()?;
+    let cycles = Cycle::new(r.u64()?);
+    let instructions = r.u64()?;
+    let mem_ops = r.u64()?;
+    let reads = r.u64()?;
+    let writes = r.u64()?;
+    let local_accesses = r.u64()?;
+    let remote_accesses = r.u64()?;
+    let l1 = r.ratio()?;
+    let l15 = r.ratio()?;
+    let l2 = r.ratio()?;
+    let inter_module_bytes = r.u64()?;
+    let dram_bytes = r.u64()?;
+    let energy = r.energy()?;
+    let n_modules = r.u32()?;
+    if n_modules > MAX_MODULES {
+        return Err(CodecError::Implausible("module count"));
+    }
+    let mut modules = Vec::with_capacity(n_modules as usize);
+    for _ in 0..n_modules {
+        modules.push(ModuleStats {
+            instructions: r.u64()?,
+            dram_bytes: r.u64()?,
+            l2: r.ratio()?,
+            l15: r.ratio()?,
+        });
+    }
+    if r.pos != payload.len() {
+        return Err(CodecError::Implausible("trailing bytes"));
+    }
+    Ok(RunReport {
+        workload,
+        config,
+        cycles,
+        instructions,
+        mem_ops,
+        reads,
+        writes,
+        local_accesses,
+        remote_accesses,
+        l1,
+        l15,
+        l2,
+        inter_module_bytes,
+        dram_bytes,
+        energy,
+        modules,
+    })
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// A report exercising every field, including per-module stats and
+    /// a non-trivial energy ledger.
+    pub(crate) fn sample_report(salt: u64) -> RunReport {
+        let mut l1 = Ratio::new();
+        l1.record(true);
+        l1.record(false);
+        let mut energy = EnergyLedger::new();
+        energy.record(Tier::Chip, 10 + salt);
+        energy.record(Tier::Package, 20 + salt);
+        energy.record(Tier::Board, 30 + salt);
+        energy.record(Tier::System, 40 + salt);
+        energy.record_dram(50 + salt);
+        RunReport {
+            workload: format!("w{salt}"),
+            config: format!("c{salt} (tuned/+x)"),
+            cycles: Cycle::new(1000 + salt),
+            instructions: 2000 + salt,
+            mem_ops: 300 + salt,
+            reads: 200 + salt,
+            writes: 100 + salt,
+            local_accesses: 75 + salt,
+            remote_accesses: 225 + salt,
+            l1,
+            l15: Ratio::from_parts(salt, salt + 7),
+            l2: Ratio::from_parts(3, 9),
+            inter_module_bytes: 1 << 30,
+            dram_bytes: 1 << 29,
+            energy,
+            modules: (0..4)
+                .map(|m| ModuleStats {
+                    instructions: 500 + m + salt,
+                    dram_bytes: 600 + m,
+                    l2: Ratio::from_parts(m, m + 1),
+                    l15: Ratio::from_parts(0, 0),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn round_trips_bit_exact() {
+        for salt in [0, 1, 7, u32::MAX as u64] {
+            let r = sample_report(salt);
+            let decoded = decode(&encode(&r)).expect("round trip");
+            assert_eq!(r, decoded);
+        }
+    }
+
+    #[test]
+    fn empty_modules_round_trip() {
+        let mut r = sample_report(2);
+        r.modules.clear();
+        assert_eq!(decode(&encode(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut bytes = encode(&sample_report(0));
+        bytes[0] = CODEC_VERSION + 1;
+        assert_eq!(decode(&bytes), Err(CodecError::Version(CODEC_VERSION + 1)));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        let bytes = encode(&sample_report(3));
+        for cut in 0..bytes.len() {
+            assert!(
+                decode(&bytes[..cut]).is_err(),
+                "decoding a {cut}-byte prefix of {} bytes must fail",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut bytes = encode(&sample_report(4));
+        bytes.push(0);
+        assert_eq!(
+            decode(&bytes),
+            Err(CodecError::Implausible("trailing bytes"))
+        );
+    }
+
+    #[test]
+    fn rejects_implausible_ratio() {
+        let r = sample_report(5);
+        let mut bytes = encode(&r);
+        // The l1 ratio sits after version + two strings + 7 u64s; patch
+        // its total below its hits by locating the known hits value.
+        let hits = r.l1.hits().to_le_bytes();
+        let pos = bytes
+            .windows(8)
+            .position(|w| w == hits)
+            .expect("hits bytes present");
+        // Overwrite the following total with hits - 1.
+        let bad_total = (r.l1.hits() - 1).to_le_bytes();
+        bytes[pos + 8..pos + 16].copy_from_slice(&bad_total);
+        assert!(decode(&bytes).is_err());
+    }
+}

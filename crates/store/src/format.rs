@@ -1,0 +1,374 @@
+//! The `mcm-store-v1` on-disk record format and the recovery scan.
+//!
+//! A segment file is:
+//!
+//! ```text
+//! +--------------------------+
+//! | magic  "mcm-store-v1\n"  |  13 bytes, schema gate
+//! +--------------------------+
+//! | record 0                 |
+//! | record 1                 |
+//! | ...                      |
+//! +--------------------------+
+//! ```
+//!
+//! and each record is:
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  key fingerprint        (u64 LE)
+//!      8     4  name length            (u32 LE)
+//!     12     4  payload length         (u32 LE)
+//!     16     8  header checksum        (FNV-1a over bytes 0..16)
+//!     24     n  workload name          (UTF-8)
+//!   24+n     p  payload                (codec-encoded RunReport)
+//! 24+n+p     8  body checksum          (FNV-1a over name + payload)
+//! ```
+//!
+//! The header checksum makes the *lengths* trustworthy before anything
+//! is allocated or skipped from them; the body checksum makes the
+//! *contents* trustworthy. The scan distinguishes three failure shapes
+//! and recovers differently from each:
+//!
+//! * **torn tail** — the file ends mid-record (a crash between write
+//!   and fsync, or a scripted truncation). Everything before the tear
+//!   is kept; the tail is quarantined and scanning stops.
+//! * **corrupt header** — the header checksum fails, so the lengths
+//!   cannot be trusted and there is no reliable way to find the next
+//!   record. The rest of the file is quarantined (conservative).
+//! * **corrupt body** — the header checksum passes but the body
+//!   checksum or payload decode fails. Exactly this record is
+//!   quarantined; the trusted lengths let the scan continue at the
+//!   next record.
+
+use mcm_engine::rng::StableHasher;
+use mcm_gpu::RunReport;
+
+use crate::codec;
+
+/// Magic prefix of every segment file; the trailing version digit is
+/// the schema gate.
+pub const MAGIC: &[u8; 13] = b"mcm-store-v1\n";
+
+/// Fixed-size record header length in bytes.
+pub const HEADER_LEN: usize = 24;
+
+/// Hard plausibility bounds enforced *in addition to* the header
+/// checksum — an engineered or astronomically unlucky checksum
+/// collision must still not make the scan allocate gigabytes.
+const MAX_NAME_LEN: u32 = 1 << 12;
+/// Payload bound; see [`MAX_NAME_LEN`].
+const MAX_PAYLOAD_LEN: u32 = 1 << 26;
+
+/// FNV-1a over a byte slice.
+fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+/// Serializes one `(fingerprint, name, report)` record, ready to be
+/// appended to a segment body.
+pub fn encode_record(fingerprint: u64, name: &str, report: &RunReport) -> Vec<u8> {
+    let payload = codec::encode(report);
+    assert!(
+        name.len() <= MAX_NAME_LEN as usize,
+        "workload name exceeds the format bound ({} > {MAX_NAME_LEN} bytes)",
+        name.len()
+    );
+    assert!(
+        payload.len() <= MAX_PAYLOAD_LEN as usize,
+        "encoded report exceeds the format bound ({} > {MAX_PAYLOAD_LEN} bytes)",
+        payload.len()
+    );
+    let mut out = Vec::with_capacity(HEADER_LEN + name.len() + payload.len() + 8);
+    out.extend_from_slice(&fingerprint.to_le_bytes());
+    out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let header_cksum = checksum(&out[0..16]);
+    out.extend_from_slice(&header_cksum.to_le_bytes());
+    out.extend_from_slice(name.as_bytes());
+    out.extend_from_slice(&payload);
+    let mut body = StableHasher::new();
+    body.write_bytes(name.as_bytes());
+    body.write_bytes(&payload);
+    out.extend_from_slice(&body.finish().to_le_bytes());
+    out
+}
+
+/// One scan event: a live record or a quarantine decision.
+#[derive(Debug)]
+pub enum ScanEvent {
+    /// A record that passed both checksums and decoded cleanly.
+    Record {
+        /// The record's key fingerprint.
+        fingerprint: u64,
+        /// The record's workload name.
+        name: String,
+        /// The decoded report (boxed: a report is an order of magnitude
+        /// larger than the quarantine variant).
+        report: Box<RunReport>,
+    },
+    /// A quarantined span; scanning may or may not continue after it.
+    Quarantined {
+        /// Byte offset of the bad span.
+        offset: usize,
+        /// Human-readable reason, for the loud stderr line.
+        reason: String,
+    },
+}
+
+/// Why an entire file was rejected before any record was read.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FileRejection {
+    /// Not an `mcm-store` file at all.
+    ForeignMagic,
+    /// An `mcm-store` file of a different schema version — refused
+    /// rather than reinterpreted.
+    SchemaVersion(String),
+    /// Shorter than the magic itself.
+    TooShort,
+}
+
+impl std::fmt::Display for FileRejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FileRejection::ForeignMagic => write!(f, "not an mcm-store file (bad magic)"),
+            FileRejection::SchemaVersion(v) => {
+                write!(f, "schema {v:?} is not {:?}", "mcm-store-v1")
+            }
+            FileRejection::TooShort => write!(f, "shorter than the file magic"),
+        }
+    }
+}
+
+/// Validates the file magic, separating "foreign file" from "right
+/// store, wrong schema version" so the operator message is precise.
+///
+/// # Errors
+///
+/// Returns the [`FileRejection`] describing why the bytes cannot be
+/// scanned as an `mcm-store-v1` segment.
+pub fn check_magic(bytes: &[u8]) -> Result<(), FileRejection> {
+    if bytes.len() < MAGIC.len() {
+        return Err(FileRejection::TooShort);
+    }
+    if &bytes[..MAGIC.len()] == MAGIC {
+        return Ok(());
+    }
+    // Same family, different version digit(s): e.g. "mcm-store-v2\n".
+    let family = b"mcm-store-v";
+    if bytes.len() >= family.len() && &bytes[..family.len()] == family {
+        let version: String = bytes[..MAGIC.len()]
+            .iter()
+            .map(|&b| b as char)
+            .take_while(|c| *c != '\n')
+            .collect();
+        return Err(FileRejection::SchemaVersion(version));
+    }
+    Err(FileRejection::ForeignMagic)
+}
+
+/// Scans one segment's bytes (magic already verified) and yields every
+/// record and quarantine decision in file order. Never panics on any
+/// input.
+pub fn scan_records(bytes: &[u8]) -> Vec<ScanEvent> {
+    let mut events = Vec::new();
+    let mut pos = MAGIC.len();
+    while pos < bytes.len() {
+        let remaining = bytes.len() - pos;
+        if remaining < HEADER_LEN {
+            events.push(ScanEvent::Quarantined {
+                offset: pos,
+                reason: format!("torn tail: {remaining} bytes, record header needs {HEADER_LEN}"),
+            });
+            break;
+        }
+        let header = &bytes[pos..pos + HEADER_LEN];
+        let fingerprint = u64::from_le_bytes(header[0..8].try_into().unwrap());
+        let name_len = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        let payload_len = u32::from_le_bytes(header[12..16].try_into().unwrap());
+        let header_cksum = u64::from_le_bytes(header[16..24].try_into().unwrap());
+        if checksum(&header[0..16]) != header_cksum {
+            events.push(ScanEvent::Quarantined {
+                offset: pos,
+                reason: "corrupt record header (checksum mismatch); \
+                         rest of file quarantined"
+                    .to_string(),
+            });
+            break;
+        }
+        if name_len > MAX_NAME_LEN || payload_len > MAX_PAYLOAD_LEN {
+            events.push(ScanEvent::Quarantined {
+                offset: pos,
+                reason: format!(
+                    "implausible record lengths (name {name_len}, payload {payload_len}); \
+                     rest of file quarantined"
+                ),
+            });
+            break;
+        }
+        let body_len = name_len as usize + payload_len as usize;
+        let total = HEADER_LEN + body_len + 8;
+        if remaining < total {
+            events.push(ScanEvent::Quarantined {
+                offset: pos,
+                reason: format!("torn tail: record needs {total} bytes, {remaining} remain"),
+            });
+            break;
+        }
+        let body = &bytes[pos + HEADER_LEN..pos + HEADER_LEN + body_len];
+        let stored_cksum = u64::from_le_bytes(
+            bytes[pos + HEADER_LEN + body_len..pos + total]
+                .try_into()
+                .unwrap(),
+        );
+        if checksum(body) != stored_cksum {
+            events.push(ScanEvent::Quarantined {
+                offset: pos,
+                reason: "corrupt record body (checksum mismatch)".to_string(),
+            });
+            pos += total; // lengths are trusted: skip exactly this record
+            continue;
+        }
+        let name_bytes = &body[..name_len as usize];
+        let payload = &body[name_len as usize..];
+        match (std::str::from_utf8(name_bytes), codec::decode(payload)) {
+            (Ok(name), Ok(report)) => events.push(ScanEvent::Record {
+                fingerprint,
+                name: name.to_string(),
+                report: Box::new(report),
+            }),
+            (name, report) => {
+                let reason = match (name, report) {
+                    (Err(_), _) => "record name is not UTF-8".to_string(),
+                    (_, Err(e)) => format!("record payload undecodable: {e}"),
+                    _ => unreachable!(),
+                };
+                events.push(ScanEvent::Quarantined {
+                    offset: pos,
+                    reason,
+                });
+            }
+        }
+        pos += total;
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::tests::sample_report;
+
+    fn segment_with(records: &[(u64, &str)]) -> Vec<u8> {
+        let mut bytes = MAGIC.to_vec();
+        for &(fp, name) in records {
+            bytes.extend_from_slice(&encode_record(fp, name, &sample_report(fp)));
+        }
+        bytes
+    }
+
+    fn live(events: &[ScanEvent]) -> Vec<(u64, String)> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                ScanEvent::Record {
+                    fingerprint, name, ..
+                } => Some((*fingerprint, name.clone())),
+                ScanEvent::Quarantined { .. } => None,
+            })
+            .collect()
+    }
+
+    fn quarantined(events: &[ScanEvent]) -> usize {
+        events
+            .iter()
+            .filter(|e| matches!(e, ScanEvent::Quarantined { .. }))
+            .count()
+    }
+
+    #[test]
+    fn clean_segment_scans_fully() {
+        let bytes = segment_with(&[(1, "a"), (2, "b"), (3, "c")]);
+        let events = scan_records(&bytes);
+        assert_eq!(
+            live(&events),
+            vec![(1, "a".into()), (2, "b".into()), (3, "c".into())]
+        );
+        assert_eq!(quarantined(&events), 0);
+    }
+
+    #[test]
+    fn torn_tail_keeps_prefix() {
+        let full = segment_with(&[(1, "a"), (2, "b")]);
+        // Chop into the middle of the second record.
+        let second_start = segment_with(&[(1, "a")]).len();
+        for cut in [second_start + 1, second_start + HEADER_LEN, full.len() - 1] {
+            let events = scan_records(&full[..cut]);
+            assert_eq!(live(&events), vec![(1, "a".into())], "cut at {cut}");
+            assert_eq!(quarantined(&events), 1, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_body_skips_exactly_one_record() {
+        let mut bytes = segment_with(&[(1, "a"), (2, "b"), (3, "c")]);
+        // Flip a byte inside record 2's payload (past its header).
+        let first_end = segment_with(&[(1, "a")]).len();
+        bytes[first_end + HEADER_LEN + 4] ^= 0x40;
+        let events = scan_records(&bytes);
+        assert_eq!(live(&events), vec![(1, "a".into()), (3, "c".into())]);
+        assert_eq!(quarantined(&events), 1);
+    }
+
+    #[test]
+    fn corrupt_header_quarantines_rest_of_file() {
+        let mut bytes = segment_with(&[(1, "a"), (2, "b"), (3, "c")]);
+        let first_end = segment_with(&[(1, "a")]).len();
+        bytes[first_end + 3] ^= 0x01; // inside record 2's header
+        let events = scan_records(&bytes);
+        assert_eq!(live(&events), vec![(1, "a".into())]);
+        assert_eq!(quarantined(&events), 1);
+    }
+
+    #[test]
+    fn schema_version_bump_is_refused_not_reinterpreted() {
+        let mut bytes = segment_with(&[(1, "a")]);
+        bytes[11] = b'2'; // "mcm-store-v2\n"
+        assert_eq!(
+            check_magic(&bytes),
+            Err(FileRejection::SchemaVersion("mcm-store-v2".into()))
+        );
+    }
+
+    #[test]
+    fn foreign_and_short_files_are_rejected() {
+        assert_eq!(
+            check_magic(b"not a store file longer than magic"),
+            Err(FileRejection::ForeignMagic)
+        );
+        assert_eq!(check_magic(b"mcm"), Err(FileRejection::TooShort));
+        assert_eq!(check_magic(&segment_with(&[])), Ok(()));
+    }
+
+    #[test]
+    fn empty_segment_scans_to_nothing() {
+        let events = scan_records(&segment_with(&[]));
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn scan_never_panics_on_arbitrary_bytes() {
+        // Seeded garbage after a valid magic: the scan must classify,
+        // never panic.
+        let mut rng = mcm_engine::rng::Xoshiro256::new(0x5EED);
+        for len in [0usize, 1, 7, 23, 24, 100, 4096] {
+            let mut bytes = MAGIC.to_vec();
+            for _ in 0..len {
+                bytes.push(rng.next_range(256) as u8);
+            }
+            let _ = scan_records(&bytes);
+        }
+    }
+}

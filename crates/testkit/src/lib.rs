@@ -12,6 +12,8 @@
 //!   median/p95) for the workspace's `harness = false` bench targets.
 //! * [`alloc`] — a counting [`std::alloc::System`] wrapper for
 //!   allocation-freedom assertions over deterministic hot loops.
+//! * [`tempdir`] — an RAII unique temp directory for
+//!   filesystem-touching tests (the store suites).
 //!
 //! # Writing a property
 //!
@@ -41,6 +43,7 @@ pub mod alloc;
 pub mod bench;
 pub mod gen;
 pub mod runner;
+pub mod tempdir;
 
 /// One-stop imports for property-test files.
 pub mod prelude {

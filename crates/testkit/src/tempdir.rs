@@ -1,0 +1,72 @@
+//! A tiny RAII temp-directory helper for filesystem-touching tests.
+//!
+//! Each [`TempDir`] is unique per process *and* per call (pid plus an
+//! atomic sequence number), so tests that run concurrently in one
+//! binary — or across a parallel `cargo test` — never collide. The
+//! directory is removed on drop; a panicking test leaves it behind for
+//! post-mortem inspection only if the process dies before unwinding.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A uniquely-named directory under [`std::env::temp_dir`], created on
+/// construction and removed on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates a fresh empty directory tagged `tag` (for readable
+    /// paths in failure output).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the directory cannot be created — a test without
+    /// its filesystem fixture must not run.
+    pub fn new(tag: &str) -> TempDir {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "mcm-test-{}-{}-{tag}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// `self.path().join(rel)`.
+    pub fn join(&self, rel: &str) -> PathBuf {
+        self.path.join(rel)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_unique_dirs_and_cleans_up() {
+        let a = TempDir::new("a");
+        let b = TempDir::new("a");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        std::fs::write(a.join("f"), b"x").unwrap();
+        let kept = a.path().to_path_buf();
+        drop(a);
+        assert!(!kept.exists(), "dropped TempDir must remove its tree");
+        assert!(b.path().is_dir());
+    }
+}

@@ -62,6 +62,67 @@ diff "$TELEMETRY_TMP/off.txt" "$TELEMETRY_TMP/on.txt" \
 test -s "$TELEMETRY_TMP/telemetry.json" \
   || { echo "tier-1: MCM_TELEMETRY wrote no snapshot" >&2; exit 1; }
 
+# Crash-recovery smoke for the persistent result store, end to end in
+# a subprocess: (1) a run with MCM_STORE_CRASH_AFTER writes a torn
+# record and aborts mid-sweep; (2) the rerun must break the dead
+# owner's lock, quarantine the torn tail, re-simulate only the lost
+# pair, and print stdout byte-identical to the storeless reference;
+# (3) a third run is fully warm-started from disk and must again be
+# byte-identical. off.txt from the telemetry step above is the
+# reference — the store must never change simulated results.
+echo "== store crash-recovery smoke (torn write, abort, rerun) =="
+STORE_DIR="$TELEMETRY_TMP/store"
+set +e
+MCM_SCALE=0.01 MCM_JOBS=1 MCM_SHARDS=1 \
+  MCM_STORE="$STORE_DIR" MCM_STORE_CRASH_AFTER=2 \
+  target/release/fig09_distributed_sched \
+  >"$TELEMETRY_TMP/crashed.txt" 2>"$TELEMETRY_TMP/crashed.err"
+CRASH_RC=$?
+set -e
+if [[ $CRASH_RC -eq 0 ]]; then
+  echo "tier-1: MCM_STORE_CRASH_AFTER did not crash the sweep" >&2
+  exit 1
+fi
+grep -q "MCM_STORE_CRASH_AFTER tripped" "$TELEMETRY_TMP/crashed.err" \
+  || { echo "tier-1: crashed run did not announce the scripted crash" >&2; exit 1; }
+MCM_SCALE=0.01 MCM_JOBS=1 MCM_SHARDS=1 MCM_STORE="$STORE_DIR" \
+  target/release/fig09_distributed_sched >"$TELEMETRY_TMP/recovered.txt"
+diff "$TELEMETRY_TMP/off.txt" "$TELEMETRY_TMP/recovered.txt" \
+  || { echo "tier-1: store recovery changed harness stdout" >&2; exit 1; }
+MCM_SCALE=0.01 MCM_JOBS=1 MCM_SHARDS=1 MCM_STORE="$STORE_DIR" \
+  target/release/fig09_distributed_sched >"$TELEMETRY_TMP/warm.txt"
+diff "$TELEMETRY_TMP/off.txt" "$TELEMETRY_TMP/warm.txt" \
+  || { echo "tier-1: warm-started run changed harness stdout" >&2; exit 1; }
+
+# Lock contention: with a *live* process (this shell) holding LOCK, a
+# second opener must degrade to read-only and still print identical
+# results — never corrupt the directory, never deadlock, never panic.
+echo "== store lock-contention smoke (live holder, read-only run) =="
+echo "$$" >"$STORE_DIR/LOCK"
+MCM_SCALE=0.01 MCM_JOBS=1 MCM_SHARDS=1 MCM_STORE="$STORE_DIR" \
+  target/release/fig09_distributed_sched >"$TELEMETRY_TMP/readonly.txt" \
+  2>"$TELEMETRY_TMP/readonly.err"
+diff "$TELEMETRY_TMP/off.txt" "$TELEMETRY_TMP/readonly.txt" \
+  || { echo "tier-1: read-only store run changed harness stdout" >&2; exit 1; }
+grep -q "read-only" "$TELEMETRY_TMP/readonly.err" \
+  || { echo "tier-1: contended open did not announce read-only mode" >&2; exit 1; }
+rm -f "$STORE_DIR/LOCK"
+
+# Supervised self-healing: a scripted worker panic on one workload,
+# with an attempt budget of 1 and one retry, must heal in place — the
+# sweep completes with byte-identical stdout and a retry notice on
+# stderr. This is the executor's whole contract in one subprocess run.
+echo "== supervised self-healing smoke (scripted panic + retry) =="
+MCM_SCALE=0.01 MCM_JOBS=4 MCM_SHARDS=1 \
+  MCM_SUPERVISED=1 MCM_RETRIES=1 \
+  MCM_FAULT_TASK_PANIC=CFD MCM_FAULT_TASK_PANIC_ATTEMPTS=1 \
+  target/release/fig09_distributed_sched \
+  >"$TELEMETRY_TMP/healed.txt" 2>"$TELEMETRY_TMP/healed.err"
+diff "$TELEMETRY_TMP/off.txt" "$TELEMETRY_TMP/healed.txt" \
+  || { echo "tier-1: supervised retry changed harness stdout" >&2; exit 1; }
+grep -q "retrying" "$TELEMETRY_TMP/healed.err" \
+  || { echo "tier-1: supervised run did not report the retry" >&2; exit 1; }
+
 # The pinned perf-trajectory suite at smoke scale: the BENCH snapshot
 # must build, parse, and self-compare with zero diff (hermetic, offline).
 echo "== scripts/perf.sh --smoke =="

@@ -19,6 +19,9 @@
 //!   counters, gauges, histograms, and reproducibility-classed
 //!   JSON/CSV snapshots.
 //! * [`sm`] ([`mcm_sm`]) — SM model and CTA schedulers.
+//! * [`store`] ([`mcm_store`]) — crash-safe on-disk content-addressed
+//!   result store (`MCM_STORE`): checksummed segments, atomic
+//!   commits, torn-tail recovery, lock-file exclusion.
 //! * [`workloads`] ([`mcm_workloads`]) — the 48-benchmark synthetic
 //!   suite.
 //! * [`gpu`] ([`mcm_gpu`]) — the assembled MCM-GPU system, presets, and
@@ -45,5 +48,6 @@ pub use mcm_interconnect as interconnect;
 pub use mcm_mem as mem;
 pub use mcm_probe as probe;
 pub use mcm_sm as sm;
+pub use mcm_store as store;
 pub use mcm_telemetry as telemetry;
 pub use mcm_workloads as workloads;
