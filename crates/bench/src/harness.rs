@@ -28,14 +28,36 @@ fn parse_checked<T: std::str::FromStr>(var: &str, raw: &str) -> T {
     })
 }
 
+/// Parses the raw OS-level value of environment variable `var`;
+/// `None` when `value` is `None` (variable unset). Split from
+/// [`env_parsed`] so the non-Unicode path is testable without mutating
+/// the process environment.
+///
+/// # Panics
+///
+/// Panics (naming the variable) when the value is set but is not valid
+/// Unicode, or is Unicode but unparsable. `std::env::var(..).ok()`
+/// would conflate "unset" with "set to non-Unicode bytes" and silently
+/// fall back to the knob's default — the opposite of the loud-env
+/// contract.
+fn parse_env_value<T: std::str::FromStr>(var: &str, value: Option<&std::ffi::OsStr>) -> Option<T> {
+    let raw = value?;
+    let raw = raw.to_str().unwrap_or_else(|| {
+        panic!("{var} is set to non-Unicode bytes ({raw:?}); refusing to guess a default")
+    });
+    Some(parse_checked(var, raw))
+}
+
 /// Reads and parses environment variable `var`; `None` when unset.
+/// Public so the service binaries read their knobs with the same
+/// loud-env contract as the harness.
 ///
 /// # Panics
 ///
 /// Panics (naming the variable and the value) when the value is set but
-/// unparsable.
-fn env_parsed<T: std::str::FromStr>(var: &str) -> Option<T> {
-    std::env::var(var).ok().map(|raw| parse_checked(var, &raw))
+/// non-Unicode or unparsable.
+pub fn env_parsed<T: std::str::FromStr>(var: &str) -> Option<T> {
+    parse_env_value(var, std::env::var_os(var).as_deref())
 }
 
 /// The workload scale factor used by the harness: multiplies per-warp
@@ -197,6 +219,25 @@ fn memo_tele() -> &'static MemoTele {
     })
 }
 
+/// The persistent-store fingerprint for one `(configuration, workload)`
+/// pair at workload scale `scale`. Unlike [`Memo`]'s in-process cache
+/// key, this must survive the process — so it folds in everything the
+/// environment contributes to a result: the *scaled* per-warp
+/// instruction count (capturing `MCM_SCALE`) and the fault-injection
+/// knobs. A process running at different knob settings computes a
+/// different key and never sees a stale record. Public so the sweep
+/// service keys its in-flight dedupe registry exactly the way [`Memo`]
+/// keys the store — same function, same bytes.
+pub fn pair_fingerprint(scale: f64, cfg: &SystemConfig, spec: &WorkloadSpec) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u64(cfg.fingerprint());
+    h.write_str(spec.name);
+    h.write_u64(u64::from(spec.scaled(scale).insts_per_warp));
+    h.write_u64(fault_rate().to_bits());
+    h.write_u64(fault_seed());
+    h.finish()
+}
+
 impl Memo {
     /// Creates a runner at the given workload scale, process-local only
     /// (no persistent store).
@@ -260,20 +301,10 @@ impl Memo {
         (cfg.fingerprint(), spec.name.to_string())
     }
 
-    /// The persistent-store fingerprint for one pair. Unlike the
-    /// in-process cache key, this must survive the process — so it
-    /// folds in everything the environment contributes to a result: the
-    /// *scaled* per-warp instruction count (capturing `MCM_SCALE`) and
-    /// the fault-injection knobs. A process running at different knob
-    /// settings computes a different key and never sees a stale record.
+    /// The persistent-store fingerprint for one pair; see
+    /// [`pair_fingerprint`].
     fn store_fingerprint(&self, cfg: &SystemConfig, spec: &WorkloadSpec) -> u64 {
-        let mut h = StableHasher::new();
-        h.write_u64(cfg.fingerprint());
-        h.write_str(spec.name);
-        h.write_u64(u64::from(spec.scaled(self.scale).insts_per_warp));
-        h.write_u64(fault_rate().to_bits());
-        h.write_u64(fault_seed());
-        h.finish()
+        pair_fingerprint(self.scale, cfg, spec)
     }
 
     /// Runs `spec` (scaled) on `cfg`, memoized — in-process first, then
@@ -995,6 +1026,32 @@ pub fn bar(value: f64, max: f64, width: usize) -> String {
 mod tests {
     use super::*;
     use mcm_workloads::suite;
+
+    #[test]
+    fn env_values_parse_and_unset_is_none() {
+        assert_eq!(parse_env_value::<u32>("MCM_X", None), None);
+        let v = std::ffi::OsString::from(" 42 ");
+        assert_eq!(parse_env_value::<u32>("MCM_X", Some(&v)), Some(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "MCM_X must be a valid")]
+    fn unparsable_env_values_panic_loudly() {
+        let v = std::ffi::OsString::from("not-a-number");
+        let _ = parse_env_value::<u32>("MCM_X", Some(&v));
+    }
+
+    /// Regression: `std::env::var(..).ok()` conflated "unset" with
+    /// "set to non-Unicode bytes", so a knob holding invalid UTF-8
+    /// silently fell back to its default instead of aborting.
+    #[test]
+    #[cfg(unix)]
+    #[should_panic(expected = "MCM_X is set to non-Unicode bytes")]
+    fn non_unicode_env_values_panic_instead_of_defaulting() {
+        use std::os::unix::ffi::OsStrExt;
+        let v = std::ffi::OsStr::from_bytes(b"0.\xff5");
+        let _ = parse_env_value::<f64>("MCM_X", Some(v));
+    }
 
     #[test]
     fn memo_caches_runs() {

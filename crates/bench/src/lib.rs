@@ -15,3 +15,4 @@
 pub mod figures;
 pub mod harness;
 pub mod resilience;
+pub mod serve_backend;

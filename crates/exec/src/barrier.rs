@@ -272,12 +272,7 @@ mod tests {
             });
         }));
         let payload = result.expect_err("the panic must propagate");
-        let msg = payload
-            .downcast_ref::<&str>()
-            .copied()
-            .map(str::to_string)
-            .or_else(|| payload.downcast_ref::<String>().cloned())
-            .unwrap_or_default();
+        let msg = crate::pool::panic_message(payload.as_ref());
         // The caller sees the lowest-numbered panicking shard; shard 0
         // died at the aborted barrier, so that is the propagated text.
         assert!(

@@ -28,6 +28,11 @@
 //! * [`barrier::ShardBarrier`] + [`barrier::run_shards`] — a reusable,
 //!   abortable epoch barrier for teams of shards co-simulating a
 //!   *single* run (the PDES mode), with panic-safe teardown.
+//! * [`service::ServicePool`] — the long-running counterpart of
+//!   [`pool::run_grid`] for server processes: persistent workers, a
+//!   bounded queue with all-or-nothing batch admission, fair
+//!   round-robin scheduling across caller-chosen lanes, and per-job
+//!   panic isolation.
 //!
 //! The worker count comes from [`jobs`] (`MCM_JOBS`, default: available
 //! parallelism); `MCM_JOBS=1` degenerates to an in-caller-thread serial
@@ -49,6 +54,7 @@
 pub mod barrier;
 pub mod pool;
 pub mod queue;
+pub mod service;
 
 /// The default steal-order seed used by harnesses that don't need a
 /// specific one. Results never depend on it; only which victim a

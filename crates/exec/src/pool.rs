@@ -70,18 +70,28 @@ fn tele() -> &'static ExecTele {
 }
 
 /// Extracts the human-readable message from a caught panic payload.
-/// `panic!("...")` yields `&str` or `String`; anything else (a custom
-/// payload) is named as such rather than dropped. Public so harnesses
-/// that wrap task closures in their own `catch_unwind` (to attach
-/// context before re-raising) render payloads the same way.
+/// `panic!("...")` yields `&str` or `String`; a `panic_any` with a
+/// common scalar payload is rendered with its type and value; anything
+/// else is named by its `TypeId` rather than dropped — the cause of a
+/// failure must never degrade to an empty placeholder.  Public so
+/// harnesses that wrap task closures in their own `catch_unwind` (to
+/// attach context before re-raising) render payloads the same way.
 pub fn panic_message(payload: &(dyn Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "<non-string panic payload>".to_string()
+        return (*s).to_string();
     }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return s.clone();
+    }
+    macro_rules! try_scalar {
+        ($($ty:ty),+) => {
+            $(if let Some(v) = payload.downcast_ref::<$ty>() {
+                return format!("<{} panic payload: {v:?}>", stringify!($ty));
+            })+
+        };
+    }
+    try_scalar!(i32, u32, i64, u64, usize, isize, bool, char);
+    format!("<opaque panic payload: {:?}>", payload.type_id())
 }
 
 /// One quarantined grid item: the exact identity of the poisoned work,
@@ -486,6 +496,48 @@ mod tests {
                 "jobs={jobs}: original payload missing from {msg:?}"
             );
         }
+    }
+
+    /// Regression for the payload-type loss: `panic_any` with a
+    /// non-string payload used to degrade to a bare placeholder that
+    /// named neither the type nor the value.
+    #[test]
+    fn non_string_panic_payloads_keep_their_type_and_value() {
+        let caught =
+            std::panic::catch_unwind(|| std::panic::panic_any(42u32)).expect_err("must panic");
+        assert_eq!(panic_message(caught.as_ref()), "<u32 panic payload: 42>");
+
+        let caught =
+            std::panic::catch_unwind(|| std::panic::panic_any(true)).expect_err("must panic");
+        assert_eq!(panic_message(caught.as_ref()), "<bool panic payload: true>");
+
+        // A payload outside the scalar set still names *something*
+        // stable (its TypeId) instead of an empty or generic string.
+        #[derive(Debug)]
+        struct Weird;
+        let caught =
+            std::panic::catch_unwind(|| std::panic::panic_any(Weird)).expect_err("must panic");
+        let msg = panic_message(caught.as_ref());
+        assert!(
+            msg.starts_with("<opaque panic payload: TypeId"),
+            "unexpected rendering: {msg:?}"
+        );
+    }
+
+    /// End-to-end: a supervised grid item that panics with a non-string
+    /// payload quarantines with the typed message, not a default.
+    #[test]
+    fn supervised_failure_reports_non_string_payloads() {
+        let items: Vec<u32> = (0..4).collect();
+        let grid = run_grid_supervised(&items, 1, 1, 0, |_, &x| {
+            if x == 2 {
+                std::panic::panic_any(x as i64);
+            }
+            x
+        });
+        assert_eq!(grid.failures.len(), 1);
+        assert_eq!(grid.failures[0].index, 2);
+        assert_eq!(grid.failures[0].message, "<i64 panic payload: 2>");
     }
 
     #[test]

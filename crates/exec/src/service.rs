@@ -1,0 +1,524 @@
+//! The long-running service pool: `run_grid` for processes that never
+//! exit.
+//!
+//! [`pool::run_grid`](crate::pool::run_grid) is batch-shaped — it owns
+//! its scoped workers for exactly one grid and joins them before
+//! returning. A sweep *service* has the opposite shape: worker threads
+//! live for the life of the process and jobs arrive one request at a
+//! time from many concurrent clients. [`ServicePool`] provides that
+//! shape with two service-grade properties the batch pool never
+//! needed:
+//!
+//! * **Admission control.** The queue is bounded at construction.
+//!   [`ServicePool::try_submit_batch`] is all-or-nothing: a batch that
+//!   does not fit is rejected with a [`PoolFull`] naming the depth and
+//!   capacity, and nothing of it is queued — the caller answers the
+//!   client loudly instead of letting an unbounded backlog eat the
+//!   host.
+//! * **Fair round-robin lanes.** Every job is submitted on a caller-
+//!   chosen lane (one lane per client connection, in the sweep
+//!   service). Workers drain lanes round-robin, one job per turn, so a
+//!   client that enqueues a 10,000-pair grid cannot starve a client
+//!   asking for one pair: the small query is at most one full rotation
+//!   away from the head.
+//!
+//! Job panics are isolated per job (`catch_unwind`, counted in
+//! `exec.service_job_panics`): a poisoned simulation must not take a
+//! pool worker — and with it, a fraction of the service's capacity —
+//! down with it. Callers that need the panic's cause should catch it
+//! inside the job and route it to their own failure channel.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+use mcm_telemetry::{global, Class, Counter, Gauge};
+
+/// A queued unit of work.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Rejection returned by a submit that would overflow the bounded
+/// queue. Carries the observed depth so the caller's error message can
+/// name the pressure, not just the fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolFull {
+    /// Jobs queued (not yet running) at the moment of rejection.
+    pub queued: usize,
+    /// The pool's queue capacity.
+    pub capacity: usize,
+    /// Size of the batch that was refused.
+    pub rejected: usize,
+}
+
+impl std::fmt::Display for PoolFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "queue full: {} queued of {} capacity, batch of {} rejected",
+            self.queued, self.capacity, self.rejected
+        )
+    }
+}
+
+/// Why a submit was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue has no room for the batch.
+    Full(PoolFull),
+    /// The pool is shutting down; a racing client is told loudly
+    /// instead of crashing the submitting thread.
+    ShutDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full(full) => full.fmt(f),
+            SubmitError::ShutDown => write!(f, "pool is shutting down"),
+        }
+    }
+}
+
+/// Pre-registered `exec.service_*` telemetry. PerConfig/Volatile: the
+/// values are a function of what a service process was asked to do and
+/// of thread timing, never of simulated results.
+struct ServiceTele {
+    jobs: Counter,
+    rejections: Counter,
+    job_panics: Counter,
+    queue_depth_hw: Gauge,
+}
+
+fn tele() -> &'static ServiceTele {
+    static TELE: OnceLock<ServiceTele> = OnceLock::new();
+    TELE.get_or_init(|| {
+        let reg = global();
+        ServiceTele {
+            jobs: reg.counter("exec.service_jobs", Class::PerConfig),
+            rejections: reg.counter("exec.service_rejections", Class::PerConfig),
+            job_panics: reg.counter("exec.service_job_panics", Class::Volatile),
+            queue_depth_hw: reg.gauge("exec.service_queue_depth_hw", Class::Volatile),
+        }
+    })
+}
+
+/// The lane map plus the round-robin rotation over non-empty lanes.
+struct LaneState {
+    lanes: HashMap<u64, VecDeque<Job>>,
+    /// Lanes with pending work, in service order. A lane appears at
+    /// most once; after a pop it re-enters at the back iff it still
+    /// has work.
+    rotation: VecDeque<u64>,
+    queued: usize,
+    running: usize,
+    shutdown: bool,
+}
+
+impl LaneState {
+    /// Pops the next job round-robin: head lane of the rotation gives
+    /// up one job and rotates to the back if non-empty.
+    fn pop(&mut self) -> Option<Job> {
+        let lane = self.rotation.pop_front()?;
+        let deque = self
+            .lanes
+            .get_mut(&lane)
+            .expect("rotation names a missing lane");
+        let job = deque.pop_front().expect("rotation names an empty lane");
+        if deque.is_empty() {
+            self.lanes.remove(&lane);
+        } else {
+            self.rotation.push_back(lane);
+        }
+        self.queued -= 1;
+        Some(job)
+    }
+}
+
+struct Shared {
+    state: Mutex<LaneState>,
+    /// Workers park here when the queue is dry; `wait_idle` parks here
+    /// until both the queue and the running set drain.
+    cv: Condvar,
+    capacity: usize,
+}
+
+/// A bounded, fair, panic-isolating pool of long-lived worker threads.
+/// See the module docs for the contract.
+pub struct ServicePool {
+    shared: Arc<Shared>,
+    /// Behind a mutex so [`ServicePool::shutdown`] can join from a
+    /// shared reference (services hold the pool in an `Arc`).
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    executed: Arc<AtomicU64>,
+    panicked: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for ServicePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServicePool")
+            .field("capacity", &self.shared.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServicePool {
+    /// Spawns `workers` long-lived threads serving a queue bounded at
+    /// `capacity` pending jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers` or `capacity` is zero.
+    pub fn new(workers: usize, capacity: usize) -> Self {
+        assert!(workers >= 1, "a service pool needs at least one worker");
+        assert!(capacity >= 1, "a zero-capacity queue rejects everything");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(LaneState {
+                lanes: HashMap::new(),
+                rotation: VecDeque::new(),
+                queued: 0,
+                running: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            capacity,
+        });
+        let executed = Arc::new(AtomicU64::new(0));
+        let panicked = Arc::new(AtomicU64::new(0));
+        let workers = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                let executed = Arc::clone(&executed);
+                let panicked = Arc::clone(&panicked);
+                std::thread::Builder::new()
+                    .name(format!("mcm-serve-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, &executed, &panicked))
+                    .expect("spawn service pool worker")
+            })
+            .collect();
+        ServicePool {
+            shared,
+            workers: Mutex::new(workers),
+            executed,
+            panicked,
+        }
+    }
+
+    /// Submits one job on `lane`. Sugar for a one-element batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError`] when the queue has no room or the pool
+    /// is shutting down.
+    pub fn try_submit(&self, lane: u64, job: Job) -> Result<(), SubmitError> {
+        self.try_submit_batch(lane, vec![job])
+    }
+
+    /// Submits a batch of jobs on `lane`, all or nothing: either every
+    /// job is queued (in order, behind the lane's existing work) or the
+    /// whole batch is rejected and dropped. All-or-nothing is what lets
+    /// a sweep service reject an oversized request cleanly instead of
+    /// scheduling half a grid.
+    ///
+    /// An empty batch always succeeds without touching the queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::Full`] when the batch would push the
+    /// queue past its capacity, and [`SubmitError::ShutDown`] when the
+    /// pool is shutting down — a client racing a shutdown gets a loud
+    /// rejection, not a crashed connection thread.
+    pub fn try_submit_batch(&self, lane: u64, jobs: Vec<Job>) -> Result<(), SubmitError> {
+        if jobs.is_empty() {
+            return Ok(());
+        }
+        let mut st = self.lock();
+        if st.shutdown {
+            tele().rejections.inc();
+            return Err(SubmitError::ShutDown);
+        }
+        if st.queued + jobs.len() > self.shared.capacity {
+            tele().rejections.inc();
+            return Err(SubmitError::Full(PoolFull {
+                queued: st.queued,
+                capacity: self.shared.capacity,
+                rejected: jobs.len(),
+            }));
+        }
+        let n = jobs.len();
+        let deque = st.lanes.entry(lane).or_default();
+        let lane_was_dry = deque.is_empty();
+        deque.extend(jobs);
+        if lane_was_dry {
+            st.rotation.push_back(lane);
+        }
+        st.queued += n;
+        tele().queue_depth_hw.record_max(st.queued as u64);
+        drop(st);
+        self.shared.cv.notify_all();
+        Ok(())
+    }
+
+    /// Jobs currently queued (not yet picked up).
+    pub fn queued(&self) -> usize {
+        self.lock().queued
+    }
+
+    /// Jobs executed so far (including panicked ones).
+    pub fn executed(&self) -> u64 {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    /// Jobs whose closure panicked (isolated, worker survived).
+    pub fn panicked(&self) -> u64 {
+        self.panicked.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until the queue is empty and no job is running. Test
+    /// scaffolding and drain-before-shutdown.
+    pub fn wait_idle(&self) {
+        let mut st = self.lock();
+        while st.queued > 0 || st.running > 0 {
+            st = self
+                .shared
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, LaneState> {
+        // A panicking job is caught inside the worker; the lock is
+        // never held across job execution, so poison here can only
+        // come from a panic inside this module's own bookkeeping.
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Stops the pool: pending (never-started) jobs are dropped, the
+    /// job currently running on each worker completes, and all workers
+    /// are joined. Dropped jobs simply disappear — callers that must
+    /// answer a client for every accepted job should drain
+    /// ([`ServicePool::wait_idle`]) first, or account for the drops
+    /// themselves. Idempotent; `&self` so a shared (`Arc`-held) pool
+    /// can be stopped by whichever thread ends the service.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.lock();
+            if st.shutdown {
+                // A concurrent/second shutdown: the first caller joins.
+                return;
+            }
+            st.shutdown = true;
+            st.lanes.clear();
+            st.rotation.clear();
+            st.queued = 0;
+        }
+        self.shared.cv.notify_all();
+        let workers = std::mem::take(
+            &mut *self
+                .workers
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServicePool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared, executed: &AtomicU64, panicked: &AtomicU64) {
+    loop {
+        let job = {
+            let mut st = shared
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(job) = st.pop() {
+                    st.running += 1;
+                    break job;
+                }
+                st = shared
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(job));
+        executed.fetch_add(1, Ordering::Relaxed);
+        tele().jobs.inc();
+        if outcome.is_err() {
+            panicked.fetch_add(1, Ordering::Relaxed);
+            tele().job_panics.inc();
+            // The cause is the job's to report (the sweep service
+            // routes it to the waiting clients); the pool only records
+            // that its worker survived one.
+        }
+        let mut st = shared
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.running -= 1;
+        drop(st);
+        // Wake both idle workers (more work may have queued while this
+        // job ran) and any wait_idle caller.
+        shared.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    /// A pool with one deliberately blocked worker, so tests can stage
+    /// a deterministic queue before anything executes.
+    fn blocked_pool(capacity: usize) -> (ServicePool, mpsc::Sender<()>) {
+        let pool = ServicePool::new(1, capacity);
+        let (release, gate) = mpsc::channel::<()>();
+        pool.try_submit(
+            u64::MAX,
+            Box::new(move || {
+                gate.recv().expect("release the blocker");
+            }),
+        )
+        .expect("blocker fits");
+        // Wait until the worker has *picked up* the blocker, so later
+        // submissions stay queued rather than racing it.
+        while pool.queued() > 0 {
+            std::thread::yield_now();
+        }
+        (pool, release)
+    }
+
+    #[test]
+    fn executes_submitted_jobs() {
+        let pool = ServicePool::new(2, 16);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..10u32 {
+            let tx = tx.clone();
+            pool.try_submit(0, Box::new(move || tx.send(i).unwrap()))
+                .unwrap();
+        }
+        drop(tx);
+        let mut got: Vec<u32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        pool.wait_idle();
+        assert_eq!(pool.executed(), 10);
+        assert_eq!(pool.panicked(), 0);
+    }
+
+    #[test]
+    fn lanes_are_served_round_robin() {
+        let (pool, release) = blocked_pool(64);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let push = |lane: u64, tag: &'static str| {
+            let order = Arc::clone(&order);
+            pool.try_submit(lane, Box::new(move || order.lock().unwrap().push(tag)))
+                .unwrap();
+        };
+        // Lane 1 floods first; lanes 2 and 3 arrive after with one job
+        // each. Fairness: the singletons must not wait behind the flood.
+        push(1, "a1");
+        push(1, "a2");
+        push(1, "a3");
+        push(2, "b1");
+        push(3, "c1");
+        release.send(()).unwrap();
+        pool.wait_idle();
+        let got = order.lock().unwrap().clone();
+        assert_eq!(got, vec!["a1", "b1", "c1", "a2", "a3"]);
+    }
+
+    #[test]
+    fn admission_control_rejects_batches_atomically() {
+        let (pool, release) = blocked_pool(3);
+        pool.try_submit(7, Box::new(|| {})).unwrap();
+        pool.try_submit(7, Box::new(|| {})).unwrap();
+        // A 2-job batch over a 3-slot queue holding 2: rejected whole.
+        let err = pool
+            .try_submit_batch(8, vec![Box::new(|| {}) as Job, Box::new(|| {})])
+            .expect_err("batch must not fit");
+        assert_eq!(
+            err,
+            SubmitError::Full(PoolFull {
+                queued: 2,
+                capacity: 3,
+                rejected: 2
+            })
+        );
+        assert!(err.to_string().contains("2 queued of 3 capacity"));
+        // Nothing of the rejected batch was queued: one slot remains.
+        pool.try_submit(8, Box::new(|| {})).unwrap();
+        assert_eq!(pool.queued(), 3);
+        release.send(()).unwrap();
+        pool.wait_idle();
+        assert_eq!(pool.executed(), 4, "blocker + three accepted jobs");
+    }
+
+    #[test]
+    fn empty_batch_always_admits() {
+        let pool = ServicePool::new(1, 1);
+        pool.try_submit_batch(0, Vec::new()).unwrap();
+        assert_eq!(pool.queued(), 0);
+    }
+
+    #[test]
+    fn job_panics_are_isolated_and_counted() {
+        let pool = ServicePool::new(1, 8);
+        pool.try_submit(0, Box::new(|| panic!("poisoned job")))
+            .unwrap();
+        let (tx, rx) = mpsc::channel();
+        pool.try_submit(0, Box::new(move || tx.send(41u32).unwrap()))
+            .unwrap();
+        // The worker survived the panic and ran the next job.
+        assert_eq!(rx.recv().unwrap(), 41);
+        pool.wait_idle();
+        assert_eq!(pool.panicked(), 1);
+        assert_eq!(pool.executed(), 2);
+    }
+
+    #[test]
+    fn shutdown_drops_pending_and_joins() {
+        let (pool, release) = blocked_pool(8);
+        let ran = Arc::new(AtomicU64::new(0));
+        for _ in 0..4 {
+            let ran = Arc::clone(&ran);
+            pool.try_submit(
+                0,
+                Box::new(move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                }),
+            )
+            .unwrap();
+        }
+        release.send(()).unwrap();
+        pool.shutdown();
+        // The blocker finished; the four pending jobs may or may not
+        // have started before the flag landed, but after shutdown no
+        // worker is alive to run more.
+        let after = ran.load(Ordering::SeqCst);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(ran.load(Ordering::SeqCst), after);
+        // And late submissions are rejected loudly, not queued or
+        // panicked on.
+        assert_eq!(
+            pool.try_submit(0, Box::new(|| {})),
+            Err(SubmitError::ShutDown)
+        );
+    }
+}

@@ -23,11 +23,16 @@
 //!   `store.*` telemetry counters, never with a panic. A sweep
 //!   restarted over a damaged store resimulates exactly the damaged
 //!   records.
-//! * **Single-writer lock.** A `LOCK` file holding the owner's PID
-//!   keeps two harness processes from interleaving writes: the second
-//!   opener degrades to read-only (counted, loud) instead of
-//!   corrupting the first's segments. Locks left by dead processes
-//!   (the crash case) are detected via `/proc` and broken.
+//! * **Single-writer lock.** A `LOCK` file holding the owner's PID and
+//!   its `/proc` start-time token keeps two harness processes from
+//!   interleaving writes: the second opener degrades to read-only
+//!   (counted, loud) instead of corrupting the first's segments. Locks
+//!   left by dead processes (the crash case) are detected via `/proc`
+//!   and broken — including when the dead owner's PID has been recycled
+//!   by an unrelated process, which the start-time token distinguishes
+//!   from the true owner. A token-less PID-only `LOCK` (the pre-token
+//!   format, still written by external tooling) is honoured on PID
+//!   liveness alone.
 //!
 //! The scripted crash knob `MCM_STORE_CRASH_AFTER=<n>` (test-only,
 //! wired through the tier-1 crash-recovery smoke) makes the *n*+1-th
@@ -168,6 +173,42 @@ fn pid_alive(pid: u64) -> bool {
     }
 }
 
+/// The start-time token of `pid`: field 22 of `/proc/<pid>/stat`
+/// (clock ticks between boot and process start). A `(pid, start-time)`
+/// pair names one *incarnation* of a process — when the kernel recycles
+/// a dead owner's PID, the new holder gets a different start time, so a
+/// recycled PID cannot pin the store read-only forever. `None` when the
+/// stat file is unreadable (the process is gone, or not Linux).
+fn pid_start_token(pid: u64) -> Option<String> {
+    if !cfg!(target_os = "linux") {
+        return None;
+    }
+    let stat = std::fs::read_to_string(format!("/proc/{pid}/stat")).ok()?;
+    // The comm field (2) is parenthesised and may itself contain spaces
+    // or ')' characters; everything after the *last* ')' is fields 3
+    // onward, whitespace-split — starttime (field 22 overall) is at
+    // index 19 of that remainder.
+    let rest = stat.rsplit_once(')')?.1;
+    rest.split_whitespace().nth(19).map(str::to_string)
+}
+
+/// True when the `LOCK` holder described by `(pid, token)` is still the
+/// process that wrote the lock. Token-less locks (the pre-token format,
+/// and whatever external tooling writes) degrade to PID liveness alone,
+/// as does a platform where start times cannot be read.
+fn holder_alive(pid: u64, recorded_token: Option<&str>) -> bool {
+    if !pid_alive(pid) {
+        return false;
+    }
+    match (recorded_token, pid_start_token(pid)) {
+        // Both sides have a token: the holder is alive only if the
+        // live process *is* the incarnation that locked.
+        (Some(recorded), Some(current)) => recorded == current,
+        // Missing on either side: never trample a possibly-live writer.
+        _ => true,
+    }
+}
+
 /// Opens `dir` for file-content fsync.
 fn fsync_dir(dir: &Path) -> io::Result<()> {
     File::open(dir)?.sync_all()
@@ -227,21 +268,27 @@ impl Store {
                 .open(&lock_path)
             {
                 Ok(mut f) => {
-                    writeln!(f, "{}", std::process::id())?;
+                    let pid = u64::from(std::process::id());
+                    match pid_start_token(pid) {
+                        Some(token) => writeln!(f, "{pid} {token}")?,
+                        None => writeln!(f, "{pid}")?,
+                    }
                     f.sync_all()?;
                     return Ok(LockState::Owned);
                 }
                 Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
-                    let holder: Option<u64> = std::fs::read_to_string(&lock_path)
-                        .ok()
-                        .and_then(|s| s.trim().parse().ok());
+                    let content = std::fs::read_to_string(&lock_path).unwrap_or_default();
+                    let mut fields = content.split_whitespace();
+                    let holder: Option<u64> = fields.next().and_then(|s| s.parse().ok());
+                    let token = fields.next();
                     match holder {
-                        Some(pid) if !pid_alive(pid) && attempt == 0 => {
+                        Some(pid) if !holder_alive(pid, token) && attempt == 0 => {
                             // Crash leftovers: the tier-1 smoke kills a
                             // writer mid-sweep; its successor must not
-                            // be locked out forever.
+                            // be locked out forever — even when the
+                            // dead owner's pid was recycled.
                             warn(&format!(
-                                "breaking stale lock {} (owner pid {pid} is dead)",
+                                "breaking stale lock {} (owner pid {pid} is gone)",
                                 lock_path.display()
                             ));
                             tele().lock_broken.inc();
@@ -632,6 +679,58 @@ mod tests {
         std::fs::write(dir.join("LOCK"), "2147483646\n").unwrap();
         let store = Store::open(&dir).unwrap();
         assert!(store.writable());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Regression for the recycled-PID lockout: a lock whose PID is
+    /// alive but belongs to a *different incarnation* (mismatched
+    /// start-time token) is crash debris, not a live writer. Using our
+    /// own live PID with a bogus token is exactly that shape.
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn recycled_pid_lock_is_broken() {
+        let dir = temp_store_dir("recycled");
+        std::fs::create_dir_all(&dir).unwrap();
+        let own = u64::from(std::process::id());
+        let real = pid_start_token(own).expect("own start token readable");
+        let bogus = "1";
+        assert_ne!(real, bogus, "a real start token is never 1 tick");
+        std::fs::write(dir.join("LOCK"), format!("{own} {bogus}\n")).unwrap();
+        let store = Store::open(&dir).unwrap();
+        assert!(
+            store.writable(),
+            "a recycled pid must not pin the store read-only"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The matching-token side of the same coin: a live PID whose token
+    /// matches the lock really is the owner and must be respected.
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn live_owner_with_matching_token_is_respected() {
+        let dir = temp_store_dir("liveowner");
+        std::fs::create_dir_all(&dir).unwrap();
+        let own = u64::from(std::process::id());
+        let token = pid_start_token(own).expect("own start token readable");
+        std::fs::write(dir.join("LOCK"), format!("{own} {token}\n")).unwrap();
+        let store = Store::open(&dir).unwrap();
+        assert!(!store.writable());
+        drop(store);
+        assert!(dir.join("LOCK").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Back-compat: a token-less PID-only lock (the pre-token format,
+    /// still written by the tier-1 contention smoke) is judged on PID
+    /// liveness alone — a live PID is honoured.
+    #[test]
+    fn pid_only_live_lock_is_respected() {
+        let dir = temp_store_dir("pidonly");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("LOCK"), format!("{}\n", std::process::id())).unwrap();
+        let store = Store::open(&dir).unwrap();
+        assert!(!store.writable());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -163,7 +163,26 @@ fn execute<V, P: Fn(&V)>(prop: &P, value: &V) -> Execution {
             } else if let Some(s) = payload.downcast_ref::<String>() {
                 Execution::Fail(s.clone())
             } else {
-                Execution::Fail("<non-string panic payload>".to_string())
+                // Mirrors `mcm_exec::pool::panic_message` (testkit sits
+                // below exec in the dependency order, so it cannot call
+                // it): keep the payload's type and value instead of
+                // flattening the cause to a generic placeholder.
+                macro_rules! try_scalar {
+                    ($($ty:ty),+) => {
+                        $(if let Some(v) = payload.downcast_ref::<$ty>() {
+                            return Execution::Fail(
+                                format!("<{} panic payload: {v:?}>", stringify!($ty)),
+                            );
+                        })+
+                    };
+                }
+                try_scalar!(i32, u32, i64, u64, usize, isize, bool, char);
+                // `as_ref` first: `.type_id()` straight on the Box
+                // would name the Box, not the payload.
+                Execution::Fail(format!(
+                    "<opaque panic payload: {:?}>",
+                    payload.as_ref().type_id()
+                ))
             }
         }
     }
@@ -340,6 +359,25 @@ mod tests {
         }));
         let msg = *result.unwrap_err().downcast::<String>().unwrap();
         assert!(msg.contains("discarded"), "{msg}");
+    }
+
+    /// Regression: a property that fails via `panic_any` with a
+    /// non-string payload must surface the payload's type and value in
+    /// the report, not an anonymous placeholder.
+    #[test]
+    fn non_string_property_panics_keep_their_cause() {
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            check("typed_payload", &u64s(0..10), |&v| {
+                if v < 10 {
+                    panic::panic_any(v);
+                }
+            });
+        }));
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(
+            msg.contains("<u64 panic payload:"),
+            "typed payload missing from: {msg}"
+        );
     }
 
     #[test]

@@ -123,6 +123,54 @@ diff "$TELEMETRY_TMP/off.txt" "$TELEMETRY_TMP/healed.txt" \
 grep -q "retrying" "$TELEMETRY_TMP/healed.err" \
   || { echo "tier-1: supervised run did not report the retry" >&2; exit 1; }
 
+# Sweep-service smoke: a cold server run (misses + an in-flight
+# duplicate via sweep2's concurrent twin connection) and a warm run
+# over the same store (all hits) must print byte-identical pair
+# reports; the cold server simulates each unique pair exactly once
+# (runs=2: NN-Conv misses in the first sweep, Stream in sweep2 —
+# NN-Conv is already in flight or stored by then), the warm server
+# simulates nothing (runs=0). Afterwards: no LOCK left behind and the
+# port closed.
+echo "== sweep service smoke (serve + scripted client, cold vs warm) =="
+SERVE_STORE="$TELEMETRY_TMP/serve-store"
+SERVE_SCRIPT='ping; sweep baseline:NN-Conv; sweep2 baseline:NN-Conv,Stream; stats; shutdown'
+serve_round() { # $1: output tag
+  MCM_SCALE=0.01 MCM_JOBS=1 MCM_SHARDS=1 \
+    MCM_STORE="$SERVE_STORE" MCM_SERVE_ADDR=127.0.0.1:0 MCM_SERVE_WORKERS=2 \
+    target/release/serve >"$TELEMETRY_TMP/serve-$1.log" &
+  SERVE_PID=$!
+  for _ in $(seq 1 100); do
+    grep -q "listening on" "$TELEMETRY_TMP/serve-$1.log" 2>/dev/null && break
+    sleep 0.1
+  done
+  SERVE_ADDR="$(sed -n 's/^mcm-serve: listening on //p' "$TELEMETRY_TMP/serve-$1.log")"
+  test -n "$SERVE_ADDR" \
+    || { echo "tier-1: serve ($1) printed no address" >&2; exit 1; }
+  MCM_SERVE_ADDR="$SERVE_ADDR" MCM_SERVE_SCRIPT="$SERVE_SCRIPT" \
+    target/release/serve_client >"$TELEMETRY_TMP/serve-client-$1.txt"
+  wait "$SERVE_PID" \
+    || { echo "tier-1: serve ($1) exited non-zero" >&2; exit 1; }
+  SERVE_PORT="${SERVE_ADDR##*:}"
+}
+serve_round cold
+grep -q '^runs=2$' "$TELEMETRY_TMP/serve-client-cold.txt" \
+  || { echo "tier-1: cold serve did not run each unique pair exactly once" >&2; exit 1; }
+serve_round warm
+grep -q '^runs=0$' "$TELEMETRY_TMP/serve-client-warm.txt" \
+  || { echo "tier-1: warm serve re-simulated stored pairs" >&2; exit 1; }
+# Pair report bytes must not depend on cold vs warm (only the runs=
+# stats line may differ).
+diff <(grep -v '^runs=' "$TELEMETRY_TMP/serve-client-cold.txt") \
+     <(grep -v '^runs=' "$TELEMETRY_TMP/serve-client-warm.txt") \
+  || { echo "tier-1: served bytes differ between cold and warm servers" >&2; exit 1; }
+test ! -e "$SERVE_STORE/LOCK" \
+  || { echo "tier-1: serve left a stale store LOCK behind" >&2; exit 1; }
+if (exec 3<>"/dev/tcp/127.0.0.1/$SERVE_PORT") 2>/dev/null; then
+  exec 3>&- 3<&-
+  echo "tier-1: serve port $SERVE_PORT still open after shutdown" >&2
+  exit 1
+fi
+
 # The pinned perf-trajectory suite at smoke scale: the BENCH snapshot
 # must build, parse, and self-compare with zero diff (hermetic, offline).
 echo "== scripts/perf.sh --smoke =="

@@ -19,6 +19,9 @@
 //!   counters, gauges, histograms, and reproducibility-classed
 //!   JSON/CSV snapshots.
 //! * [`sm`] ([`mcm_sm`]) — SM model and CTA schedulers.
+//! * [`serve`] ([`mcm_serve`]) — long-running sweep service over the
+//!   result store: localhost line/JSON protocol, cross-client
+//!   in-flight dedupe, fair bounded scheduling, warm restarts.
 //! * [`store`] ([`mcm_store`]) — crash-safe on-disk content-addressed
 //!   result store (`MCM_STORE`): checksummed segments, atomic
 //!   commits, torn-tail recovery, lock-file exclusion.
@@ -47,6 +50,7 @@ pub use mcm_gpu as gpu;
 pub use mcm_interconnect as interconnect;
 pub use mcm_mem as mem;
 pub use mcm_probe as probe;
+pub use mcm_serve as serve;
 pub use mcm_sm as sm;
 pub use mcm_store as store;
 pub use mcm_telemetry as telemetry;
