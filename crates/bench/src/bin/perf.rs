@@ -168,6 +168,40 @@ fn micro_store_hit(mode: &Mode) -> Entry {
     }
 }
 
+/// Micro: one analytical fast-path prediction — the per-point price the
+/// design-space planner pays instead of a full simulation. The macro
+/// entries below time that simulation on the *same* pinned pair at the
+/// *same* scale, so `analytic.speedup_vs_sim` is an apples-to-apples
+/// per-point ratio.
+fn micro_analytic_point(mode: &Mode) -> Entry {
+    let cfg = SystemConfig::baseline_mcm();
+    let descriptor = suite::by_name("Stream")
+        .expect("Stream workload in suite")
+        .scaled(mode.scale)
+        .descriptor();
+    let model = mcm_gpu::AnalyticModel::uncalibrated();
+    let ops = mode.queue_ops / 10;
+    let score = |ops: u64| {
+        let mut acc = 0.0f64;
+        for _ in 0..ops {
+            acc += model.predict_descriptor(&cfg, &descriptor).ipc;
+        }
+        std::hint::black_box(acc)
+    };
+    score(ops / 10); // warm
+    let (median, min) = time_reps(mode.reps, || {
+        score(ops);
+    });
+    Entry {
+        name: "micro.analytic_point",
+        wall_ns_median: median,
+        wall_ns_min: min,
+        reps: mode.reps,
+        ops: Some(ops),
+        cycles: None,
+    }
+}
+
 /// Macro: one full serial simulation of `cfg` on the pinned workload.
 fn macro_run(name: &'static str, cfg: &SystemConfig, mode: &Mode) -> Entry {
     let spec = suite::by_name("Stream")
@@ -345,6 +379,7 @@ fn run_suite(label: &str, mode: &Mode, out_path: &PathBuf) {
     let mut entries = vec![
         micro_queue_hold(mode),
         micro_store_hit(mode),
+        micro_analytic_point(mode),
         macro_run("macro.fig09_pair_base", &SystemConfig::baseline_mcm(), mode),
         macro_run("macro.fig09_pair_ds", &SystemConfig::mcm_l15_ds(), mode),
     ];
@@ -368,10 +403,25 @@ fn run_suite(label: &str, mode: &Mode, out_path: &PathBuf) {
             .and_then(|e| e.cycles)
             .expect("suite entry has cycles") as f64
     };
+    let ops = |name: &str| {
+        entries
+            .iter()
+            .find(|e| e.name == name)
+            .and_then(|e| e.ops)
+            .expect("suite entry has ops") as f64
+    };
     let ratios = [
         (
             "sharded.speedup_2x",
             wall("sharded.shards1") / wall("sharded.shards2"),
+        ),
+        (
+            // Per-point analytic-vs-simulated speedup on the same
+            // (config, workload, scale): how much cheaper the planner's
+            // scoring pass is than the simulation it avoids.
+            "analytic.speedup_vs_sim",
+            wall("macro.fig09_pair_base")
+                / (wall("micro.analytic_point") / ops("micro.analytic_point")),
         ),
         (
             "sharded.speedup_4x",

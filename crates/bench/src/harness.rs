@@ -1013,9 +1013,14 @@ pub fn f2(v: f64) -> String {
 }
 
 /// Renders `value` as a proportional bar of at most `width` cells
-/// against `max` (the poor terminal's bar chart).
+/// against `max` (the poor terminal's bar chart). Zero, negative, and
+/// non-finite inputs (an all-zero or poisoned row) render as an empty
+/// bar rather than a garbage cast.
 pub fn bar(value: f64, max: f64, width: usize) -> String {
-    if max <= 0.0 || value <= 0.0 || width == 0 {
+    // `!(max > 0.0)` also catches NaN, which `max <= 0.0` lets through:
+    // a NaN max used to survive to the division, cast to 0 cells, and
+    // then clamp up to a one-cell bar — a silently fabricated datum.
+    if !max.is_finite() || !value.is_finite() || max <= 0.0 || value <= 0.0 || width == 0 {
         return String::new();
     }
     let cells = ((value / max) * width as f64).round() as usize;
@@ -1230,6 +1235,21 @@ mod tests {
         assert_eq!(bar(0.01, 10.0, 10), "#");
         assert_eq!(bar(1.0, 0.0, 10), "");
         assert_eq!(bar(-1.0, 10.0, 10), "");
+    }
+
+    /// Regression: a NaN `max` (e.g. 0/0 from an all-zero row upstream)
+    /// slipped past the `max <= 0.0` guard, the NaN quotient cast to 0
+    /// cells, and the clamp then drew a one-cell bar out of nothing.
+    /// Non-finite inputs must render empty, like the other degenerate
+    /// rows.
+    #[test]
+    fn bar_rejects_non_finite_inputs() {
+        assert_eq!(bar(1.0, f64::NAN, 10), "");
+        assert_eq!(bar(f64::NAN, 10.0, 10), "");
+        assert_eq!(bar(1.0, f64::INFINITY, 10), "");
+        assert_eq!(bar(f64::INFINITY, 10.0, 10), "");
+        assert_eq!(bar(1.0, f64::NEG_INFINITY, 10), "");
+        assert_eq!(bar(5.0, 10.0, 0), "");
     }
 
     #[test]

@@ -9,10 +9,17 @@
 //!
 //! Set `MCM_SCALE` (default 0.5) to trade run length for fidelity;
 //! shapes are stable across scales.
+//!
+//! [`planner`] is the design-space exploration front end: it prices a
+//! configuration grid with the calibrated analytical model
+//! (`mcm_gpu::analytic`), prunes everything off the predicted Pareto
+//! frontier, and confirms only the survivors with full simulation
+//! (`cargo run -p mcm-bench --release --bin explore`).
 
 #![warn(missing_docs)]
 
 pub mod figures;
 pub mod harness;
+pub mod planner;
 pub mod resilience;
 pub mod serve_backend;

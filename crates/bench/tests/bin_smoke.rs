@@ -67,6 +67,7 @@ bin_smoke!(
     ablation_scheduler,
     ablation_topology,
     efficiency,
+    explore,
     fig02_scaling,
     fig04_link_sensitivity,
     fig06_l15_cache,

@@ -23,13 +23,30 @@ pub struct LinkSizing {
 }
 
 impl LinkSizing {
+    /// Builds a sizing exercise, validating the GPM count up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `gpms >= 2`: cross-package sizing of a machine
+    /// with fewer than two modules is meaningless, and the
+    /// `(gpms - 1) / gpms` remote fraction would underflow at zero
+    /// (a panic in debug, garbage via wraparound in release).
+    pub fn new(gpms: u32, dram_gbps_per_gpm: f64, l2_hit_rate: f64) -> Self {
+        assert!(
+            gpms >= 2,
+            "link sizing needs at least 2 GPMs (got {gpms}); \
+             a {gpms}-module package has no cross-package links to size"
+        );
+        LinkSizing {
+            gpms,
+            dram_gbps_per_gpm,
+            l2_hit_rate,
+        }
+    }
+
     /// The paper's own example: 4 GPMs × 768 GB/s at a 50 % L2 hit rate.
     pub fn paper_example() -> Self {
-        LinkSizing {
-            gpms: 4,
-            dram_gbps_per_gpm: 768.0,
-            l2_hit_rate: 0.5,
-        }
+        LinkSizing::new(4, 768.0, 0.5)
     }
 
     /// Bandwidth each memory partition supplies to the SMs once the
@@ -50,7 +67,21 @@ impl LinkSizing {
 
     /// Under uniform fine-grain interleaving, the fraction of each
     /// partition's supply consumed by *remote* GPMs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `gpms < 2` (the struct was built by literal rather
+    /// than [`LinkSizing::new`]): with `gpms = 0` the old
+    /// `gpms - 1` underflowed — a debug panic, or `u32::MAX` and a
+    /// garbage fraction in release — and with `gpms = 1` it silently
+    /// reported a remote fraction of 0 for a machine the sizing
+    /// argument does not apply to.
     pub fn remote_fraction(&self) -> f64 {
+        assert!(
+            self.gpms >= 2,
+            "remote fraction is undefined below 2 GPMs (got {})",
+            self.gpms
+        );
         f64::from(self.gpms - 1) / f64::from(self.gpms)
     }
 
@@ -176,5 +207,46 @@ mod tests {
             ..LinkSizing::paper_example()
         };
         let _ = s.supply_per_partition_gbps();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 GPMs (got 0)")]
+    fn zero_gpm_machines_are_rejected_at_construction() {
+        let _ = LinkSizing::new(0, 768.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 GPMs (got 1)")]
+    fn single_gpm_machines_are_rejected_at_construction() {
+        let _ = LinkSizing::new(1, 768.0, 0.5);
+    }
+
+    /// Regression: a literally-constructed zero-GPM sizing used to
+    /// underflow `gpms - 1` inside `remote_fraction` — a debug panic
+    /// with an arithmetic message, or `u32::MAX / 0` garbage in
+    /// release. Now it fails loudly either way, naming the constraint.
+    #[test]
+    #[should_panic(expected = "remote fraction is undefined below 2 GPMs (got 0)")]
+    fn zero_gpm_remote_fraction_panics_loudly() {
+        let s = LinkSizing {
+            gpms: 0,
+            dram_gbps_per_gpm: 768.0,
+            l2_hit_rate: 0.5,
+        };
+        let _ = s.remote_fraction();
+    }
+
+    /// Regression: one GPM used to yield a silent remote fraction of 0
+    /// (and so a "required link bandwidth" of 0 GB/s) for a machine the
+    /// §3.3.1 argument does not even apply to.
+    #[test]
+    #[should_panic(expected = "remote fraction is undefined below 2 GPMs (got 1)")]
+    fn single_gpm_remote_fraction_panics_loudly() {
+        let s = LinkSizing {
+            gpms: 1,
+            dram_gbps_per_gpm: 768.0,
+            l2_hit_rate: 0.5,
+        };
+        let _ = s.remote_fraction();
     }
 }

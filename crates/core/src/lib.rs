@@ -24,6 +24,9 @@
 //!   [`RunReport`] with cycles, cache hit rates, NUMA locality,
 //!   inter-GPM bandwidth, and the Table 2 energy ledger.
 //! * [`experiments`] — the aggregations the paper's figures report.
+//! * [`analytic`] — the calibrated analytical fast path: closed-form
+//!   IPC / hit-rate / traffic predictions in microseconds for
+//!   design-space exploration ([`AnalyticModel`], [`Calibration`]).
 //! * [`mod@reference`] — Table 1 data and manufacturability limits.
 //!
 //! # Quickstart
@@ -50,9 +53,11 @@ mod sim;
 mod system;
 
 pub mod analysis;
+pub mod analytic;
 pub mod experiments;
 pub mod reference;
 
+pub use analytic::{AnalyticModel, Calibration, Observation, Prediction};
 pub use config::{CacheHierarchy, SystemConfig, Topology, KIB, MIB};
 pub use report::{ModuleStats, RunReport};
 pub use shard::{effective_shards, ShardRunStats};

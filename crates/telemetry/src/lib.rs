@@ -12,7 +12,14 @@
 //!
 //! Metrics live in a [`Registry`] under hierarchical `scope.metric`
 //! names (`exec.steals`, `memo.hits`, `shard.epochs`, …) and carry a
-//! determinism [`Class`] that snapshots group by:
+//! determinism [`Class`] that snapshots group by. The analytical fast
+//! path reports under `analytic.*`: the model itself counts scored
+//! predictions and calibration fits (`analytic.scored`,
+//! `analytic.calibrations`), and the sweep planner counts grid points
+//! pruned without simulation, survivors confirmed by the simulator,
+//! and error-envelope violations (`analytic.pruned`,
+//! `analytic.confirmed`, `analytic.envelope_violations`) — all
+//! [`Class::Deterministic`]. The classes:
 //!
 //! * [`Class::Deterministic`] — identical across runs *and* across
 //!   `MCM_JOBS` / `MCM_SHARDS` settings (grid items executed, cache

@@ -1,0 +1,181 @@
+//! Model descriptors: the distilled, numeric view of a workload that
+//! analytical performance models read.
+//!
+//! A [`crate::spec::WorkloadSpec`] describes a benchmark operationally —
+//! enough to *generate* its address stream. An analytical model (such as
+//! `mcm_gpu::analytic`) needs the same facts in closed form: how many
+//! memory transactions one warp instruction implies, how the accesses
+//! split across reuse regions, and how large each region is in cache
+//! lines. [`ModelDescriptor`] precomputes exactly that, so a model never
+//! re-derives stream mechanics (and silently diverges from them).
+
+use crate::spec::{Category, WorkloadSpec};
+
+/// How one workload's memory accesses partition across target regions,
+/// as fractions of all memory accesses (the four fields plus
+/// [`AccessMix::own_stream`] sum to 1).
+///
+/// The split mirrors [`crate::spec::LocalityProfile`]: own-slice
+/// accesses either stream sequentially or revisit the reuse window;
+/// the rest touch a neighbor CTA's slice, the hot shared region, or the
+/// whole footprint uniformly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessMix {
+    /// Own-slice sequential (streaming) accesses: no temporal reuse.
+    pub own_stream: f64,
+    /// Own-slice temporal-reuse accesses (revisit the reuse window).
+    pub own_reuse: f64,
+    /// Accesses to an adjacent CTA's slice (§5.2's inter-CTA locality).
+    pub neighbor: f64,
+    /// Accesses to the hot shared region (cacheable, never localizable).
+    pub shared: f64,
+    /// Uniform whole-footprint accesses (neither cacheable nor
+    /// localizable).
+    pub cold: f64,
+}
+
+impl AccessMix {
+    /// Fraction of accesses with *temporal* reuse a cache can capture
+    /// (everything except streaming and cold-uniform traffic).
+    pub fn cacheable(&self) -> f64 {
+        self.own_reuse + self.neighbor + self.shared
+    }
+}
+
+/// The closed-form facts of one workload that a first-order analytical
+/// model consumes. All region sizes are in 128-byte cache lines; all
+/// rates are per warp instruction or per memory access as documented.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelDescriptor {
+    /// Reporting / calibration category.
+    pub category: Category,
+    /// Memory operations per warp instruction (`mem_ratio`).
+    pub mem_per_inst: f64,
+    /// Line transactions per memory operation once divergent gathers
+    /// are expanded (1.0 for fully coalesced code).
+    pub txns_per_mem: f64,
+    /// Issue slots one warp instruction costs (divergent replays each
+    /// cost a slot): `1 + mem_per_inst * (txns_per_mem - 1)`.
+    pub issue_slots_per_inst: f64,
+    /// Fraction of memory operations that are stores.
+    pub write_frac: f64,
+    /// Access split across reuse regions.
+    pub mix: AccessMix,
+    /// Temporal-reuse window per CTA, in lines.
+    pub reuse_window_lines: f64,
+    /// Hot shared region size, in lines.
+    pub shared_region_lines: f64,
+    /// Whole footprint, in lines.
+    pub footprint_lines: f64,
+    /// Warp instructions per warp per kernel launch — the *scaled*
+    /// count when the spec came from [`WorkloadSpec::scaled`], so a
+    /// model sees the same cache-warmup horizon the simulator runs.
+    pub insts_per_warp: f64,
+    /// CTAs per kernel launch.
+    pub ctas: f64,
+    /// Warps per CTA.
+    pub warps_per_cta: f64,
+    /// Total warps per kernel launch.
+    pub total_warps: f64,
+    /// Kernel launches (cross-kernel locality exists only above 1).
+    pub kernel_iters: u32,
+    /// Per-CTA work imbalance in `[0, 1]`.
+    pub imbalance: f64,
+}
+
+impl WorkloadSpec {
+    /// Distills this spec into the closed-form quantities analytical
+    /// models read. Pure arithmetic over the spec's fields — calling it
+    /// in a scoring loop costs nanoseconds.
+    pub fn descriptor(&self) -> ModelDescriptor {
+        let l = &self.locality;
+        let own = (1.0 - l.neighbor_frac - l.shared_frac - l.cold_shared_frac).max(0.0);
+        let mix = AccessMix {
+            own_stream: own * l.streaming,
+            own_reuse: own * (1.0 - l.streaming),
+            neighbor: l.neighbor_frac,
+            shared: l.shared_frac,
+            cold: l.cold_shared_frac,
+        };
+        let txns_per_mem = match l.divergence {
+            Some(d) => 1.0 + d.frac * f64::from(d.degree - 1),
+            None => 1.0,
+        };
+        let footprint_lines = self.footprint_lines() as f64;
+        ModelDescriptor {
+            category: self.category,
+            mem_per_inst: self.mem_ratio,
+            txns_per_mem,
+            issue_slots_per_inst: 1.0 + self.mem_ratio * (txns_per_mem - 1.0),
+            write_frac: self.write_frac,
+            mix,
+            reuse_window_lines: f64::from(l.reuse_window_lines),
+            shared_region_lines: (footprint_lines * l.shared_region_frac).max(1.0),
+            footprint_lines,
+            insts_per_warp: f64::from(self.insts_per_warp),
+            ctas: f64::from(self.ctas),
+            warps_per_cta: f64::from(self.warps_per_cta),
+            total_warps: self.total_warps() as f64,
+            kernel_iters: self.kernel_iters,
+            imbalance: self.imbalance,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite;
+
+    #[test]
+    fn mix_fractions_partition_the_accesses() {
+        for spec in suite::suite() {
+            let d = spec.descriptor();
+            let sum =
+                d.mix.own_stream + d.mix.own_reuse + d.mix.neighbor + d.mix.shared + d.mix.cold;
+            assert!((sum - 1.0).abs() < 1e-9, "{}: mix sums to {sum}", spec.name);
+            for f in [
+                d.mix.own_stream,
+                d.mix.own_reuse,
+                d.mix.neighbor,
+                d.mix.shared,
+                d.mix.cold,
+            ] {
+                assert!((0.0..=1.0).contains(&f), "{}: fraction {f}", spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn divergence_expands_transactions() {
+        let mut spec = WorkloadSpec::template("t");
+        assert_eq!(spec.descriptor().txns_per_mem, 1.0);
+        spec.locality = spec.locality.with_divergence(0.5, 5);
+        let d = spec.descriptor();
+        // Half the memory ops issue 5 transactions: 0.5*1 + 0.5*5 = 3.
+        assert!((d.txns_per_mem - 3.0).abs() < 1e-12);
+        assert!((d.issue_slots_per_inst - (1.0 + 0.3 * 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn region_sizes_are_positive_lines() {
+        for spec in suite::suite() {
+            let d = spec.descriptor();
+            assert!(d.reuse_window_lines >= 1.0, "{}", spec.name);
+            assert!(d.shared_region_lines >= 1.0, "{}", spec.name);
+            assert!(d.footprint_lines >= 1.0, "{}", spec.name);
+            assert!(d.total_warps >= 1.0, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn descriptor_tracks_the_spec() {
+        let spec = suite::by_name("Stream").unwrap();
+        let d = spec.descriptor();
+        assert_eq!(d.category, spec.category);
+        assert_eq!(d.mem_per_inst, spec.mem_ratio);
+        assert_eq!(d.write_frac, spec.write_frac);
+        assert_eq!(d.kernel_iters, spec.kernel_iters);
+        assert_eq!(d.total_warps, spec.total_warps() as f64);
+    }
+}

@@ -10,6 +10,8 @@
 //!
 //! * [`spec`] — [`spec::WorkloadSpec`] and [`spec::LocalityProfile`],
 //!   the static description of one benchmark.
+//! * [`descriptor`] — [`descriptor::ModelDescriptor`], the closed-form
+//!   view of a spec that analytical performance models read.
 //! * [`stream`] — [`stream::WarpStream`], the per-warp instruction and
 //!   address generator.
 //! * [`suite`] — the 48 concrete workloads, grouped and ordered as the
@@ -32,10 +34,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod descriptor;
 pub mod spec;
 pub mod stream;
 pub mod suite;
 pub mod trace;
 
+pub use descriptor::{AccessMix, ModelDescriptor};
 pub use spec::{Category, LocalityProfile, WorkloadSpec};
 pub use stream::{WarpOp, WarpStream};

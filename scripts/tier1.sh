@@ -171,6 +171,23 @@ if (exec 3<>"/dev/tcp/127.0.0.1/$SERVE_PORT") 2>/dev/null; then
   exit 1
 fi
 
+# Analytic exploration smoke: the planner scores the default grid with
+# the calibrated model, prunes to the predicted Pareto frontier (plus
+# the safety band), and confirms survivors with full simulation. A
+# cold run populates MCM_STORE; a warm rerun in a fresh process must
+# print byte-identical output (the confirmed frontier must not depend
+# on cache state), and the bin exits 1 on any envelope violation.
+echo "== analytic explore smoke (cold vs warm through MCM_STORE) =="
+EXPLORE_STORE="$TELEMETRY_TMP/explore-store"
+MCM_SCALE=0.01 MCM_JOBS=1 MCM_SHARDS=1 MCM_STORE="$EXPLORE_STORE" \
+  target/release/explore >"$TELEMETRY_TMP/explore-cold.txt"
+MCM_SCALE=0.01 MCM_JOBS=1 MCM_SHARDS=1 MCM_STORE="$EXPLORE_STORE" \
+  target/release/explore >"$TELEMETRY_TMP/explore-warm.txt"
+diff "$TELEMETRY_TMP/explore-cold.txt" "$TELEMETRY_TMP/explore-warm.txt" \
+  || { echo "tier-1: explore frontier differs cold vs warm" >&2; exit 1; }
+grep -q "envelope violations: 0" "$TELEMETRY_TMP/explore-cold.txt" \
+  || { echo "tier-1: explore reported envelope violations" >&2; exit 1; }
+
 # The pinned perf-trajectory suite at smoke scale: the BENCH snapshot
 # must build, parse, and self-compare with zero diff (hermetic, offline).
 echo "== scripts/perf.sh --smoke =="

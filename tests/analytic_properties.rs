@@ -1,0 +1,213 @@
+//! Property tests for the calibrated analytical fast path
+//! (`mcm::gpu::analytic`), under the workspace's seeded, shrinking
+//! property runner (`mcm-testkit`).
+//!
+//! The model's structural guarantees, for ANY workload and any valid
+//! configuration drawn from the exploration grid's axes:
+//!
+//! * **Link monotonicity** — predicted IPC never decreases when the
+//!   only change is more inter-GPM link bandwidth (§3.3.1: links can
+//!   throttle, never help by shrinking).
+//! * **GPM-count traffic monotonicity** — predicted inter-GPM traffic
+//!   *per instruction* never decreases with the GPM count at a fixed
+//!   256-SM budget and fixed total cache/DRAM (the `(n-1)/n` remote
+//!   fraction and ring hop count both grow with `n`).
+//! * **Finiteness** — every predicted quantity is finite and in range
+//!   over the whole configuration grid; a NaN or a hit rate above 1
+//!   anywhere would silently poison the planner's Pareto pruning.
+//! * **Calibration determinism** — the same seed and the same
+//!   measurements produce bit-identical coefficients.
+//!
+//! Failures shrink toward a minimal case and print an `MCM_PROP_SEED`
+//! that replays it exactly.
+
+use mcm::gpu::analytic::{AnalyticModel, Calibration, Observation};
+use mcm::gpu::{SystemConfig, MIB};
+use mcm::mem::cache::AllocFilter;
+use mcm::mem::page::PlacementPolicy;
+use mcm::sm::SchedulerPolicy;
+use mcm::workloads::suite;
+use mcm_testkit::gen::{u64s, u8s, usizes};
+use mcm_testkit::runner::check;
+
+/// Builds one grid configuration from primitive draws: GPM count (a
+/// divisor of 256), link bandwidth in GB/s, L1.5 capacity in MiB, and
+/// placement/scheduler/filter variants.
+fn machine(gpms_variant: u8, link_gbps: u64, l15_mb: u64, knobs: u8) -> SystemConfig {
+    let gpms = [2u8, 4, 8, 16][usize::from(gpms_variant % 4)];
+    let mut cfg = SystemConfig::mcm_n_gpms(gpms);
+    cfg.topology.link_gbps = link_gbps as f64;
+    cfg.caches.l15_bytes_total = l15_mb * MIB;
+    cfg.caches.l15_filter = match knobs % 3 {
+        0 => AllocFilter::RemoteOnly,
+        1 => AllocFilter::All,
+        _ => AllocFilter::Adaptive,
+    };
+    cfg.placement = match (knobs / 3) % 2 {
+        0 => PlacementPolicy::Interleaved,
+        _ => PlacementPolicy::FirstTouch,
+    };
+    cfg.scheduler = match (knobs / 6) % 2 {
+        0 => SchedulerPolicy::Centralized,
+        _ => SchedulerPolicy::Distributed,
+    };
+    cfg.validate().expect("generated config must be valid");
+    cfg
+}
+
+#[test]
+fn predicted_ipc_is_monotone_in_link_bandwidth() {
+    let all = suite::suite();
+    let model = AnalyticModel::uncalibrated();
+    let gen = (
+        usizes(0..all.len()), // workload index
+        u8s(0..4),            // GPM count variant
+        u64s(32..4096),       // lower link GB/s
+        u64s(1..3073),        // additional link GB/s
+        u64s(0..33),          // L1.5 MiB
+        u8s(0..12),           // placement/scheduler/filter knobs
+    );
+    check(
+        "predicted_ipc_is_monotone_in_link_bandwidth",
+        &gen,
+        |&(idx, gv, link_lo, extra, l15, knobs)| {
+            let spec = all[idx].scaled(0.05);
+            let lo = machine(gv, link_lo, l15, knobs);
+            let hi = machine(gv, link_lo + extra, l15, knobs);
+            let ipc_lo = model.predict(&lo, &spec).ipc;
+            let ipc_hi = model.predict(&hi, &spec).ipc;
+            assert!(
+                ipc_lo <= ipc_hi * (1.0 + 1e-9),
+                "{}: widening links {link_lo} -> {} GB/s dropped predicted IPC \
+                 {ipc_lo:.4} -> {ipc_hi:.4} on {}",
+                spec.name,
+                link_lo + extra,
+                lo.name
+            );
+        },
+    );
+}
+
+#[test]
+fn predicted_traffic_per_instruction_grows_with_gpm_count() {
+    let all = suite::suite();
+    let model = AnalyticModel::uncalibrated();
+    let gen = (
+        usizes(0..all.len()), // workload index
+        u8s(0..3),            // lower GPM variant index into [2,4,8,16]
+        u8s(1..4),            // strictly higher variant offset
+        u64s(256..3073),      // link GB/s
+    );
+    check(
+        "predicted_traffic_per_instruction_grows_with_gpm_count",
+        &gen,
+        |&(idx, lo_v, dv, link)| {
+            let hi_v = (lo_v + dv).min(3);
+            mcm_testkit::assume!(hi_v > lo_v);
+            let spec = all[idx].scaled(0.05);
+            // The fixed-totals presets: 256 SMs, total L1.5/L2/DRAM
+            // held constant, only the module count changes.
+            let per_inst = |variant: u8| {
+                let mut cfg = machine(variant, link, 16, 0);
+                cfg.scheduler = SchedulerPolicy::Centralized;
+                cfg.placement = PlacementPolicy::Interleaved;
+                let p = model.predict(&cfg, &spec);
+                p.inter_gpm_tbps / p.ipc
+            };
+            let (lo, hi) = (per_inst(lo_v), per_inst(hi_v));
+            assert!(
+                lo <= hi * (1.0 + 1e-9),
+                "{}: traffic per instruction fell from {lo:.6} to {hi:.6} TB/s \
+                 going from {} to {} GPMs at {link} GB/s links",
+                spec.name,
+                [2, 4, 8, 16][usize::from(lo_v)],
+                [2, 4, 8, 16][usize::from(hi_v)],
+            );
+        },
+    );
+}
+
+#[test]
+fn predictions_are_finite_over_the_whole_grid() {
+    let all = suite::suite();
+    let model = AnalyticModel::uncalibrated();
+    let gen = (
+        usizes(0..all.len()), // workload index
+        u8s(0..4),            // GPM count variant
+        u64s(32..6144),       // link GB/s
+        u64s(0..65),          // L1.5 MiB
+        u8s(0..12),           // placement/scheduler/filter knobs
+        u64s(1..101),         // workload scale in hundredths
+    );
+    check(
+        "predictions_are_finite_over_the_whole_grid",
+        &gen,
+        |&(idx, gv, link, l15, knobs, centi)| {
+            let spec = all[idx].scaled(centi as f64 / 100.0);
+            let cfg = machine(gv, link, l15, knobs);
+            let p = model.predict(&cfg, &spec);
+            assert!(p.ipc.is_finite() && p.ipc > 0.0, "ipc {:?}", p.ipc);
+            for (what, rate) in [
+                ("l1", p.l1_hit_rate),
+                ("l15", p.l15_hit_rate),
+                ("l2", p.l2_hit_rate),
+            ] {
+                assert!(
+                    rate.is_finite() && (0.0..=1.0).contains(&rate),
+                    "{what} hit rate {rate:?} out of range on {} / {}",
+                    cfg.name,
+                    spec.name
+                );
+            }
+            for (what, tbps) in [("link", p.inter_gpm_tbps), ("dram", p.dram_tbps)] {
+                assert!(
+                    tbps.is_finite() && tbps >= 0.0,
+                    "{what} traffic {tbps:?} invalid on {} / {}",
+                    cfg.name,
+                    spec.name
+                );
+            }
+        },
+    );
+}
+
+#[test]
+fn calibration_is_deterministic_in_the_seed() {
+    // A cheap, pure stand-in for the event simulator: observations are
+    // a deterministic function of (configuration, workload) alone.
+    let fake = |cfg: &SystemConfig, spec: &mcm::workloads::WorkloadSpec| {
+        let mut h = mcm::engine::rng::StableHasher::new();
+        h.write_u64(cfg.fingerprint());
+        h.write_str(spec.name);
+        let bits = h.finish();
+        Observation {
+            ipc: 1.0 + (bits % 64) as f64,
+            l1: ((bits >> 8) % 100) as f64 / 100.0,
+            l15: ((bits >> 16) % 100) as f64 / 100.0,
+            l2: ((bits >> 24) % 100) as f64 / 100.0,
+            inter_gpm_tbps: ((bits >> 32) % 400) as f64 / 100.0,
+        }
+    };
+    let gen = (u64s(0..u64::MAX), u64s(1..51)); // calibration seed, scale
+    check(
+        "calibration_is_deterministic_in_the_seed",
+        &gen,
+        |&(seed, milli)| {
+            let scale = milli as f64 / 1000.0;
+            let a = Calibration::fit_with(seed, scale, fake);
+            let b = Calibration::fit_with(seed, scale, fake);
+            assert_eq!(a, b, "same seed {seed:#x} produced different coefficients");
+            // And the fitted gains must actually be finite and inside
+            // the clamp band, whatever the fake measurements said.
+            for cat in mcm::workloads::Category::ALL {
+                let c = a.coefficients(cat);
+                for gain in [c.ipc_gain, c.l1_gain, c.l15_gain, c.l2_gain, c.traffic_gain] {
+                    assert!(
+                        gain.is_finite() && (1.0 / 32.0..=32.0).contains(&gain),
+                        "{cat:?}: fitted gain {gain} escaped the clamp band"
+                    );
+                }
+            }
+        },
+    );
+}
